@@ -1,0 +1,189 @@
+//! Exact minimisation of the maximum link utilization (the "MLU [19]"
+//! column of TABLE I), as a linear program.
+//!
+//! ```text
+//! minimise  θ
+//! s.t.      Σ_t f^t_e ≤ θ · c_e          ∀ links e
+//!           B f^t = d^t,  f^t ≥ 0        ∀ destinations t
+//! ```
+//!
+//! The paper's Fig. 1 discussion uses this LP to illustrate why MLU alone
+//! is "not a well-defined objective function": its optimum is massively
+//! non-unique (any `a ∈ [0.1, 0.9]` split of the 1→3 demand attains
+//! MLU 0.9), which min-max / (q, β → ∞) load balance then refines.
+
+use spef_core::{Flows, SpefError};
+use spef_lp::simplex::{LinearProgram, Relation, SimplexError};
+use spef_topology::{Network, TrafficMatrix};
+
+/// An optimal solution of the min-MLU LP.
+#[derive(Debug, Clone)]
+pub struct MluSolution {
+    /// The minimum achievable maximum link utilization.
+    pub mlu: f64,
+    /// One optimal flow (a vertex of the non-unique optimal face).
+    pub flows: Flows,
+    /// Capacity-constraint duals: `price[e] ≥ 0` is the marginal MLU
+    /// reduction per unit capacity added to link `e` (nonzero only on
+    /// bottlenecks).
+    pub link_prices: Vec<f64>,
+}
+
+impl MluSolution {
+    /// Solves the min-MLU LP exactly.
+    ///
+    /// The LP has `|D|·|J| + 1` variables; intended for the paper's small
+    /// and mid-size networks (Fig. 1, Fig. 4, Abilene, CERNET2). For the
+    /// 50–100-node sweeps the paper itself does not report MLU-LP numbers.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpefError::UnroutableDemand`]-class infeasibility surfaces as
+    ///   [`SpefError::Infeasible`] (an LP has no notion of which pair
+    ///   failed),
+    /// * [`SpefError::InvalidInput`] on size mismatches or an empty
+    ///   traffic matrix.
+    pub fn solve(network: &Network, traffic: &TrafficMatrix) -> Result<MluSolution, SpefError> {
+        if traffic.node_count() != network.node_count() {
+            return Err(SpefError::InvalidInput(format!(
+                "traffic matrix covers {} nodes, network has {}",
+                traffic.node_count(),
+                network.node_count()
+            )));
+        }
+        let dests = traffic.destinations();
+        if dests.is_empty() {
+            return Err(SpefError::InvalidInput(
+                "traffic matrix is empty".to_string(),
+            ));
+        }
+        let g = network.graph();
+        let m = g.edge_count();
+        // Variables: f^t_e blocks, then θ last.
+        let theta = dests.len() * m;
+        let var = |ti: usize, e: usize| ti * m + e;
+        let mut lp = LinearProgram::minimize(theta + 1);
+        lp.set_objective(theta, 1.0);
+
+        let mut cap_rows = Vec::with_capacity(m);
+        for e in 0..m {
+            let mut row: Vec<(usize, f64)> =
+                (0..dests.len()).map(|ti| (var(ti, e), 1.0)).collect();
+            row.push((theta, -network.capacity(e.into())));
+            cap_rows.push(lp.add_constraint(&row, Relation::Le, 0.0));
+        }
+        for (ti, &t) in dests.iter().enumerate() {
+            let demands = traffic.demands_to(t);
+            for node in g.nodes() {
+                if node == t {
+                    continue;
+                }
+                let mut row: Vec<(usize, f64)> = Vec::new();
+                for &e in g.out_edges(node) {
+                    row.push((var(ti, e.index()), 1.0));
+                }
+                for &e in g.in_edges(node) {
+                    row.push((var(ti, e.index()), -1.0));
+                }
+                lp.add_constraint(&row, Relation::Eq, demands[node.index()]);
+            }
+        }
+
+        let sol = match lp.solve() {
+            Ok(sol) => sol,
+            Err(SimplexError::Infeasible) => return Err(SpefError::Infeasible),
+            Err(e) => {
+                return Err(SpefError::InvalidInput(format!("min-MLU LP failed: {e}")))
+            }
+        };
+
+        let mut per_dest = Vec::with_capacity(dests.len());
+        let mut aggregate = vec![0.0; m];
+        for ti in 0..dests.len() {
+            let f: Vec<f64> = (0..m).map(|e| sol.value(var(ti, e))).collect();
+            for (agg, fe) in aggregate.iter_mut().zip(&f) {
+                *agg += fe;
+            }
+            per_dest.push(f);
+        }
+        // Min-problem Le duals are ≤ 0; report positive prices.
+        let link_prices: Vec<f64> = cap_rows.iter().map(|&r| -sol.dual(r)).collect();
+        Ok(MluSolution {
+            mlu: sol.value(theta),
+            flows: Flows::assemble(dests, per_dest, aggregate),
+            link_prices,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spef_core::metrics;
+    use spef_topology::standard;
+
+    #[test]
+    fn fig1_min_mlu_is_090() {
+        // TABLE I / Fig. 1 discussion: the (3,4) link pins MLU at 0.9; the
+        // 1→3 split is free in [0.1, 0.9].
+        let net = standard::fig1();
+        let tm = standard::fig1_demands();
+        let sol = MluSolution::solve(&net, &tm).unwrap();
+        assert!((sol.mlu - 0.9).abs() < 1e-9, "mlu = {}", sol.mlu);
+        let u = net.utilizations(sol.flows.aggregate());
+        assert!((u[1] - 0.9).abs() < 1e-9, "(3,4) is the bottleneck");
+        // The direct-link utilization is the paper's free constant a.
+        assert!(u[0] >= 0.1 - 1e-9 && u[0] <= 0.9 + 1e-9, "a = {}", u[0]);
+        // Achieved MLU equals the LP objective.
+        assert!(
+            (metrics::max_link_utilization(&net, sol.flows.aggregate()) - sol.mlu).abs()
+                < 1e-9
+        );
+        // Only the bottleneck carries a positive price.
+        assert!(sol.link_prices[1] > 0.0);
+    }
+
+    #[test]
+    fn fig4_min_mlu_beats_ospf() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let sol = MluSolution::solve(&net, &tm).unwrap();
+        // OSPF gets 1.6 (Fig. 6); the optimum must be < 1 and at least the
+        // 0.8 bound forced by node 1's 12 units over 3×5 capacity... and by
+        // the single-path 3→2 demand (4/5).
+        assert!(sol.mlu < 1.0);
+        assert!(sol.mlu >= 0.8 - 1e-9, "mlu = {}", sol.mlu);
+    }
+
+    #[test]
+    fn conservation_holds() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let sol = MluSolution::solve(&net, &tm).unwrap();
+        for &t in sol.flows.destinations() {
+            let f = sol.flows.for_destination(t).unwrap();
+            let div = net.graph().divergence(f);
+            let demands = tm.demands_to(t);
+            for node in net.graph().nodes() {
+                if node != t {
+                    assert!((div[node.index()] - demands[node.index()]).abs() < 1e-7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let net = standard::fig1();
+        assert!(MluSolution::solve(&net, &TrafficMatrix::new(4)).is_err());
+    }
+
+    #[test]
+    fn scaling_demands_scales_mlu() {
+        let net = standard::fig1();
+        let tm = standard::fig1_demands();
+        let half = tm.scaled(0.5);
+        let sol = MluSolution::solve(&net, &half).unwrap();
+        assert!((sol.mlu - 0.45).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,193 @@
+//! The OSPF baseline: Cisco InvCap weights + even ECMP splitting.
+//!
+//! §V of the paper: "we compare the results of SPEF with that of OSPF,
+//! which sets link weight inversely proportional to its capacity and evenly
+//! splits the traffic over multiple equal-cost shortest paths."
+//!
+//! Note OSPF routing ignores capacities entirely; at high load its flows
+//! exceed capacity (MLU > 1) — exactly the regime where Fig. 10 shows its
+//! utility collapsing to −∞ while "SPEF still works".
+
+use spef_core::{
+    build_dags, metrics, traffic_distribution_detailed, Flows, ForwardingTable, SpefError,
+    SplitRule,
+};
+use spef_topology::{Network, TrafficMatrix};
+
+/// Cisco InvCap weights: `w_e = max_cap / c_e`, normalised so the largest
+/// link gets weight 1 (any positive scale yields identical routing).
+pub fn invcap_weights(network: &Network) -> Vec<f64> {
+    let max_cap = network
+        .capacities()
+        .iter()
+        .cloned()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    network.capacities().iter().map(|c| max_cap / c).collect()
+}
+
+/// An OSPF (InvCap + even ECMP) routing of a traffic matrix.
+#[derive(Debug, Clone)]
+pub struct OspfRouting {
+    weights: Vec<f64>,
+    flows: Flows,
+    fib: ForwardingTable,
+}
+
+impl OspfRouting {
+    /// Routes `traffic` over `network` with InvCap weights and even ECMP.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpefError::UnroutableDemand`] for disconnected demand pairs,
+    /// * [`SpefError::InvalidInput`] on size mismatches.
+    pub fn route(network: &Network, traffic: &TrafficMatrix) -> Result<OspfRouting, SpefError> {
+        Self::route_with_weights(network, traffic, &invcap_weights(network))
+    }
+
+    /// Routes with explicit OSPF weights (used by the Fortz–Thorup local
+    /// search to evaluate candidate weight settings).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`route`](Self::route), plus weight-vector
+    /// validation errors.
+    pub fn route_with_weights(
+        network: &Network,
+        traffic: &TrafficMatrix,
+        weights: &[f64],
+    ) -> Result<OspfRouting, SpefError> {
+        if traffic.node_count() != network.node_count() {
+            return Err(SpefError::InvalidInput(format!(
+                "traffic matrix covers {} nodes, network has {}",
+                traffic.node_count(),
+                network.node_count()
+            )));
+        }
+        let g = network.graph();
+        let dests = traffic.destinations();
+        if dests.is_empty() {
+            return Err(SpefError::InvalidInput(
+                "traffic matrix is empty".to_string(),
+            ));
+        }
+        let dags = build_dags(g, weights, &dests, 0.0)?;
+        let (flows, tables) =
+            traffic_distribution_detailed(g, &dags, traffic, SplitRule::EvenEcmp)?;
+        let fib = ForwardingTable::from_split_tables(g.node_count(), &dests, &tables);
+        Ok(OspfRouting {
+            weights: weights.to_vec(),
+            flows,
+            fib,
+        })
+    }
+
+    /// The link weights in force.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The resulting flows.
+    pub fn flows(&self) -> &Flows {
+        &self.flows
+    }
+
+    /// The even-split forwarding table.
+    pub fn forwarding_table(&self) -> &ForwardingTable {
+        &self.fib
+    }
+
+    /// Maximum link utilization (may exceed 1 — OSPF ignores capacity).
+    pub fn max_link_utilization(&self, network: &Network) -> f64 {
+        metrics::max_link_utilization(network, self.flows.aggregate())
+    }
+
+    /// Normalized utility `Σ log(1 − u)`; `−∞` once any link saturates.
+    pub fn normalized_utility(&self, network: &Network) -> f64 {
+        metrics::normalized_utility(network, self.flows.aggregate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spef_graph::EdgeId;
+    use spef_topology::standard;
+
+    #[test]
+    fn invcap_is_inversely_proportional() {
+        let net = standard::cernet2();
+        let w = invcap_weights(&net);
+        for (e, (&weight, &cap)) in w.iter().zip(net.capacities()).enumerate() {
+            assert!(
+                (weight - 10.0 / cap).abs() < 1e-12,
+                "edge {e}: {weight} vs {}",
+                10.0 / cap
+            );
+        }
+        // 10G links get weight 1, 2.5G links weight 4.
+        assert!(w.contains(&1.0));
+        assert!(w.contains(&4.0));
+    }
+
+    #[test]
+    fn equal_capacities_reduce_to_hop_count() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let ospf = OspfRouting::route(&net, &tm).unwrap();
+        // The Fig. 6 OSPF profile: bottleneck link 1 at utilization 1.6.
+        let u = net.utilizations(ospf.flows().aggregate());
+        assert!((u[0] - 1.6).abs() < 1e-12, "link 1: {}", u[0]);
+        assert!((ospf.max_link_utilization(&net) - 1.6).abs() < 1e-12);
+        assert_eq!(ospf.normalized_utility(&net), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ecmp_splits_parity_paths() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let ospf = OspfRouting::route(&net, &tm).unwrap();
+        let f = ospf.flows().aggregate();
+        // 1→7 demand (4 units) splits 2/2 across via-5 and via-6 paths.
+        assert!((f[3] - 2.0).abs() < 1e-12);
+        assert!((f[5] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fib_rows_are_even() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let ospf = OspfRouting::route(&net, &tm).unwrap();
+        let fib = ospf.forwarding_table();
+        // Node 1 toward destination 7 (ids 0 → 6): two next hops at 1/2.
+        let hops = fib.next_hops(0.into(), 6.into()).unwrap();
+        assert_eq!(hops.len(), 2);
+        for &(_, r) in hops {
+            assert!((r - 0.5).abs() < 1e-12);
+        }
+        let _ = EdgeId::new(0);
+    }
+
+    #[test]
+    fn custom_weights_change_routing() {
+        let net = standard::fig1();
+        let mut tm = TrafficMatrix::new(4);
+        tm.set(0.into(), 2.into(), 1.0);
+        // Unit weights: direct (1,3) wins.
+        let w1 = vec![1.0; net.link_count()];
+        let r1 = OspfRouting::route_with_weights(&net, &tm, &w1).unwrap();
+        assert!((r1.flows().aggregate()[0] - 1.0).abs() < 1e-12);
+        // Penalise the direct link: the 2-hop detour wins.
+        let mut w2 = w1.clone();
+        w2[0] = 5.0;
+        let r2 = OspfRouting::route_with_weights(&net, &tm, &w2).unwrap();
+        assert_eq!(r2.flows().aggregate()[0], 0.0);
+        assert!((r2.flows().aggregate()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_or_mismatched_traffic() {
+        let net = standard::fig1();
+        assert!(OspfRouting::route(&net, &TrafficMatrix::new(4)).is_err());
+        assert!(OspfRouting::route(&net, &TrafficMatrix::new(9)).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Microbenchmarks of the core algorithms: the per-iteration costs that
+//! dominate the experiment pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spef_core::{
+    build_dags, solve_te, traffic_distribution, FrankWolfeConfig, NemConfig, Objective,
+    SplitRule,
+};
+use spef_graph::ShortestPathDag;
+use spef_lp::simplex::{LinearProgram, Relation};
+use spef_netsim::{simulate, SimConfig};
+use spef_topology::{gen, standard, TrafficMatrix};
+
+fn bench_dijkstra_dag(c: &mut Criterion) {
+    let net = gen::random_network("Rand100", 100, 392, 0xFEED);
+    let w: Vec<f64> = net.capacities().iter().map(|x| 1.0 / x).collect();
+    c.bench_function("dag_build_rand100", |b| {
+        b.iter(|| {
+            ShortestPathDag::build(net.graph(), &w, 0.into(), 0.0).expect("dag")
+        })
+    });
+}
+
+fn bench_traffic_distribution(c: &mut Criterion) {
+    let net = standard::cernet2();
+    let tm = TrafficMatrix::gravity(&net, 1.0, 3).scaled_to_network_load(&net, 0.15);
+    let w: Vec<f64> = net.capacities().iter().map(|x| 1.0 / x).collect();
+    let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).expect("dags");
+    let v = vec![0.1; net.link_count()];
+    c.bench_function("traffic_distribution_cernet2", |b| {
+        b.iter(|| {
+            traffic_distribution(net.graph(), &dags, &tm, SplitRule::Exponential(&v))
+                .expect("distribution")
+        })
+    });
+}
+
+fn bench_frank_wolfe(c: &mut Criterion) {
+    let net = standard::abilene();
+    let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.12);
+    let obj = Objective::proportional(net.link_count());
+    let cfg = FrankWolfeConfig {
+        max_iterations: 100,
+        relative_gap_tolerance: 0.0,
+        ..FrankWolfeConfig::default()
+    };
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    group.bench_function("frank_wolfe_100it_abilene", |b| {
+        b.iter(|| solve_te(&net, &tm, &obj, &cfg).expect("te"))
+    });
+    group.finish();
+}
+
+fn bench_nem(c: &mut Criterion) {
+    let net = standard::abilene();
+    let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.12);
+    let obj = Objective::proportional(net.link_count());
+    let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).expect("te");
+    let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
+    let dags = build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-2 * max_w)
+        .expect("dags");
+    let cfg = NemConfig {
+        max_iterations: 100,
+        epsilon: Some(0.0),
+        ..NemConfig::default()
+    };
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    group.bench_function("nem_100it_abilene", |b| {
+        b.iter(|| {
+            spef_core::nem::solve_second_weights(
+                net.graph(),
+                &dags,
+                &tm,
+                te.flows.aggregate(),
+                &cfg,
+            )
+            .expect("nem")
+        })
+    });
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    // The β = 0 LP on Fig. 4 (57 vars, 37 rows).
+    let net = standard::fig4();
+    let tm = standard::fig4_demands();
+    let obj = Objective::min_hop(net.link_count());
+    c.bench_function("simplex_beta0_fig4", |b| {
+        b.iter(|| solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).expect("lp"))
+    });
+    // A dense random-ish LP for raw pivot throughput.
+    c.bench_function("simplex_dense_30x60", |b| {
+        b.iter(|| {
+            let mut lp = LinearProgram::maximize(60);
+            for v in 0..60 {
+                lp.set_objective(v, 1.0 + (v % 7) as f64);
+            }
+            for r in 0..30 {
+                let row: Vec<(usize, f64)> = (0..60)
+                    .map(|v| (v, 1.0 + ((r * 31 + v * 17) % 5) as f64))
+                    .collect();
+                lp.add_constraint(&row, Relation::Le, 100.0);
+            }
+            lp.solve().expect("solvable")
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let net = standard::fig4();
+    let tm = standard::table4_simple_demands();
+    let obj = Objective::proportional(net.link_count());
+    let routing = spef_core::SpefRouting::build(
+        &net,
+        &tm,
+        &obj,
+        &spef_core::SpefConfig::default(),
+    )
+    .expect("routing");
+    let cfg = SimConfig {
+        duration: 5.0,
+        capacity_to_bps: 1e6,
+        demand_to_bps: 1e6,
+        ..SimConfig::default()
+    };
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("netsim_5s_fig4", |b| {
+        b.iter(|| simulate(&net, &tm, routing.forwarding_table(), &cfg).expect("sim"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_dijkstra_dag,
+    bench_traffic_distribution,
+    bench_frank_wolfe,
+    bench_nem,
+    bench_simplex,
+    bench_simulator
+);
+criterion_main!(micro);

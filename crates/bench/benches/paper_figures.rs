@@ -1,0 +1,69 @@
+//! Criterion benches regenerating the paper's figures (one benchmark per
+//! figure). Each iteration runs the experiment pipeline at reduced
+//! fidelity; `repro --exp <id>` produces the full-fidelity artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spef_experiments::{run_experiment, Quality};
+
+fn bench_figure(c: &mut Criterion, id: &'static str) {
+    let mut group = c.benchmark_group("paper_figures");
+    group.sample_size(10);
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let result = run_experiment(id, Quality::Quick).expect(id);
+            assert!(!result.csvs.is_empty());
+            result
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    bench_figure(c, "fig2");
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    bench_figure(c, "fig3");
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    bench_figure(c, "fig6");
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    bench_figure(c, "fig7");
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    bench_figure(c, "fig9");
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    bench_figure(c, "fig10");
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    bench_figure(c, "fig11");
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    bench_figure(c, "fig12");
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    bench_figure(c, "fig13");
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig3,
+    bench_fig6,
+    bench_fig7,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13
+);
+criterion_main!(figures);

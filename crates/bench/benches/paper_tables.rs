@@ -1,0 +1,34 @@
+//! Criterion benches regenerating the paper's tables (one benchmark per
+//! table). Each iteration runs the full experiment pipeline at reduced
+//! fidelity, so the reported time is the cost of reproducing the artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spef_experiments::{run_experiment, Quality};
+
+fn bench_table(c: &mut Criterion, id: &'static str) {
+    let mut group = c.benchmark_group("paper_tables");
+    group.sample_size(10);
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let result = run_experiment(id, Quality::Quick).expect(id);
+            assert!(!result.tables.is_empty());
+            result
+        })
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    bench_table(c, "table1");
+}
+
+fn bench_table3(c: &mut Criterion) {
+    bench_table(c, "table3");
+}
+
+fn bench_table5(c: &mut Criterion) {
+    bench_table(c, "table5");
+}
+
+criterion_group!(tables, bench_table1, bench_table3, bench_table5);
+criterion_main!(tables);

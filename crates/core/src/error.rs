@@ -1,0 +1,109 @@
+use std::fmt;
+
+use spef_graph::{GraphError, NodeId};
+
+/// Errors produced by the SPEF solvers and protocol construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpefError {
+    /// The traffic matrix cannot be routed within link capacities (the
+    /// optimal max link utilization is ≥ 1, where the aggregate utility of
+    /// the paper is −∞).
+    Infeasible,
+    /// A demand source cannot reach its destination on the current
+    /// shortest-path DAG.
+    UnroutableDemand {
+        /// Demand source.
+        source: NodeId,
+        /// Demand destination.
+        destination: NodeId,
+    },
+    /// An iterative solver exhausted its iteration budget without meeting
+    /// its tolerance.
+    NotConverged {
+        /// Which algorithm failed to converge.
+        algorithm: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// The residual that was still above tolerance.
+        residual: f64,
+    },
+    /// Network and traffic-matrix sizes disagree, or a parameter was
+    /// out of its documented domain.
+    InvalidInput(String),
+    /// An underlying graph computation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for SpefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpefError::Infeasible => {
+                write!(f, "traffic demands are not routable within link capacities")
+            }
+            SpefError::UnroutableDemand {
+                source,
+                destination,
+            } => write!(
+                f,
+                "demand {source} -> {destination} has no usable shortest-path next hop"
+            ),
+            SpefError::NotConverged {
+                algorithm,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SpefError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SpefError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpefError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpefError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SpefError {
+    fn from(e: GraphError) -> Self {
+        SpefError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpefError::UnroutableDemand {
+            source: NodeId::new(1),
+            destination: NodeId::new(2),
+        };
+        assert!(e.to_string().contains("n1"));
+        assert!(e.to_string().contains("n2"));
+
+        let e = SpefError::NotConverged {
+            algorithm: "NEM",
+            iterations: 10,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("NEM"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn graph_errors_convert() {
+        let ge = GraphError::NegativeCycle;
+        let se: SpefError = ge.clone().into();
+        assert_eq!(se, SpefError::Graph(ge));
+        assert!(std::error::Error::source(&se).is_some());
+    }
+}

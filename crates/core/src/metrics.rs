@@ -1,0 +1,190 @@
+//! Traffic-engineering metrics used throughout the paper's evaluation.
+//!
+//! * **MLU** — maximum link utilization;
+//! * **normalized utility** — `Σ_(i,j) log(1 − u_ij)` (§V.B: "The utility
+//!   is normalized ... The utility is −∞ if MLU is greater than 1"), the
+//!   y-axis of Fig. 10 and Fig. 13;
+//! * **sorted utilizations** — the curves of Fig. 9;
+//! * **equal-cost-path census** — TABLE V.
+
+use std::collections::BTreeMap;
+
+use spef_graph::{NodeId, ShortestPathDag};
+use spef_topology::Network;
+
+/// Maximum link utilization of a flow vector.
+///
+/// # Panics
+///
+/// Panics if `flows.len() != network.link_count()`.
+pub fn max_link_utilization(network: &Network, flows: &[f64]) -> f64 {
+    network
+        .utilizations(flows)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// The paper's normalized utility `Σ_e log(1 − u_e)`, or `−∞` if any link
+/// is at or above capacity.
+///
+/// # Panics
+///
+/// Panics if `flows.len() != network.link_count()`.
+pub fn normalized_utility(network: &Network, flows: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for u in network.utilizations(flows) {
+        if u >= 1.0 {
+            return f64::NEG_INFINITY;
+        }
+        total += (1.0 - u).ln();
+    }
+    total
+}
+
+/// Link utilizations sorted in decreasing order (the presentation of
+/// Fig. 9).
+///
+/// # Panics
+///
+/// Panics if `flows.len() != network.link_count()`.
+pub fn sorted_utilizations(network: &Network, flows: &[f64]) -> Vec<f64> {
+    let mut u = network.utilizations(flows);
+    u.sort_by(|a, b| b.total_cmp(a));
+    u
+}
+
+/// TABLE V: for every ordered ingress–egress pair, counts the equal-cost
+/// shortest paths the routing offers, and histograms the pairs by that
+/// count.
+///
+/// `n(i)` is the paper's `n_i` — the number of pairs with exactly `i`
+/// equal-cost paths.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathCensus {
+    histogram: BTreeMap<u64, usize>,
+}
+
+impl PathCensus {
+    /// Builds the census from per-destination shortest-path DAGs: every
+    /// ordered pair `(s, t)` with `s ≠ t` and `t` a DAG target contributes
+    /// its shortest-path count.
+    pub fn from_dags(dags: &[ShortestPathDag]) -> PathCensus {
+        let mut histogram = BTreeMap::new();
+        for dag in dags {
+            let n = dag.distances().len();
+            for s in 0..n {
+                let s = NodeId::new(s);
+                if s == dag.target() {
+                    continue;
+                }
+                let count = dag.path_count(s);
+                *histogram.entry(count).or_insert(0) += 1;
+            }
+        }
+        PathCensus { histogram }
+    }
+
+    /// Number of pairs with exactly `i` equal-cost paths (the paper's
+    /// `n_i`).
+    pub fn n(&self, i: u64) -> usize {
+        self.histogram.get(&i).copied().unwrap_or(0)
+    }
+
+    /// Total ordered pairs counted.
+    pub fn total_pairs(&self) -> usize {
+        self.histogram.values().sum()
+    }
+
+    /// The underlying histogram `path count → #pairs`, ascending by count.
+    pub fn histogram(&self) -> &BTreeMap<u64, usize> {
+        &self.histogram
+    }
+
+    /// Number of pairs with more than one equal-cost path (the pairs where
+    /// flow-splitting is actually exercised).
+    pub fn multipath_pairs(&self) -> usize {
+        self.histogram
+            .iter()
+            .filter(|(&k, _)| k > 1)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spef_graph::Graph;
+    use spef_topology::Network;
+
+    fn two_link_net() -> Network {
+        let mut b = Network::builder("two");
+        let a = b.add_node("a", (0.0, 0.0));
+        let c = b.add_node("b", (1.0, 0.0));
+        b.add_link(a, c, 10.0);
+        b.add_link(c, a, 5.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mlu_takes_the_max() {
+        let net = two_link_net();
+        assert_eq!(max_link_utilization(&net, &[5.0, 4.0]), 0.8);
+        assert_eq!(max_link_utilization(&net, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn normalized_utility_sums_logs() {
+        let net = two_link_net();
+        let u = normalized_utility(&net, &[5.0, 2.5]);
+        assert!((u - (0.5f64.ln() + 0.5f64.ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_utility_is_neg_infinity_at_saturation() {
+        let net = two_link_net();
+        assert_eq!(
+            normalized_utility(&net, &[10.0, 0.0]),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            normalized_utility(&net, &[11.0, 0.0]),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn sorted_utilizations_descend() {
+        let net = two_link_net();
+        let s = sorted_utilizations(&net, &[2.0, 2.0]);
+        assert_eq!(s, vec![0.4, 0.2]);
+    }
+
+    #[test]
+    fn path_census_on_diamond() {
+        // Diamond 0 → {1,2} → 3 plus direct link 1 → 2.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        let w = vec![1.0; 4];
+        let dag = spef_graph::ShortestPathDag::build(&g, &w, 3.into(), 0.0).unwrap();
+        let census = PathCensus::from_dags(&[dag]);
+        // Pairs toward 3: node 0 has 2 paths, nodes 1 and 2 have 1 each.
+        assert_eq!(census.n(1), 2);
+        assert_eq!(census.n(2), 1);
+        assert_eq!(census.total_pairs(), 3);
+        assert_eq!(census.multipath_pairs(), 1);
+    }
+
+    #[test]
+    fn path_census_counts_unreachable_as_zero() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0.into(), 1.into());
+        let dag = spef_graph::ShortestPathDag::build(&g, &[1.0], 1.into(), 0.0).unwrap();
+        let census = PathCensus::from_dags(&[dag]);
+        assert_eq!(census.n(0), 1); // node 2 cannot reach 1
+        assert_eq!(census.n(1), 1);
+    }
+}

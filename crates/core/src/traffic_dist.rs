@@ -1,0 +1,569 @@
+//! `TrafficDistribution` — Algorithm 3 of the paper.
+//!
+//! Given the per-destination shortest-path DAGs `ON_t` (built from the
+//! *first* link weights) and a split rule, this module computes the exact
+//! link flows that hop-by-hop forwarding produces:
+//!
+//! * [`SplitRule::EvenEcmp`] — OSPF behaviour: traffic toward `t` splits
+//!   evenly over all next hops on shortest paths;
+//! * [`SplitRule::Exponential`] — SPEF behaviour (Eq. 22): traffic splits
+//!   over next hops proportionally to `Σ_paths e^(−len₂(path))` where
+//!   `len₂` is the path length under the *second* weights.
+//!
+//! The paper's TABLE II materialises, per (router, destination), the list
+//! of second-weight path lengths through each next hop; enumerating paths
+//! is exponential, so we instead evaluate the identical quantity with the
+//! DAG recursion
+//!
+//! ```text
+//! Z_t(t) = 1,   Z_t(u) = Σ_{(u,x) ∈ ON_t} e^(−v_ux) · Z_t(x)
+//! ```
+//!
+//! giving `Γ_t(s, k) ∝ e^(−v_{s,n_k}) · Z_t(n_k)` — exactly Eq. (22),
+//! computed in `O(|J|)` per destination (in log-space for numerical
+//! stability).
+//!
+//! Nodes are processed "in the decreasing distance order" exactly as
+//! Algorithm 3 prescribes, so each node's incoming flow
+//! `d̄_st = d_st + Σ_{(j,s)} f^t_js` is complete before its outgoing flow
+//! is assigned.
+
+use spef_graph::{EdgeId, Graph, GraphError, NodeId, ShortestPathDag};
+use spef_topology::TrafficMatrix;
+
+use crate::SpefError;
+
+/// How a router splits traffic across the equal-cost next hops of one
+/// destination.
+#[derive(Debug, Clone, Copy)]
+pub enum SplitRule<'a> {
+    /// OSPF ECMP: even split over all shortest-path next hops.
+    EvenEcmp,
+    /// SPEF: exponential split driven by the second link weights
+    /// (one `f64` per edge).
+    Exponential(&'a [f64]),
+}
+
+/// Per-destination split ratios on a shortest-path DAG, plus the log-domain
+/// path sums `log Z_t(u)` used by the NEM dual objective.
+#[derive(Debug, Clone)]
+pub struct SplitTable {
+    /// `ratios[u]` lists `(edge, fraction)` for every DAG successor edge of
+    /// `u`; fractions sum to 1 for reachable non-target nodes.
+    ratios: Vec<Vec<(EdgeId, f64)>>,
+    /// `log Σ_paths e^(−len₂(path))` from each node to the target
+    /// (`0` at the target, `−∞` when unreachable). Under
+    /// [`SplitRule::EvenEcmp`] the convention `v = 0` applies, so this is
+    /// `log(#paths)`.
+    log_path_sum: Vec<f64>,
+}
+
+impl SplitTable {
+    /// Builds the split table for one destination DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpefError::InvalidInput`] if an [`SplitRule::Exponential`]
+    /// weight vector has the wrong length or contains negative/NaN entries.
+    pub fn build(
+        graph: &Graph,
+        dag: &ShortestPathDag,
+        rule: SplitRule<'_>,
+    ) -> Result<SplitTable, SpefError> {
+        if let SplitRule::Exponential(v) = rule {
+            if v.len() != graph.edge_count() {
+                return Err(SpefError::InvalidInput(format!(
+                    "second weight vector has length {}, expected {}",
+                    v.len(),
+                    graph.edge_count()
+                )));
+            }
+            if let Some((i, &w)) = v
+                .iter()
+                .enumerate()
+                .find(|(_, &w)| w.is_nan() || w < 0.0)
+            {
+                return Err(SpefError::InvalidInput(format!(
+                    "second weight of edge e{i} is {w}"
+                )));
+            }
+        }
+
+        let n = graph.node_count();
+        let mut ratios = vec![Vec::new(); n];
+        let mut log_z = vec![f64::NEG_INFINITY; n];
+        log_z[dag.target().index()] = 0.0;
+
+        // Increasing distance: reverse of the decreasing-distance order.
+        for &u in dag.nodes_by_decreasing_distance().iter().rev() {
+            if u == dag.target() {
+                continue;
+            }
+            let succ = dag.successors(u);
+            if succ.is_empty() {
+                continue; // stranded node; caught later only if it has demand
+            }
+            // Per-successor log-terms: -v_e + log Z(next).
+            let terms: Vec<(EdgeId, f64)> = succ
+                .iter()
+                .map(|&e| {
+                    let x = graph.target(e);
+                    let v_e = match rule {
+                        SplitRule::EvenEcmp => 0.0,
+                        SplitRule::Exponential(v) => v[e.index()],
+                    };
+                    (e, -v_e + log_z[x.index()])
+                })
+                .collect();
+            let max_term = terms
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if max_term == f64::NEG_INFINITY {
+                continue; // all successors stranded
+            }
+            let sum_exp: f64 = terms.iter().map(|&(_, t)| (t - max_term).exp()).sum();
+            let lz = max_term + sum_exp.ln();
+            log_z[u.index()] = lz;
+            ratios[u.index()] = terms
+                .into_iter()
+                .map(|(e, t)| (e, (t - lz).exp()))
+                .collect();
+        }
+
+        Ok(SplitTable {
+            ratios,
+            log_path_sum: log_z,
+        })
+    }
+
+    /// The `(edge, fraction)` next-hop entries of node `u` — one row of the
+    /// paper's TABLE II forwarding table, already reduced to split ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn next_hops(&self, u: NodeId) -> &[(EdgeId, f64)] {
+        &self.ratios[u.index()]
+    }
+
+    /// `log Σ_k e^(−v^r_k)` over all equal-cost shortest paths from `u` to
+    /// the target — the per-pair partition function of the NEM dual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn log_path_sum(&self, u: NodeId) -> f64 {
+        self.log_path_sum[u.index()]
+    }
+}
+
+/// The flows produced by a traffic distribution: per-destination edge flows
+/// and their aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flows {
+    dests: Vec<NodeId>,
+    per_dest: Vec<Vec<f64>>,
+    aggregate: Vec<f64>,
+}
+
+impl Flows {
+    /// The destinations (commodities), in ascending node order.
+    pub fn destinations(&self) -> &[NodeId] {
+        &self.dests
+    }
+
+    /// Edge flows of the commodity destined to `t`, if `t` is a commodity.
+    pub fn for_destination(&self, t: NodeId) -> Option<&[f64]> {
+        self.dests
+            .iter()
+            .position(|&d| d == t)
+            .map(|i| self.per_dest[i].as_slice())
+    }
+
+    /// Aggregate edge flows `f_e = Σ_t f^t_e`.
+    pub fn aggregate(&self) -> &[f64] {
+        &self.aggregate
+    }
+
+    /// Consumes the flows, returning the aggregate vector.
+    pub fn into_aggregate(self) -> Vec<f64> {
+        self.aggregate
+    }
+
+    /// Assembles a `Flows` value from per-destination flow vectors,
+    /// computing the aggregate — the constructor external routing schemes
+    /// (e.g. the PEFT baseline) use to interoperate with the metrics and
+    /// simulator APIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_dest` is misaligned with `dests` or the per-
+    /// destination vectors have inconsistent lengths.
+    pub fn assemble(dests: Vec<NodeId>, per_dest: Vec<Vec<f64>>, aggregate: Vec<f64>) -> Flows {
+        assert_eq!(dests.len(), per_dest.len(), "one flow vector per destination");
+        for f in &per_dest {
+            assert_eq!(f.len(), aggregate.len(), "flow vector length mismatch");
+        }
+        Flows {
+            dests,
+            per_dest,
+            aggregate,
+        }
+    }
+
+    pub(crate) fn new_unchecked(
+        dests: Vec<NodeId>,
+        per_dest: Vec<Vec<f64>>,
+        aggregate: Vec<f64>,
+    ) -> Flows {
+        Flows {
+            dests,
+            per_dest,
+            aggregate,
+        }
+    }
+
+    /// In-place convex combination `self ← (1−α)·self + α·other`, the
+    /// Frank–Wolfe update. Requires identical destination sets.
+    pub(crate) fn blend_toward(&mut self, other: &Flows, alpha: f64) {
+        debug_assert_eq!(self.dests, other.dests);
+        for (mine, theirs) in self.per_dest.iter_mut().zip(&other.per_dest) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += alpha * (b - *a);
+            }
+        }
+        for (a, b) in self.aggregate.iter_mut().zip(&other.aggregate) {
+            *a += alpha * (b - *a);
+        }
+    }
+}
+
+/// Builds the per-destination shortest-path DAGs `ON = {ON_t}` for the
+/// given first weights and Dijkstra tolerance.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] for invalid weights.
+pub fn build_dags(
+    graph: &Graph,
+    first_weights: &[f64],
+    destinations: &[NodeId],
+    tolerance: f64,
+) -> Result<Vec<ShortestPathDag>, GraphError> {
+    destinations
+        .iter()
+        .map(|&t| ShortestPathDag::build(graph, first_weights, t, tolerance))
+        .collect()
+}
+
+/// Algorithm 3: computes the traffic distribution induced by hop-by-hop
+/// forwarding on the DAGs under the given split rule.
+///
+/// `dags` must be aligned with `traffic.destinations()` (use
+/// [`build_dags`]).
+///
+/// # Errors
+///
+/// * [`SpefError::UnroutableDemand`] if a source with positive demand has
+///   no next hop toward its destination,
+/// * [`SpefError::InvalidInput`] if `dags` is misaligned with the traffic
+///   matrix or the rule's weight vector is malformed.
+pub fn traffic_distribution(
+    graph: &Graph,
+    dags: &[ShortestPathDag],
+    traffic: &TrafficMatrix,
+    rule: SplitRule<'_>,
+) -> Result<Flows, SpefError> {
+    traffic_distribution_detailed(graph, dags, traffic, rule).map(|(flows, _)| flows)
+}
+
+/// Like [`traffic_distribution`], but also returns the per-destination
+/// [`SplitTable`]s — the materialised forwarding tables (TABLE II), whose
+/// log path sums the NEM dual objective needs.
+///
+/// # Errors
+///
+/// Same conditions as [`traffic_distribution`].
+pub fn traffic_distribution_detailed(
+    graph: &Graph,
+    dags: &[ShortestPathDag],
+    traffic: &TrafficMatrix,
+    rule: SplitRule<'_>,
+) -> Result<(Flows, Vec<SplitTable>), SpefError> {
+    let dests = traffic.destinations();
+    if dests.len() != dags.len() {
+        return Err(SpefError::InvalidInput(format!(
+            "{} DAGs supplied for {} destinations",
+            dags.len(),
+            dests.len()
+        )));
+    }
+    let mut per_dest = Vec::with_capacity(dests.len());
+    let mut tables = Vec::with_capacity(dests.len());
+    let mut aggregate = vec![0.0; graph.edge_count()];
+    for (dag, &t) in dags.iter().zip(&dests) {
+        if dag.target() != t {
+            return Err(SpefError::InvalidInput(format!(
+                "DAG target {} does not match destination {t}",
+                dag.target()
+            )));
+        }
+        let table = SplitTable::build(graph, dag, rule)?;
+        let demands = traffic.demands_to(t);
+        let flows = distribute_one(graph, dag, &table, &demands)?;
+        for (agg, f) in aggregate.iter_mut().zip(&flows) {
+            *agg += f;
+        }
+        per_dest.push(flows);
+        tables.push(table);
+    }
+    Ok((
+        Flows {
+            dests,
+            per_dest,
+            aggregate,
+        },
+        tables,
+    ))
+}
+
+/// Distributes the demand vector `demands` (per source) toward one
+/// destination, processing sources in decreasing distance order.
+fn distribute_one(
+    graph: &Graph,
+    dag: &ShortestPathDag,
+    table: &SplitTable,
+    demands: &[f64],
+) -> Result<Vec<f64>, SpefError> {
+    let mut flows = vec![0.0; graph.edge_count()];
+    let mut incoming = vec![0.0; graph.node_count()];
+
+    // Demands from nodes that cannot reach the target at all.
+    for (s, &d) in demands.iter().enumerate() {
+        if d > 0.0 && !dag.reaches_target(NodeId::new(s)) {
+            return Err(SpefError::UnroutableDemand {
+                source: NodeId::new(s),
+                destination: dag.target(),
+            });
+        }
+    }
+
+    for &u in dag.nodes_by_decreasing_distance() {
+        if u == dag.target() {
+            continue;
+        }
+        let total = demands[u.index()] + incoming[u.index()];
+        if total <= 0.0 {
+            continue;
+        }
+        let hops = table.next_hops(u);
+        if hops.is_empty() {
+            return Err(SpefError::UnroutableDemand {
+                source: u,
+                destination: dag.target(),
+            });
+        }
+        for &(e, ratio) in hops {
+            let f = total * ratio;
+            flows[e.index()] += f;
+            incoming[graph.target(e).index()] += f;
+        }
+    }
+    Ok(flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spef_topology::standard;
+
+    /// Diamond: 0 → {1, 2} → 3 with unit weights (two equal-cost paths).
+    fn diamond() -> (Graph, Vec<f64>) {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0.into(), 1.into()); // e0
+        g.add_edge(0.into(), 2.into()); // e1
+        g.add_edge(1.into(), 3.into()); // e2
+        g.add_edge(2.into(), 3.into()); // e3
+        (g, vec![1.0; 4])
+    }
+
+    fn demand(n: usize, s: usize, t: usize, d: f64) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::new(n);
+        tm.set(s.into(), t.into(), d);
+        tm
+    }
+
+    #[test]
+    fn even_ecmp_splits_in_half() {
+        let (g, w) = diamond();
+        let tm = demand(4, 0, 3, 2.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        let flows = traffic_distribution(&g, &dags, &tm, SplitRule::EvenEcmp).unwrap();
+        assert_eq!(flows.aggregate(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn exponential_split_matches_eq22() {
+        let (g, w) = diamond();
+        let tm = demand(4, 0, 3, 1.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        // Second weights: upper path (e0, e2) has total length 1+0=1,
+        // lower (e1, e3) has 0. Ratios: e^{-1} : e^{0}.
+        let v = vec![1.0, 0.0, 0.0, 0.0];
+        let flows =
+            traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
+        let upper = (-1.0f64).exp() / ((-1.0f64).exp() + 1.0);
+        assert!((flows.aggregate()[0] - upper).abs() < 1e-12);
+        assert!((flows.aggregate()[1] - (1.0 - upper)).abs() < 1e-12);
+        // Conservation through to the sink.
+        assert!((flows.aggregate()[2] + flows.aggregate()[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_weight_on_shared_suffix_does_not_skew() {
+        // If an extra second weight sits on an edge all paths share, the
+        // split must stay even (the softmax is shift-invariant).
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(0.into(), 1.into()); // e0
+        g.add_edge(0.into(), 2.into()); // e1
+        g.add_edge(1.into(), 3.into()); // e2
+        g.add_edge(2.into(), 3.into()); // e3
+        g.add_edge(3.into(), 4.into()); // e4 shared suffix
+        let w = vec![1.0; 5];
+        let tm = demand(5, 0, 4, 1.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        let v = vec![0.0, 0.0, 0.0, 0.0, 7.0];
+        let flows =
+            traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
+        assert!((flows.aggregate()[0] - 0.5).abs() < 1e-12);
+        assert!((flows.aggregate()[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multihop_aggregation_over_sources() {
+        // Chain 0 -> 1 -> 2 with demands from both 0 and 1 to 2: the
+        // decreasing-distance order must add 0's transit flow into 1's
+        // outgoing total.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(1.into(), 2.into());
+        let w = vec![1.0, 1.0];
+        let mut tm = TrafficMatrix::new(3);
+        tm.set(0.into(), 2.into(), 1.0);
+        tm.set(1.into(), 2.into(), 2.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        let flows = traffic_distribution(&g, &dags, &tm, SplitRule::EvenEcmp).unwrap();
+        assert_eq!(flows.aggregate(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn multiple_destinations_aggregate() {
+        let (g, w) = diamond();
+        let mut tm = TrafficMatrix::new(4);
+        tm.set(0.into(), 3.into(), 2.0);
+        tm.set(0.into(), 1.into(), 1.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        let flows = traffic_distribution(&g, &dags, &tm, SplitRule::EvenEcmp).unwrap();
+        assert_eq!(flows.destinations().len(), 2);
+        // e0 carries half of the 0->3 demand plus all of 0->1.
+        assert_eq!(flows.aggregate()[0], 2.0);
+        assert_eq!(
+            flows.for_destination(1.into()).unwrap(),
+            &[1.0, 0.0, 0.0, 0.0]
+        );
+        assert!(flows.for_destination(2.into()).is_none());
+    }
+
+    #[test]
+    fn unroutable_demand_is_reported() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(1.into(), 0.into());
+        // Node 2 unreachable.
+        let w = vec![1.0, 1.0];
+        let tm = demand(3, 0, 2, 1.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        let err = traffic_distribution(&g, &dags, &tm, SplitRule::EvenEcmp).unwrap_err();
+        assert_eq!(
+            err,
+            SpefError::UnroutableDemand {
+                source: NodeId::new(0),
+                destination: NodeId::new(2)
+            }
+        );
+    }
+
+    #[test]
+    fn misaligned_dags_rejected() {
+        let (g, w) = diamond();
+        let tm = demand(4, 0, 3, 1.0);
+        let dags = build_dags(&g, &w, &[NodeId::new(2)], 0.0).unwrap();
+        assert!(matches!(
+            traffic_distribution(&g, &dags, &tm, SplitRule::EvenEcmp),
+            Err(SpefError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_second_weights_rejected() {
+        let (g, w) = diamond();
+        let tm = demand(4, 0, 3, 1.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        let bad = vec![-1.0; 4];
+        assert!(matches!(
+            traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&bad)),
+            Err(SpefError::InvalidInput(_))
+        ));
+        let short = vec![0.0; 2];
+        assert!(matches!(
+            traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&short)),
+            Err(SpefError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn log_path_sum_counts_paths_under_even_rule() {
+        let (g, w) = diamond();
+        let dag = ShortestPathDag::build(&g, &w, 3.into(), 0.0).unwrap();
+        let table = SplitTable::build(&g, &dag, SplitRule::EvenEcmp).unwrap();
+        // Two equal-cost paths: log Z = ln 2.
+        assert!((table.log_path_sum(0.into()) - 2.0f64.ln()).abs() < 1e-12);
+        assert_eq!(table.log_path_sum(3.into()), 0.0);
+    }
+
+    #[test]
+    fn large_second_weights_are_numerically_stable() {
+        let (g, w) = diamond();
+        let tm = demand(4, 0, 3, 1.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        // Huge weights would underflow a naive e^{-v} implementation.
+        let v = vec![5000.0, 5001.0, 0.0, 0.0];
+        let flows =
+            traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
+        let total = flows.aggregate()[0] + flows.aggregate()[1];
+        assert!((total - 1.0).abs() < 1e-9);
+        // Path with weight 5000 is e^1 more likely than 5001.
+        let ratio = flows.aggregate()[0] / flows.aggregate()[1];
+        assert!((ratio - std::f64::consts::E).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecmp_on_fig4_matches_hand_computation() {
+        // The OSPF baseline behaviour the paper's Fig. 6 relies on:
+        // link 1 = edge 0 carries both 4-unit demands 1→2 and 1→3.
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let w = vec![1.0; net.graph().edge_count()];
+        let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).unwrap();
+        let flows =
+            traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp).unwrap();
+        let agg = flows.aggregate();
+        assert!((agg[0] - 8.0).abs() < 1e-12, "bottleneck link 1: {}", agg[0]);
+        // 1→7 splits across the two 2-hop paths via 5 and via 6.
+        assert!((agg[3] - 2.0).abs() < 1e-12);
+        assert!((agg[5] - 2.0).abs() < 1e-12);
+        // 3→2 rides its direct link.
+        assert!((agg[7] - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the SPEF core over randomly generated
+//! networks and traffic matrices.
+
+use proptest::prelude::*;
+use spef_core::{
+    build_dags, solve_te, traffic_distribution, FrankWolfeConfig, Objective, SplitRule,
+};
+use spef_graph::NodeId;
+use spef_topology::{gen, TrafficMatrix};
+
+/// Strategy: a small random duplex network plus a random demand set scaled
+/// to a conservative load.
+fn random_instance() -> impl Strategy<Value = (spef_topology::Network, TrafficMatrix)> {
+    (4usize..10, 0u64..5000, 2usize..6).prop_map(|(n, seed, pairs)| {
+        let links = 2 * (n - 1) + 2 * (n / 2);
+        let net = gen::random_network("prop", n, links, seed);
+        let mut tm = TrafficMatrix::new(n);
+        for k in 0..pairs {
+            let s = (seed as usize + k * 3) % n;
+            let t = (seed as usize + k * 5 + 1) % n;
+            if s != t {
+                tm.set(
+                    NodeId::new(s),
+                    NodeId::new(t),
+                    0.2 + (k as f64) * 0.13,
+                );
+            }
+        }
+        if tm.pair_count() == 0 {
+            tm.set(NodeId::new(0), NodeId::new(1), 0.3);
+        }
+        // Keep well inside the feasible region: unit capacities, so cap
+        // total load conservatively.
+        let tm = tm.scaled_to_network_load(&net, 0.03);
+        (net, tm)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any traffic distribution (even ECMP, random exponential weights)
+    /// conserves flow at every node for every commodity.
+    #[test]
+    fn traffic_distribution_conserves_flow(
+        (net, tm) in random_instance(),
+        v_seed in 0u64..100,
+    ) {
+        let w: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
+        let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).unwrap();
+        let v: Vec<f64> = (0..net.link_count())
+            .map(|e| ((e as u64 * 7 + v_seed) % 5) as f64 * 0.37)
+            .collect();
+        for rule in [SplitRule::EvenEcmp, SplitRule::Exponential(&v)] {
+            let flows = traffic_distribution(net.graph(), &dags, &tm, rule).unwrap();
+            for &t in flows.destinations() {
+                let f = flows.for_destination(t).unwrap();
+                prop_assert!(f.iter().all(|&x| x >= 0.0));
+                let div = net.graph().divergence(f);
+                let demands = tm.demands_to(t);
+                for node in net.graph().nodes() {
+                    if node == t { continue; }
+                    prop_assert!(
+                        (div[node.index()] - demands[node.index()]).abs() < 1e-9,
+                        "conservation at {node} toward {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The TE optimum's utility dominates even-ECMP OSPF routing on every
+    /// random instance (optimality sanity).
+    #[test]
+    fn te_optimum_dominates_invcap_ecmp((net, tm) in random_instance()) {
+        let obj = Objective::proportional(net.link_count());
+        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        let w: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
+        let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).unwrap();
+        let ecmp = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp).unwrap();
+        let spare: Vec<f64> = net
+            .capacities()
+            .iter()
+            .zip(ecmp.aggregate())
+            .map(|(c, f)| c - f)
+            .collect();
+        if spare.iter().all(|&s| s > 0.0) {
+            prop_assert!(te.utility >= obj.aggregate_utility(&spare) - 1e-6);
+        }
+    }
+
+    /// First weights are positive and satisfy w = V'(s) exactly.
+    #[test]
+    fn te_weights_match_marginal_utilities(
+        (net, tm) in random_instance(),
+        beta in prop_oneof![Just(0.5), Just(1.0), Just(2.0)],
+    ) {
+        let obj = Objective::uniform(beta, net.link_count());
+        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        for e in 0..net.link_count() {
+            prop_assert!(te.weights[e] > 0.0);
+            let expected = obj.marginal_utility(e.into(), te.spare[e]);
+            prop_assert!((te.weights[e] - expected).abs() <= 1e-9 * expected.max(1.0));
+        }
+        // Spare + flow = capacity.
+        for e in 0..net.link_count() {
+            let sum = te.spare[e] + te.flows.aggregate()[e];
+            prop_assert!((sum - net.capacities()[e]).abs() < 1e-9);
+        }
+    }
+
+    /// Demand scaling monotonicity: more load never increases the optimal
+    /// utility.
+    #[test]
+    fn utility_is_monotone_in_load((net, tm) in random_instance()) {
+        let obj = Objective::proportional(net.link_count());
+        let lo = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        let hi_tm = tm.scaled(1.5);
+        let hi = solve_te(&net, &hi_tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        prop_assert!(hi.utility <= lo.utility + 1e-6);
+    }
+
+    /// The end-to-end protocol realises a feasible routing whose MLU is
+    /// within tolerance of the TE optimum's on every random instance.
+    #[test]
+    fn protocol_realises_near_optimal_mlu((net, tm) in random_instance()) {
+        let obj = Objective::proportional(net.link_count());
+        let cfg = spef_core::SpefConfig {
+            solver: spef_core::TeSolver::FrankWolfe(FrankWolfeConfig::fast()),
+            nem: spef_core::NemConfig {
+                max_iterations: 3000,
+                ..spef_core::NemConfig::default()
+            },
+            ..spef_core::SpefConfig::default()
+        };
+        let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+        let te_mlu = spef_core::metrics::max_link_utilization(
+            &net,
+            routing.te_solution().flows.aggregate(),
+        );
+        let realized = routing.max_link_utilization(&net);
+        prop_assert!(realized < 1.0, "realized MLU {realized}");
+        prop_assert!(
+            realized <= te_mlu + 0.05,
+            "realized {realized} vs optimal {te_mlu}"
+        );
+    }
+}

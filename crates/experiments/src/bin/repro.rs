@@ -1,0 +1,108 @@
+//! `repro` — regenerates the SPEF paper's tables and figures.
+//!
+//! ```bash
+//! repro                         # run everything at full fidelity
+//! repro --exp fig9,table1      # selected experiments
+//! repro --quick                # reduced iteration budgets
+//! repro --out results          # CSV output directory (default: results)
+//! repro --list                 # list experiment ids
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spef_experiments::{run_experiment, Quality, ALL_EXPERIMENTS, EXTRA_EXPERIMENTS};
+
+struct Args {
+    experiments: Vec<String>,
+    out_dir: PathBuf,
+    quality: Quality,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    let mut out_dir = PathBuf::from("results");
+    let mut quality = Quality::Full;
+    let mut list = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--exp" => {
+                let val = argv.next().ok_or("--exp needs a value")?;
+                if val != "all" {
+                    experiments = val.split(',').map(|s| s.trim().to_string()).collect();
+                }
+            }
+            "--out" => {
+                out_dir = PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--quick" => quality = Quality::Quick,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--exp all|id,id,...] [--out DIR] [--quick] [--list]\n\
+                     paper artifacts: {}\n\
+                     extensions:      {}",
+                    ALL_EXPERIMENTS.join(", "),
+                    EXTRA_EXPERIMENTS.join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        experiments,
+        out_dir,
+        quality,
+        list,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for id in ALL_EXPERIMENTS.into_iter().chain(EXTRA_EXPERIMENTS) {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+    for id in &args.experiments {
+        let started = std::time::Instant::now();
+        match run_experiment(id, args.quality) {
+            Ok(result) => {
+                print!("{result}");
+                if let Err(e) = result.write_csvs(&args.out_dir) {
+                    eprintln!("error: writing CSVs for {id}: {e}");
+                    failed = true;
+                } else {
+                    println!(
+                        "[{id}] done in {:.1}s; {} CSV file(s) in {}\n",
+                        started.elapsed().as_secs_f64(),
+                        result.csvs.len(),
+                        args.out_dir.display()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: experiment {id}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,196 @@
+//! Output containers: aligned ASCII tables for the terminal, CSV files for
+//! plotting.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// A human-readable table with aligned columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    /// Title shown above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table from a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:>width$}", cells[i], width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A CSV file to be written into the results directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvFile {
+    /// File name (e.g. `fig9_abilene.csv`).
+    pub name: String,
+    /// Full file content.
+    pub content: String,
+}
+
+impl CsvFile {
+    /// Builds a CSV from headers and numeric rows.
+    pub fn from_rows(name: impl Into<String>, headers: &[&str], rows: &[Vec<f64>]) -> CsvFile {
+        let mut content = String::new();
+        content.push_str(&headers.join(","));
+        content.push('\n');
+        for row in rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            content.push_str(&cells.join(","));
+            content.push('\n');
+        }
+        CsvFile {
+            name: name.into(),
+            content,
+        }
+    }
+}
+
+/// Everything one experiment produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. `"fig9"`).
+    pub id: &'static str,
+    /// Terminal tables.
+    pub tables: Vec<TextTable>,
+    /// CSV artifacts.
+    pub csvs: Vec<CsvFile>,
+}
+
+impl ExperimentResult {
+    /// Writes all CSV artifacts into `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csvs(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for csv in &self.csvs {
+            std::fs::write(dir.join(&csv.name), &csv.content)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### Experiment {} ###", self.id)?;
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a floating value compactly (3 significant decimals, `-inf`
+/// for negative infinity).
+pub fn fmt_val(v: f64) -> String {
+    if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new("demo", &["link", "util"]);
+        t.push_row(vec!["(1,3)".into(), "0.67".into()]);
+        t.push_row(vec!["(3,4)".into(), "0.9".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("link"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_enforced() {
+        let mut t = TextTable::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_from_rows() {
+        let csv = CsvFile::from_rows("x.csv", &["a", "b"], &[vec![1.0, 2.5]]);
+        assert_eq!(csv.content, "a,b\n1,2.5\n");
+    }
+
+    #[test]
+    fn fmt_val_handles_special() {
+        assert_eq!(fmt_val(f64::NEG_INFINITY), "-inf");
+        assert_eq!(fmt_val(0.5), "0.500");
+        assert_eq!(fmt_val(12345.6), "12346");
+    }
+
+    #[test]
+    fn write_csvs_roundtrip() {
+        let dir = std::env::temp_dir().join("spef_report_test");
+        let result = ExperimentResult {
+            id: "test",
+            tables: vec![],
+            csvs: vec![CsvFile::from_rows("t.csv", &["x"], &[vec![1.0]])],
+        };
+        result.write_csvs(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(content, "x\n1\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,184 @@
+//! Extension experiment (§VII future work): computational cost of SPEF as
+//! the network grows.
+//!
+//! The paper's conclusion names "analyz[ing] the computational complexity
+//! in network environment with OSPF as well as other existing approaches
+//! including PEFT" as future work. This ablation measures, over random
+//! networks of increasing size:
+//!
+//! * wall time of the TE solve (Frank–Wolfe, fixed budget),
+//! * per-iteration wall time of Algorithm 1 and Algorithm 2 (the
+//!   distributed protocols' message rounds),
+//! * the full `SpefRouting` build time,
+//! * the control-plane state: total forwarding-table entries for SPEF vs
+//!   plain-OSPF ECMP (the "one more weight" overhead made concrete).
+
+use std::time::Instant;
+
+use spef_baselines::ospf::OspfRouting;
+use spef_core::{
+    dual_decomp, nem, solve_te, DualDecompConfig, NemConfig, Objective, SpefError,
+};
+use spef_topology::{gen, TrafficMatrix};
+
+use crate::report::{CsvFile, ExperimentResult, TextTable};
+use crate::Quality;
+
+/// Network sizes swept (nodes; links ≈ 4 × nodes).
+pub fn sizes(quality: Quality) -> Vec<usize> {
+    match quality {
+        Quality::Full => vec![20, 40, 60, 80, 100],
+        Quality::Quick => vec![20, 40],
+    }
+}
+
+/// Counts total next-hop entries across a forwarding table.
+fn fib_entries(fib: &spef_core::ForwardingTable, nodes: usize) -> usize {
+    let mut total = 0;
+    for &t in fib.destinations() {
+        for n in 0..nodes {
+            total += fib
+                .next_hops(spef_graph::NodeId::new(n), t)
+                .map_or(0, |h| h.len());
+        }
+    }
+    total
+}
+
+/// Runs the scaling ablation.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
+    let mut table = TextTable::new(
+        "Scaling ablation — computational cost vs network size (random networks, load 60% of feasible)",
+        &[
+            "nodes", "links", "TE solve (ms)", "Alg1 (ms/iter)", "Alg2 (ms/iter)",
+            "SPEF build (ms)", "SPEF FIB entries", "OSPF FIB entries",
+        ],
+    );
+    let mut rows = Vec::new();
+
+    for &n in &sizes(quality) {
+        let links = 4 * n;
+        let net = gen::random_network("scale", n, links, 7 + n as u64);
+        let shape = TrafficMatrix::fortz_thorup(&net, n as u64);
+        let lmax = crate::scale::max_feasible_load(&net, &shape, 0.1)?;
+        let tm = shape.scaled_to_network_load(&net, 0.6 * lmax);
+        let obj = Objective::proportional(net.link_count());
+
+        let t0 = Instant::now();
+        let te = solve_te(&net, &tm, &obj, &quality.fw())?;
+        let te_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let alg1_iters = 50;
+        let t0 = Instant::now();
+        dual_decomp::solve(
+            &net,
+            &tm,
+            &obj,
+            &DualDecompConfig {
+                max_iterations: alg1_iters,
+                gap_tolerance: Some(0.0),
+                record_trace: false,
+                ..DualDecompConfig::default()
+            },
+        )?;
+        let alg1_ms = t0.elapsed().as_secs_f64() * 1e3 / alg1_iters as f64;
+
+        let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
+        let dags = spef_core::build_dags(
+            net.graph(),
+            &te.weights,
+            &tm.destinations(),
+            1e-2 * max_w,
+        )?;
+        let alg2_iters = 50;
+        let t0 = Instant::now();
+        nem::solve_second_weights(
+            net.graph(),
+            &dags,
+            &tm,
+            te.flows.aggregate(),
+            &NemConfig {
+                max_iterations: alg2_iters,
+                epsilon: Some(0.0),
+                ..NemConfig::default()
+            },
+        )?;
+        let alg2_ms = t0.elapsed().as_secs_f64() * 1e3 / alg2_iters as f64;
+
+        let t0 = Instant::now();
+        let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &quality.spef_config())?;
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let spef_entries = fib_entries(routing.forwarding_table(), n);
+        let ospf = OspfRouting::route(&net, &tm)
+            .map_err(|e| SpefError::InvalidInput(format!("OSPF failed: {e}")))?;
+        let ospf_entries = fib_entries(ospf.forwarding_table(), n);
+
+        table.push_row(vec![
+            n.to_string(),
+            links.to_string(),
+            format!("{te_ms:.1}"),
+            format!("{alg1_ms:.2}"),
+            format!("{alg2_ms:.2}"),
+            format!("{build_ms:.1}"),
+            spef_entries.to_string(),
+            ospf_entries.to_string(),
+        ]);
+        rows.push(vec![
+            n as f64,
+            links as f64,
+            te_ms,
+            alg1_ms,
+            alg2_ms,
+            build_ms,
+            spef_entries as f64,
+            ospf_entries as f64,
+        ]);
+    }
+
+    Ok(ExperimentResult {
+        id: "scaling",
+        tables: vec![table],
+        csvs: vec![CsvFile::from_rows(
+            "scaling.csv",
+            &[
+                "nodes", "links", "te_ms", "alg1_ms_per_iter", "alg2_ms_per_iter",
+                "spef_build_ms", "spef_fib_entries", "ospf_fib_entries",
+            ],
+            &rows,
+        )],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_rows_are_complete_and_sane() {
+        let r = run(Quality::Quick).unwrap();
+        let rows: Vec<Vec<f64>> = r.csvs[0]
+            .content
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+            .collect();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            // Timings positive, FIB entries at least one per (node−1, dest).
+            assert!(row[2] > 0.0);
+            assert!(row[3] > 0.0);
+            assert!(row[4] > 0.0);
+            let nodes = row[0] as usize;
+            // Every (node, destination) pair needs at least one entry, and
+            // the FT demand model makes every node a destination.
+            let floor = (nodes * (nodes - 1)) as f64;
+            assert!(row[6] >= floor, "SPEF entries {} < {floor}", row[6]);
+            assert!(row[7] >= floor, "OSPF entries {} < {floor}", row[7]);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Reachability and connectivity checks.
+//!
+//! Topology generators must produce networks where every demand pair is
+//! connected; these helpers validate that.
+
+use crate::{Graph, NodeId};
+
+/// Nodes reachable from `source` following edge directions (including
+/// `source` itself), as a boolean mask indexed by node id.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn reachable_from(graph: &Graph, source: NodeId) -> Vec<bool> {
+    assert!(source.index() < graph.node_count(), "source out of range");
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack = vec![source];
+    seen[source.index()] = true;
+    while let Some(u) = stack.pop() {
+        for &e in graph.out_edges(u) {
+            let v = graph.target(e);
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Nodes from which `target` is reachable (including `target` itself), as a
+/// boolean mask indexed by node id.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn reaches(graph: &Graph, target: NodeId) -> Vec<bool> {
+    assert!(target.index() < graph.node_count(), "target out of range");
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack = vec![target];
+    seen[target.index()] = true;
+    while let Some(u) = stack.pop() {
+        for &e in graph.in_edges(u) {
+            let v = graph.source(e);
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns `true` if every node can reach every other node following edge
+/// directions (strong connectivity).
+///
+/// An empty graph is vacuously strongly connected.
+pub fn is_strongly_connected(graph: &Graph) -> bool {
+    if graph.node_count() == 0 {
+        return true;
+    }
+    let origin = NodeId::new(0);
+    reachable_from(graph, origin).iter().all(|&r| r)
+        && reaches(graph, origin).iter().all(|&r| r)
+}
+
+/// Returns `true` if the graph is connected when edge directions are ignored.
+///
+/// An empty graph is vacuously connected.
+pub fn is_weakly_connected(graph: &Graph) -> bool {
+    if graph.node_count() == 0 {
+        return true;
+    }
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack = vec![NodeId::new(0)];
+    seen[0] = true;
+    let mut visited = 1usize;
+    while let Some(u) = stack.pop() {
+        let forward = graph.out_edges(u).iter().map(|&e| graph.target(e));
+        let backward = graph.in_edges(u).iter().map(|&e| graph.source(e));
+        for v in forward.chain(backward) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                visited += 1;
+                stack.push(v);
+            }
+        }
+    }
+    visited == graph.node_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(1.into(), 2.into());
+        g
+    }
+
+    #[test]
+    fn reachable_follows_direction() {
+        let g = path_graph();
+        assert_eq!(reachable_from(&g, 0.into()), vec![true, true, true]);
+        assert_eq!(reachable_from(&g, 2.into()), vec![false, false, true]);
+    }
+
+    #[test]
+    fn reaches_follows_reverse_direction() {
+        let g = path_graph();
+        assert_eq!(reaches(&g, 2.into()), vec![true, true, true]);
+        assert_eq!(reaches(&g, 0.into()), vec![true, false, false]);
+    }
+
+    #[test]
+    fn directed_path_is_weakly_but_not_strongly_connected() {
+        let g = path_graph();
+        assert!(is_weakly_connected(&g));
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn cycle_is_strongly_connected() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(1.into(), 2.into());
+        g.add_edge(2.into(), 0.into());
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn bidirected_networks_are_strongly_connected() {
+        // Every evaluation network in the paper has links in both directions.
+        let mut g = Graph::with_nodes(3);
+        for (u, v) in [(0usize, 1usize), (1, 2)] {
+            g.add_edge(u.into(), v.into());
+            g.add_edge(v.into(), u.into());
+        }
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn isolated_node_breaks_connectivity() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(1.into(), 0.into());
+        assert!(!is_weakly_connected(&g));
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::new();
+        assert!(is_weakly_connected(&g));
+        assert!(is_strongly_connected(&g));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Random strongly-connected-ish digraphs with random weights; verify the
+//! Bellman optimality conditions, DAG structural invariants, and agreement
+//! between Dijkstra and Bellman–Ford.
+
+use proptest::prelude::*;
+use spef_graph::{bellman_ford, distances_from, distances_to, Graph, NodeId, ShortestPathDag};
+
+/// Strategy: a random digraph of `n` nodes over a Hamiltonian backbone cycle
+/// (guaranteeing strong connectivity) plus `extra` random chords, with
+/// weights in [0, 10].
+fn random_network() -> impl Strategy<Value = (Graph, Vec<f64>)> {
+    (3usize..12).prop_flat_map(|n| {
+        let extra = 0usize..(n * 2);
+        (
+            Just(n),
+            extra.prop_flat_map(move |k| {
+                proptest::collection::vec((0..n, 0..n), k..=k)
+            }),
+            proptest::collection::vec(0.0f64..10.0, n + n * 2),
+        )
+            .prop_map(|(n, chords, weights)| {
+                let mut g = Graph::with_nodes(n);
+                for i in 0..n {
+                    g.add_edge(i.into(), ((i + 1) % n).into());
+                }
+                for (u, v) in chords {
+                    if u != v {
+                        g.add_edge(u.into(), v.into());
+                    }
+                }
+                let w = weights[..g.edge_count()].to_vec();
+                (g, w)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn dijkstra_satisfies_bellman_equations((g, w) in random_network()) {
+        let dist = distances_from(&g, &w, NodeId::new(0)).unwrap();
+        // Feasibility: d(v) <= d(u) + w(u,v) for every edge.
+        for (e, u, v) in g.edges() {
+            prop_assert!(dist[v.index()] <= dist[u.index()] + w[e.index()] + 1e-9);
+        }
+        // Tightness: every finite d(v), v != source, is achieved by some edge.
+        for v in g.nodes() {
+            if v.index() == 0 || !dist[v.index()].is_finite() { continue; }
+            let achieved = g.in_edges(v).iter().any(|&e| {
+                let u = g.source(e);
+                (dist[u.index()] + w[e.index()] - dist[v.index()]).abs() < 1e-9
+            });
+            prop_assert!(achieved, "distance to {v} not achieved by any edge");
+        }
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_bellman_ford((g, w) in random_network()) {
+        let dj = distances_from(&g, &w, NodeId::new(0)).unwrap();
+        let bf = bellman_ford::distances_from(&g, &w, NodeId::new(0)).unwrap();
+        for (a, b) in dj.iter().zip(&bf) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reverse_distances_agree_with_reversed_graph((g, w) in random_network()) {
+        let t = NodeId::new(g.node_count() - 1);
+        let direct = distances_to(&g, &w, t).unwrap();
+        let via_rev = distances_from(&g.reverse(), &w, t).unwrap();
+        for (a, b) in direct.iter().zip(&via_rev) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_distance_decreasing(
+        (g, w) in random_network(),
+        tol in 0.0f64..0.5,
+    ) {
+        let t = NodeId::new(0);
+        let dag = ShortestPathDag::build(&g, &w, t, tol).unwrap();
+        for (e, u, v) in g.edges() {
+            if dag.contains_edge(e) {
+                // Strict decrease => acyclic.
+                prop_assert!(dag.distance(v) < dag.distance(u));
+                // Slack bounded by tolerance.
+                let slack = w[e.index()] + dag.distance(v) - dag.distance(u);
+                prop_assert!(slack <= tol + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn every_reachable_node_has_a_dag_successor((g, w) in random_network()) {
+        let t = NodeId::new(0);
+        let dag = ShortestPathDag::build(&g, &w, t, 0.0).unwrap();
+        for u in g.nodes() {
+            if u != t && dag.reaches_target(u) {
+                prop_assert!(!dag.successors(u).is_empty());
+                prop_assert!(dag.path_count(u) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn path_counts_compose_over_successors((g, w) in random_network()) {
+        let t = NodeId::new(0);
+        let dag = ShortestPathDag::build(&g, &w, t, 0.0).unwrap();
+        for u in g.nodes() {
+            if u == t || !dag.reaches_target(u) { continue; }
+            let sum: u64 = dag
+                .successors(u)
+                .iter()
+                .map(|&e| dag.path_count(g.target(e)))
+                .sum();
+            prop_assert_eq!(dag.path_count(u), sum);
+        }
+    }
+
+    #[test]
+    fn divergence_sums_to_zero((g, _w) in random_network(), flows in proptest::collection::vec(0.0f64..5.0, 0..64)) {
+        let mut f = vec![0.0; g.edge_count()];
+        for (i, x) in flows.iter().enumerate() {
+            if i < f.len() { f[i] = *x; }
+        }
+        let div = g.divergence(&f);
+        let total: f64 = div.iter().sum();
+        prop_assert!(total.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,784 @@
+//! Two-phase dense-tableau simplex with dual extraction.
+//!
+//! Solves `min/max c'x` subject to `Ax {≤, =, ≥} b`, `x ≥ 0`.
+//!
+//! The solver returns both the primal solution and the **dual values** of
+//! every constraint. Duals follow the Lagrangian convention for a
+//! *minimisation* problem `L(x, y) = c'x − Σ_i y_i (a_i'x − b_i)`:
+//!
+//! * `y_i ≤ 0` for `≤` constraints,
+//! * `y_i ≥ 0` for `≥` constraints,
+//! * `y_i` free for `=` constraints,
+//! * reduced costs `c − A'y ≥ 0`, with equality on the support of `x*`,
+//! * strong duality `c'x* = b'y*`.
+//!
+//! For maximisation problems the duals are reported for the equivalent
+//! negated minimisation, then negated back, so that `y_i ≥ 0` for binding
+//! `≤` rows — the familiar "shadow price" convention.
+//!
+//! This is exactly what the TE experiments need: in the β = 0 load-balance
+//! LP the optimal first weight of link `(i,j)` is
+//! `w_ij = q_ij − y_capacity(i,j)` (Example 3 / TABLE I of the paper).
+//!
+//! Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+//! after a stall threshold, which guarantees termination.
+
+use std::fmt;
+
+/// Relation of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a'x ≤ b`
+    Le,
+    /// `a'x = b`
+    Eq,
+    /// `a'x ≥ b`
+    Ge,
+}
+
+/// Errors returned by [`LinearProgram::solve`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimplexError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// A coefficient, bound, or objective entry was NaN/infinite, or a
+    /// variable index was out of range.
+    InvalidModel(String),
+}
+
+impl fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimplexError::Infeasible => write!(f, "linear program is infeasible"),
+            SimplexError::Unbounded => write!(f, "linear program is unbounded"),
+            SimplexError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimplexError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sense {
+    Minimize,
+    Maximize,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    coeffs: Vec<(usize, f64)>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+///
+/// Build with [`LinearProgram::minimize`] or [`LinearProgram::maximize`],
+/// set objective coefficients, add constraint rows, then [`solve`].
+///
+/// [`solve`]: LinearProgram::solve
+///
+/// # Example
+///
+/// ```
+/// use spef_lp::simplex::{LinearProgram, Relation};
+///
+/// # fn main() -> Result<(), spef_lp::simplex::SimplexError> {
+/// // min x0 + 2 x1  s.t.  x0 + x1 >= 3,  x1 <= 1
+/// let mut lp = LinearProgram::minimize(2);
+/// lp.set_objective(0, 1.0);
+/// lp.set_objective(1, 2.0);
+/// let supply = lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 3.0);
+/// lp.add_constraint(&[(1, 1.0)], Relation::Le, 1.0);
+/// let sol = lp.solve()?;
+/// assert!((sol.objective() - 3.0).abs() < 1e-9); // x = (3, 0)
+/// assert!((sol.dual(supply) - 1.0).abs() < 1e-9); // marginal cost of supply
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    sense: Sense,
+    num_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+/// Identifier of a constraint row, used to query duals from a [`Solution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(usize);
+
+/// An optimal solution of a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    objective: f64,
+    x: Vec<f64>,
+    duals: Vec<f64>,
+}
+
+impl Solution {
+    /// Optimal objective value (in the original min/max sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Optimal value of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(&self, var: usize) -> f64 {
+        self.x[var]
+    }
+
+    /// All variable values, indexed by variable.
+    pub fn values(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Dual value (shadow price) of constraint `c`.
+    ///
+    /// See the module docs for sign conventions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` refers to a constraint of a different program.
+    pub fn dual(&self, c: ConstraintId) -> f64 {
+        self.duals[c.0]
+    }
+
+    /// All constraint duals, in order of `add_constraint` calls.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+}
+
+const EPS: f64 = 1e-9;
+const PIVOT_EPS: f64 = 1e-7;
+
+impl LinearProgram {
+    /// Creates a minimisation problem over `num_vars` non-negative
+    /// variables, all objective coefficients initially zero.
+    pub fn minimize(num_vars: usize) -> Self {
+        LinearProgram {
+            sense: Sense::Minimize,
+            num_vars,
+            objective: vec![0.0; num_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a maximisation problem over `num_vars` non-negative
+    /// variables, all objective coefficients initially zero.
+    pub fn maximize(num_vars: usize) -> Self {
+        LinearProgram {
+            sense: Sense::Maximize,
+            num_vars,
+            objective: vec![0.0; num_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficient of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Adds the constraint `Σ coeffs[k].1 · x_{coeffs[k].0}  relation  rhs`
+    /// and returns its id. Repeated variable indices are summed.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: &[(usize, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> ConstraintId {
+        let id = ConstraintId(self.rows.len());
+        self.rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            relation,
+            rhs,
+        });
+        id
+    }
+
+    fn validate(&self) -> Result<(), SimplexError> {
+        for (i, &c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(SimplexError::InvalidModel(format!(
+                    "objective coefficient of x{i} is {c}"
+                )));
+            }
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            if !row.rhs.is_finite() {
+                return Err(SimplexError::InvalidModel(format!(
+                    "rhs of constraint {r} is {}",
+                    row.rhs
+                )));
+            }
+            for &(v, a) in &row.coeffs {
+                if v >= self.num_vars {
+                    return Err(SimplexError::InvalidModel(format!(
+                        "constraint {r} references variable x{v} but the program has {} variables",
+                        self.num_vars
+                    )));
+                }
+                if !a.is_finite() {
+                    return Err(SimplexError::InvalidModel(format!(
+                        "constraint {r} has coefficient {a} on x{v}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimplexError::Infeasible`] if no `x ≥ 0` satisfies the rows,
+    /// * [`SimplexError::Unbounded`] if the objective is unbounded,
+    /// * [`SimplexError::InvalidModel`] for NaN/infinite input or variable
+    ///   indices out of range.
+    pub fn solve(&self) -> Result<Solution, SimplexError> {
+        self.validate()?;
+        let mut tab = Tableau::build(self);
+        tab.phase1()?;
+        tab.phase2()?;
+        Ok(tab.extract(self))
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Column layout: `[structural 0..n) | slack/surplus | artificial]`, with an
+/// extra rhs column and an objective row appended after the constraint rows.
+struct Tableau {
+    /// `rows × (cols + 1)`; last column is the rhs. The last row is the
+    /// objective (reduced-cost) row.
+    t: Vec<Vec<f64>>,
+    m: usize,
+    cols: usize,
+    /// Basic column of each constraint row.
+    basis: Vec<usize>,
+    /// For each original row: (added column index, +1.0 for slack/artificial
+    /// or −1.0 for surplus) used to read off the dual.
+    dual_col: Vec<(usize, f64)>,
+    /// Rows that turned out linearly dependent (dual = 0, never pivoted).
+    row_active: Vec<bool>,
+    /// First artificial column (all columns ≥ this are artificial).
+    art_start: usize,
+    /// Minimisation costs of the structural columns (post sense-normalisation).
+    costs: Vec<f64>,
+    n_struct: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let m = lp.rows.len();
+        let n = lp.num_vars;
+
+        // Normalised rows: rhs >= 0.
+        let mut rel = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        let mut flip = Vec::with_capacity(m);
+        for row in &lp.rows {
+            if row.rhs < 0.0 {
+                flip.push(true);
+                rhs.push(-row.rhs);
+                rel.push(match row.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                });
+            } else {
+                flip.push(false);
+                rhs.push(row.rhs);
+                rel.push(row.relation);
+            }
+        }
+
+        let n_slack = rel
+            .iter()
+            .filter(|r| matches!(r, Relation::Le | Relation::Ge))
+            .count();
+        let n_art = rel
+            .iter()
+            .filter(|r| matches!(r, Relation::Ge | Relation::Eq))
+            .count();
+        let cols = n + n_slack + n_art;
+        let art_start = n + n_slack;
+
+        let mut t = vec![vec![0.0; cols + 1]; m + 1];
+        let mut basis = vec![usize::MAX; m];
+        let mut dual_col = vec![(usize::MAX, 1.0); m];
+
+        for (i, row) in lp.rows.iter().enumerate() {
+            let sign = if flip[i] { -1.0 } else { 1.0 };
+            for &(v, a) in &row.coeffs {
+                t[i][v] += sign * a;
+            }
+            t[i][cols] = rhs[i];
+        }
+
+        let mut next_slack = n;
+        let mut next_art = art_start;
+        for i in 0..m {
+            match rel[i] {
+                Relation::Le => {
+                    t[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    dual_col[i] = (next_slack, 1.0);
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    t[i][next_slack] = -1.0;
+                    dual_col[i] = (next_art, 1.0);
+                    next_slack += 1;
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    dual_col[i] = (next_art, 1.0);
+                    next_art += 1;
+                }
+            }
+        }
+
+        let costs: Vec<f64> = match lp.sense {
+            Sense::Minimize => lp.objective.clone(),
+            Sense::Maximize => lp.objective.iter().map(|c| -c).collect(),
+        };
+
+        Tableau {
+            t,
+            m,
+            cols,
+            basis,
+            dual_col,
+            row_active: vec![true; m],
+            art_start,
+            costs,
+            n_struct: n,
+        }
+    }
+
+    /// Phase 1: minimise the sum of artificial variables.
+    fn phase1(&mut self) -> Result<(), SimplexError> {
+        if self.art_start == self.cols {
+            return Ok(()); // no artificials needed
+        }
+        // Objective row: sum of artificial rows, negated into reduced costs.
+        // cost of artificial = 1, others 0. Reduced cost row r_j = c_j - sum
+        // of rows where the basic variable is artificial.
+        let obj = self.m;
+        for j in 0..=self.cols {
+            self.t[obj][j] = 0.0;
+        }
+        for j in self.art_start..self.cols {
+            self.t[obj][j] = 1.0;
+        }
+        for i in 0..self.m {
+            if self.basis[i] >= self.art_start {
+                let row = self.t[i].clone();
+                for j in 0..=self.cols {
+                    self.t[obj][j] -= row[j];
+                }
+            }
+        }
+        self.iterate(self.cols)?;
+        let infeas = -self.t[obj][self.cols];
+        if infeas > 1e-7 {
+            return Err(SimplexError::Infeasible);
+        }
+        // Drive remaining basic artificials out of the basis.
+        for i in 0..self.m {
+            if self.basis[i] >= self.art_start {
+                let pivot_col = (0..self.art_start).find(|&j| self.t[i][j].abs() > PIVOT_EPS);
+                match pivot_col {
+                    Some(j) => self.pivot(i, j),
+                    None => {
+                        // Redundant row: all-zero over structural+slack.
+                        self.row_active[i] = false;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 2: minimise the true costs, artificial columns barred.
+    fn phase2(&mut self) -> Result<(), SimplexError> {
+        let obj = self.m;
+        for j in 0..=self.cols {
+            self.t[obj][j] = 0.0;
+        }
+        for (j, &c) in self.costs.iter().enumerate() {
+            self.t[obj][j] = c;
+        }
+        // Zero out reduced costs of basic columns.
+        for i in 0..self.m {
+            if !self.row_active[i] {
+                continue;
+            }
+            let b = self.basis[i];
+            let cb = if b < self.n_struct { self.costs[b] } else { 0.0 };
+            if cb != 0.0 {
+                let row = self.t[i].clone();
+                for j in 0..=self.cols {
+                    self.t[obj][j] -= cb * row[j];
+                }
+            }
+        }
+        self.iterate(self.art_start)
+    }
+
+    /// Runs simplex iterations over columns `0..allowed_cols`.
+    fn iterate(&mut self, allowed_cols: usize) -> Result<(), SimplexError> {
+        let obj = self.m;
+        // Dantzig's rule, with Bland's rule after a stall threshold to
+        // guarantee termination under degeneracy.
+        let bland_after = 50 * (self.m + self.cols) + 1000;
+        let hard_cap = 400 * (self.m + self.cols) + 20_000;
+        for iter in 0..hard_cap {
+            let bland = iter >= bland_after;
+            let entering = if bland {
+                (0..allowed_cols).find(|&j| self.t[obj][j] < -EPS)
+            } else {
+                let mut best = None;
+                let mut best_val = -EPS;
+                for j in 0..allowed_cols {
+                    let r = self.t[obj][j];
+                    if r < best_val {
+                        best_val = r;
+                        best = Some(j);
+                    }
+                }
+                best
+            };
+            let Some(j) = entering else {
+                return Ok(()); // optimal
+            };
+
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                if !self.row_active[i] {
+                    continue;
+                }
+                let a = self.t[i][j];
+                if a > PIVOT_EPS {
+                    let ratio = self.t[i][self.cols] / a;
+                    let better = match leave {
+                        None => true,
+                        Some(li) => {
+                            ratio < best_ratio - EPS
+                                || (bland
+                                    && (ratio - best_ratio).abs() <= EPS
+                                    && self.basis[i] < self.basis[li])
+                        }
+                    };
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(i) = leave else {
+                return Err(SimplexError::Unbounded);
+            };
+            self.pivot(i, j);
+        }
+        // The Bland fallback makes cycling impossible; running into the cap
+        // indicates a numerical pathology, which we surface as a model error.
+        Err(SimplexError::InvalidModel(
+            "simplex iteration cap exceeded (numerically ill-conditioned input)".to_string(),
+        ))
+    }
+
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let piv = self.t[pivot_row][pivot_col];
+        debug_assert!(piv.abs() > 0.0, "zero pivot");
+        let inv = 1.0 / piv;
+        for j in 0..=self.cols {
+            self.t[pivot_row][j] *= inv;
+        }
+        self.t[pivot_row][pivot_col] = 1.0;
+        let prow = self.t[pivot_row].clone();
+        for i in 0..=self.m {
+            if i == pivot_row {
+                continue;
+            }
+            let factor = self.t[i][pivot_col];
+            if factor.abs() > 0.0 {
+                for j in 0..=self.cols {
+                    self.t[i][j] -= factor * prow[j];
+                }
+                self.t[i][pivot_col] = 0.0;
+            }
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    fn extract(&self, lp: &LinearProgram) -> Solution {
+        let mut x = vec![0.0; lp.num_vars];
+        for i in 0..self.m {
+            if self.row_active[i] && self.basis[i] < lp.num_vars {
+                x[self.basis[i]] = self.t[i][self.cols];
+            }
+        }
+        let mut objective: f64 = x
+            .iter()
+            .zip(&lp.objective)
+            .map(|(xi, ci)| xi * ci)
+            .sum();
+        // Duals from the reduced costs of the per-row added columns:
+        // r_added = c_added − y_i · coeff = −y_i · coeff (added costs are 0).
+        let obj_row = &self.t[self.m];
+        let mut duals = vec![0.0; self.m];
+        for i in 0..self.m {
+            if !self.row_active[i] {
+                continue;
+            }
+            let (col, coeff) = self.dual_col[i];
+            let mut y = -obj_row[col] / coeff;
+            // Rows whose rhs was negated have flipped duals.
+            if lp.rows[i].rhs < 0.0 {
+                y = -y;
+            }
+            duals[i] = y;
+        }
+        if lp.sense == Sense::Maximize {
+            for y in &mut duals {
+                *y = -*y;
+            }
+        }
+        // Clean tiny numerical noise.
+        for v in x.iter_mut().chain(duals.iter_mut()) {
+            if v.abs() < 1e-11 {
+                *v = 0.0;
+            }
+        }
+        if objective.abs() < 1e-11 {
+            objective = 0.0;
+        }
+        Solution {
+            objective,
+            x,
+            duals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max_le() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6).
+        let mut lp = LinearProgram::maximize(2);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 5.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        let c2 = lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        let c3 = lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 36.0);
+        assert_close(sol.value(0), 2.0);
+        assert_close(sol.value(1), 6.0);
+        // Shadow prices (max convention, y >= 0): 0, 1.5, 1.
+        assert_close(sol.dual(c2), 1.5);
+        assert_close(sol.dual(c3), 1.0);
+    }
+
+    #[test]
+    fn min_with_ge_rows_two_phase() {
+        // min 2x + 3y s.t. x + y >= 4, x + 3y >= 6 -> optimum 9 at (3, 1).
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, 2.0);
+        lp.set_objective(1, 3.0);
+        let c1 = lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 4.0);
+        let c2 = lp.add_constraint(&[(0, 1.0), (1, 3.0)], Relation::Ge, 6.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 9.0);
+        assert_close(sol.value(0), 3.0);
+        assert_close(sol.value(1), 1.0);
+        // Strong duality: b'y = 4*y1 + 6*y2 = 9 with y = (1.5, 0.5).
+        assert_close(sol.dual(c1), 1.5);
+        assert_close(sol.dual(c2), 0.5);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 -> x = 2, y = 1.
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 2.0)], Relation::Eq, 4.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.value(0), 2.0);
+        assert_close(sol.value(1), 1.0);
+        assert_close(sol.objective(), 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::minimize(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve(), Err(SimplexError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::maximize(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(&[(0, -1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve(), Err(SimplexError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x >= 2 expressed as -x <= -2.
+        let mut lp = LinearProgram::minimize(1);
+        lp.set_objective(0, 1.0);
+        let c = lp.add_constraint(&[(0, -1.0)], Relation::Le, -2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.value(0), 2.0);
+        // Same marginal as `x >= 2`, whose dual in the min convention is +1,
+        // seen through the negated row: -x <= -2 has y <= 0 and
+        // c - A'y = 1 - (-1)(y) => y = -1.
+        assert_close(sol.dual(c), -1.0);
+    }
+
+    #[test]
+    fn redundant_rows_get_zero_dual() {
+        // Same constraint twice.
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 2.0);
+        // One of the two identical rows carries the dual, the other is
+        // redundant; their sum must equal the marginal cost 1.
+        assert_close(sol.duals()[0] + sol.duals()[1], 1.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate example (Beale's cycling LP without Bland
+        // safeguards). The solver must terminate and find -0.05.
+        let mut lp = LinearProgram::minimize(4);
+        for (i, c) in [-0.75, 150.0, -0.02, 6.0].iter().enumerate() {
+            lp.set_objective(i, *c);
+        }
+        lp.add_constraint(
+            &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(&[(2, 1.0)], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), -0.05);
+    }
+
+    #[test]
+    fn free_of_constraints_zero_or_unbounded() {
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 0.0);
+
+        let mut lp = LinearProgram::maximize(1);
+        lp.set_objective(0, 1.0);
+        assert_eq!(lp.solve(), Err(SimplexError::Unbounded));
+    }
+
+    #[test]
+    fn complementary_slackness_holds() {
+        let mut lp = LinearProgram::maximize(3);
+        lp.set_objective(0, 5.0);
+        lp.set_objective(1, 4.0);
+        lp.set_objective(2, 3.0);
+        let rows = [
+            lp.add_constraint(&[(0, 2.0), (1, 3.0), (2, 1.0)], Relation::Le, 5.0),
+            lp.add_constraint(&[(0, 4.0), (1, 1.0), (2, 2.0)], Relation::Le, 11.0),
+            lp.add_constraint(&[(0, 3.0), (1, 4.0), (2, 2.0)], Relation::Le, 8.0),
+        ];
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 13.0);
+        // Strong duality.
+        let dual_obj: f64 = [5.0, 11.0, 8.0]
+            .iter()
+            .zip(rows.iter())
+            .map(|(b, &c)| b * sol.dual(c))
+            .sum();
+        assert_close(dual_obj, 13.0);
+    }
+
+    #[test]
+    fn invalid_model_rejected() {
+        let mut lp = LinearProgram::minimize(1);
+        lp.set_objective(0, f64::NAN);
+        assert!(matches!(lp.solve(), Err(SimplexError::InvalidModel(_))));
+
+        let mut lp = LinearProgram::minimize(1);
+        lp.add_constraint(&[(5, 1.0)], Relation::Le, 1.0);
+        assert!(matches!(lp.solve(), Err(SimplexError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn min_cost_routing_shape() {
+        // Tiny routing LP: one unit from s to t over two parallel "paths"
+        // with costs 1 and 3, the cheap one capped at 0.4.
+        // Variables: x0 = cheap path, x1 = expensive path.
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 3.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 1.0);
+        let cap = lp.add_constraint(&[(0, 1.0)], Relation::Le, 0.4);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.value(0), 0.4);
+        assert_close(sol.value(1), 0.6);
+        assert_close(sol.objective(), 0.4 + 1.8);
+        // Capacity shadow price: relaxing the cap by 1 saves cost 2
+        // (min convention: y <= 0).
+        assert_close(sol.dual(cap), -2.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-validation between the three solvers in `spef-lp`.
+//!
+//! The same min-cost flow instance is solved combinatorially (successive
+//! shortest paths) and as an LP (simplex); objective values must agree, and
+//! the simplex duals must certify optimality. Max-flow values are checked
+//! against the LP formulation too.
+
+use proptest::prelude::*;
+use spef_graph::{Graph, NodeId};
+use spef_lp::simplex::{LinearProgram, Relation};
+use spef_lp::{max_flow, MinCostFlow, MinCostFlowError};
+
+/// Random strongly connected digraph (backbone cycle + chords) with random
+/// capacities/costs and a single random source/sink demand.
+fn random_instance() -> impl Strategy<Value = (Graph, Vec<f64>, Vec<f64>, usize, usize, f64)> {
+    (3usize..8).prop_flat_map(|n| {
+        let chords = proptest::collection::vec((0..n, 0..n), 0..(2 * n));
+        (
+            Just(n),
+            chords,
+            proptest::collection::vec(1.0f64..8.0, 4 * n),
+            proptest::collection::vec(0.0f64..5.0, 4 * n),
+            0..n,
+            0..n,
+            0.5f64..4.0,
+        )
+            .prop_map(|(n, chords, caps, costs, s, t, demand)| {
+                let mut g = Graph::with_nodes(n);
+                for i in 0..n {
+                    g.add_edge(i.into(), ((i + 1) % n).into());
+                }
+                for (u, v) in chords {
+                    if u != v {
+                        g.add_edge(u.into(), v.into());
+                    }
+                }
+                let m = g.edge_count();
+                let t = if s == t { (t + 1) % n } else { t };
+                (g, caps[..m].to_vec(), costs[..m].to_vec(), s, t, demand)
+            })
+    })
+}
+
+/// Solves the same min-cost flow with the simplex.
+fn mincost_by_simplex(
+    g: &Graph,
+    caps: &[f64],
+    costs: &[f64],
+    s: usize,
+    t: usize,
+    demand: f64,
+) -> Option<f64> {
+    let m = g.edge_count();
+    let mut lp = LinearProgram::minimize(m);
+    for e in 0..m {
+        lp.set_objective(e, costs[e]);
+        lp.add_constraint(&[(e, 1.0)], Relation::Le, caps[e]);
+    }
+    for node in g.nodes() {
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        for &e in g.out_edges(node) {
+            row.push((e.index(), 1.0));
+        }
+        for &e in g.in_edges(node) {
+            row.push((e.index(), -1.0));
+        }
+        let rhs = if node.index() == s {
+            demand
+        } else if node.index() == t {
+            -demand
+        } else {
+            0.0
+        };
+        lp.add_constraint(&row, Relation::Eq, rhs);
+    }
+    lp.solve().ok().map(|sol| sol.objective())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mincost_flow_matches_simplex((g, caps, costs, s, t, demand) in random_instance()) {
+        let mcf = MinCostFlow::new(&g, &caps, &costs);
+        let mut supply = vec![0.0; g.node_count()];
+        supply[s] = demand;
+        supply[t] = -demand;
+        let combinatorial = mcf.solve(&supply);
+        let lp = mincost_by_simplex(&g, &caps, &costs, s, t, demand);
+        match (combinatorial, lp) {
+            (Ok(sol), Some(obj)) => {
+                prop_assert!((sol.cost() - obj).abs() < 1e-6,
+                    "combinatorial {} vs simplex {}", sol.cost(), obj);
+            }
+            (Err(MinCostFlowError::Infeasible), None) => {} // both infeasible
+            (a, b) => prop_assert!(false, "solvers disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn maxflow_matches_lp((g, caps, _costs, s, t, _d) in random_instance()) {
+        let (value, flows) = max_flow(&g, &caps, NodeId::new(s), NodeId::new(t));
+        // LP: maximize net out-flow of s subject to conservation + capacity.
+        let m = g.edge_count();
+        let mut lp = LinearProgram::maximize(m);
+        for e in 0..m {
+            lp.add_constraint(&[(e, 1.0)], Relation::Le, caps[e]);
+        }
+        for node in g.nodes() {
+            if node.index() == s || node.index() == t { continue; }
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            for &e in g.out_edges(node) { row.push((e.index(), 1.0)); }
+            for &e in g.in_edges(node) { row.push((e.index(), -1.0)); }
+            lp.add_constraint(&row, Relation::Eq, 0.0);
+        }
+        for &e in g.out_edges(NodeId::new(s)) {
+            lp.set_objective(e.index(), 1.0);
+        }
+        for &e in g.in_edges(NodeId::new(s)) {
+            // Parallel/backward edges into s subtract.
+            let cur = -1.0;
+            lp.set_objective(e.index(), cur);
+        }
+        let sol = lp.solve().unwrap();
+        prop_assert!((sol.objective() - value).abs() < 1e-6,
+            "dinic {} vs lp {}", value, sol.objective());
+        // Flows returned by Dinic respect capacities.
+        for e in 0..m {
+            prop_assert!(flows[e] <= caps[e] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn simplex_duals_certify_optimality((g, caps, costs, s, t, demand) in random_instance()) {
+        let m = g.edge_count();
+        let mut lp = LinearProgram::minimize(m);
+        let mut cap_rows = Vec::new();
+        for e in 0..m {
+            lp.set_objective(e, costs[e]);
+            cap_rows.push(lp.add_constraint(&[(e, 1.0)], Relation::Le, caps[e]));
+        }
+        let mut node_rows = Vec::new();
+        for node in g.nodes() {
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            for &e in g.out_edges(node) { row.push((e.index(), 1.0)); }
+            for &e in g.in_edges(node) { row.push((e.index(), -1.0)); }
+            let rhs = if node.index() == s { demand }
+                else if node.index() == t { -demand }
+                else { 0.0 };
+            node_rows.push(lp.add_constraint(&row, Relation::Eq, rhs));
+        }
+        let Ok(sol) = lp.solve() else { return Ok(()); };
+        // Strong duality: c'x == b'y.
+        let mut by = 0.0;
+        for e in 0..m { by += caps[e] * sol.dual(cap_rows[e]); }
+        by += demand * sol.dual(node_rows[s]) - demand * sol.dual(node_rows[t]);
+        prop_assert!((sol.objective() - by).abs() < 1e-6,
+            "strong duality violated: {} vs {}", sol.objective(), by);
+        // Reduced costs nonnegative: c_e - y_cap(e) - (y_u - y_v) >= 0.
+        for (e, u, v) in g.edges() {
+            let rc = costs[e.index()] - sol.dual(cap_rows[e.index()])
+                - (sol.dual(node_rows[u.index()]) - sol.dual(node_rows[v.index()]));
+            prop_assert!(rc > -1e-6, "negative reduced cost {rc} on {e}");
+            // Complementary slackness on the support.
+            if sol.value(e.index()) > 1e-6 {
+                prop_assert!(rc.abs() < 1e-6, "support edge {e} has reduced cost {rc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,605 @@
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spef_core::ForwardingTable;
+use spef_graph::{EdgeId, NodeId};
+use spef_topology::{Network, TrafficMatrix};
+
+/// Errors returned by [`simulate`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A packet reached a router whose forwarding table has no entry for
+    /// its destination.
+    MissingRoute {
+        /// The stuck router.
+        node: NodeId,
+        /// The packet's destination.
+        destination: NodeId,
+    },
+    /// A configuration value was out of its documented domain, or the
+    /// network/traffic/FIB sizes disagree.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingRoute { node, destination } => {
+                write!(f, "no route at {node} toward {destination}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated seconds (the paper uses 400 s).
+    pub duration: f64,
+    /// Seconds at the start excluded from load/delay statistics.
+    pub warmup: f64,
+    /// Packet size in bits (default 12 000 = 1500 bytes).
+    pub packet_size_bits: u64,
+    /// Multiplier converting [`Network`] capacity units to bits/s
+    /// (e.g. `1e6` when capacity `5` means 5 Mb/s, `1e9` for Gb/s).
+    pub capacity_to_bps: f64,
+    /// Multiplier converting [`TrafficMatrix`] demand units to bits/s.
+    pub demand_to_bps: f64,
+    /// Per-link propagation delay in seconds.
+    pub propagation_delay: f64,
+    /// Drop-tail buffer size per link, in packets.
+    pub buffer_packets: usize,
+    /// RNG seed (arrivals + forwarding choices).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration: 400.0,
+            warmup: 0.0,
+            packet_size_bits: 12_000,
+            capacity_to_bps: 1e6,
+            demand_to_bps: 1e6,
+            propagation_delay: 1e-3,
+            buffer_packets: 100,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Aggregate simulation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Mean load per link in bits/s, averaged over
+    /// `duration − warmup` (the y-axis of Fig. 11).
+    pub mean_link_load_bps: Vec<f64>,
+    /// Packets handed to the network by all sources.
+    pub generated_packets: u64,
+    /// Packets that reached their destination.
+    pub delivered_packets: u64,
+    /// Packets dropped at full buffers.
+    pub dropped_packets: u64,
+    /// Mean end-to-end delay of delivered packets, seconds.
+    pub mean_delay: f64,
+    /// 99th-percentile end-to-end delay, seconds (0 when nothing was
+    /// delivered).
+    pub p99_delay: f64,
+    /// Number of links that carried any traffic.
+    pub links_used: usize,
+}
+
+impl SimReport {
+    /// Mean link load expressed back in [`Network`] capacity units.
+    pub fn mean_link_load_units(&self, config: &SimConfig) -> Vec<f64> {
+        self.mean_link_load_bps
+            .iter()
+            .map(|l| l / config.demand_to_bps)
+            .collect()
+    }
+}
+
+/// Time is kept in integer nanoseconds for exact heap ordering.
+type Nanos = u64;
+
+const NANOS_PER_SEC: f64 = 1e9;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A new packet of demand pair `pair` enters at its source.
+    SourceArrival { pair: usize },
+    /// A packet arrives at `node` (after a link traversal or at origin).
+    NodeArrival { node: NodeId, packet: PacketId },
+    /// Link `edge` finished serialising its head packet.
+    LinkDone { edge: EdgeId },
+}
+
+type PacketId = usize;
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    destination: NodeId,
+    created_at: Nanos,
+}
+
+struct LinkState {
+    queue: VecDeque<PacketId>,
+    busy: bool,
+    /// Bits whose transmission *completed* inside the measurement window.
+    measured_bits: f64,
+}
+
+/// Runs the simulation.
+///
+/// # Errors
+///
+/// * [`SimError::InvalidConfig`] for non-positive duration/rates, a
+///   warmup ≥ duration, or size mismatches,
+/// * [`SimError::MissingRoute`] if a packet strands at a router with no
+///   forwarding entry (the FIB does not cover its destination from there).
+pub fn simulate(
+    network: &Network,
+    traffic: &TrafficMatrix,
+    fib: &ForwardingTable,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    validate(network, traffic, config)?;
+    let g = network.graph();
+    let m = g.edge_count();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pairs: Vec<(NodeId, NodeId, f64)> = traffic.pairs().collect();
+    // Poisson rates in packets/s.
+    let rates: Vec<f64> = pairs
+        .iter()
+        .map(|&(_, _, d)| d * config.demand_to_bps / config.packet_size_bits as f64)
+        .collect();
+    if let Some(i) = rates.iter().position(|&r| r <= 0.0 || !r.is_finite()) {
+        return Err(SimError::InvalidConfig(format!(
+            "demand pair {i} has non-positive packet rate"
+        )));
+    }
+
+    let duration_ns = (config.duration * NANOS_PER_SEC) as Nanos;
+    let warmup_ns = (config.warmup * NANOS_PER_SEC) as Nanos;
+    let tx_ns: Vec<Nanos> = network
+        .capacities()
+        .iter()
+        .map(|c| {
+            let bps = c * config.capacity_to_bps;
+            ((config.packet_size_bits as f64 / bps) * NANOS_PER_SEC).ceil() as Nanos
+        })
+        .collect();
+    let prop_ns = (config.propagation_delay * NANOS_PER_SEC) as Nanos;
+
+    // Event queue ordered by (time, seq) for determinism.
+    let mut heap: BinaryHeap<Reverse<(Nanos, u64, EventBox)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<_>, t: Nanos, seq: &mut u64, ev: Event| {
+        heap.push(Reverse((t, *seq, EventBox(ev))));
+        *seq += 1;
+    };
+
+    // Prime one arrival per pair.
+    for (i, &rate) in rates.iter().enumerate() {
+        let dt = exp_sample(&mut rng, rate);
+        push(&mut heap, dt, &mut seq, Event::SourceArrival { pair: i });
+    }
+
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut links: Vec<LinkState> = (0..m)
+        .map(|_| LinkState {
+            queue: VecDeque::new(),
+            busy: false,
+            measured_bits: 0.0,
+        })
+        .collect();
+
+    let mut generated = 0u64;
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    let mut delays_ns: Vec<Nanos> = Vec::new();
+
+    while let Some(Reverse((now, _, EventBox(event)))) = heap.pop() {
+        if now > duration_ns {
+            break;
+        }
+        match event {
+            Event::SourceArrival { pair } => {
+                let (src, dst, _) = pairs[pair];
+                let id = packets.len();
+                packets.push(Packet {
+                    destination: dst,
+                    created_at: now,
+                });
+                generated += 1;
+                push(&mut heap, now, &mut seq, Event::NodeArrival { node: src, packet: id });
+                // Schedule the next arrival of this pair.
+                let next = now + exp_sample(&mut rng, rates[pair]);
+                if next <= duration_ns {
+                    push(&mut heap, next, &mut seq, Event::SourceArrival { pair });
+                }
+            }
+            Event::NodeArrival { node, packet } => {
+                let dst = packets[packet].destination;
+                if node == dst {
+                    delivered += 1;
+                    if now >= warmup_ns {
+                        delays_ns.push(now - packets[packet].created_at);
+                    }
+                    continue;
+                }
+                let hops = fib
+                    .next_hops(node, dst)
+                    .filter(|h| !h.is_empty())
+                    .ok_or(SimError::MissingRoute {
+                        node,
+                        destination: dst,
+                    })?;
+                let edge = sample_next_hop(hops, &mut rng);
+                let link = &mut links[edge.index()];
+                if link.queue.len() >= config.buffer_packets {
+                    dropped += 1;
+                    continue;
+                }
+                link.queue.push_back(packet);
+                if !link.busy {
+                    link.busy = true;
+                    push(
+                        &mut heap,
+                        now + tx_ns[edge.index()],
+                        &mut seq,
+                        Event::LinkDone { edge },
+                    );
+                }
+            }
+            Event::LinkDone { edge } => {
+                let link = &mut links[edge.index()];
+                let packet = link
+                    .queue
+                    .pop_front()
+                    .expect("LinkDone implies a queued packet");
+                if now >= warmup_ns {
+                    link.measured_bits += config.packet_size_bits as f64;
+                }
+                // Deliver to the link head after propagation.
+                let head = g.target(edge);
+                push(
+                    &mut heap,
+                    now + prop_ns,
+                    &mut seq,
+                    Event::NodeArrival { node: head, packet },
+                );
+                // Start the next packet, if any.
+                if link.queue.is_empty() {
+                    link.busy = false;
+                } else {
+                    push(
+                        &mut heap,
+                        now + tx_ns[edge.index()],
+                        &mut seq,
+                        Event::LinkDone { edge },
+                    );
+                }
+            }
+        }
+    }
+
+    let window = (duration_ns - warmup_ns) as f64 / NANOS_PER_SEC;
+    let mean_link_load_bps: Vec<f64> = links
+        .iter()
+        .map(|l| l.measured_bits / window)
+        .collect();
+    delays_ns.sort_unstable();
+    let mean_delay = if delays_ns.is_empty() {
+        0.0
+    } else {
+        delays_ns.iter().map(|&d| d as f64).sum::<f64>() / delays_ns.len() as f64 / NANOS_PER_SEC
+    };
+    let p99_delay = if delays_ns.is_empty() {
+        0.0
+    } else {
+        delays_ns[(delays_ns.len() - 1).min(delays_ns.len() * 99 / 100)] as f64 / NANOS_PER_SEC
+    };
+    let links_used = mean_link_load_bps.iter().filter(|&&l| l > 0.0).count();
+
+    Ok(SimReport {
+        mean_link_load_bps,
+        generated_packets: generated,
+        delivered_packets: delivered,
+        dropped_packets: dropped,
+        mean_delay,
+        p99_delay,
+        links_used,
+    })
+}
+
+fn validate(
+    network: &Network,
+    traffic: &TrafficMatrix,
+    config: &SimConfig,
+) -> Result<(), SimError> {
+    if traffic.node_count() != network.node_count() {
+        return Err(SimError::InvalidConfig(format!(
+            "traffic matrix covers {} nodes, network has {}",
+            traffic.node_count(),
+            network.node_count()
+        )));
+    }
+    if !(config.duration > 0.0) {
+        return Err(SimError::InvalidConfig("duration must be positive".into()));
+    }
+    if config.warmup >= config.duration {
+        return Err(SimError::InvalidConfig(
+            "warmup must be shorter than duration".into(),
+        ));
+    }
+    if config.packet_size_bits == 0 {
+        return Err(SimError::InvalidConfig("packet size must be > 0".into()));
+    }
+    for &(v, name) in &[
+        (config.capacity_to_bps, "capacity_to_bps"),
+        (config.demand_to_bps, "demand_to_bps"),
+    ] {
+        if !(v > 0.0) || !v.is_finite() {
+            return Err(SimError::InvalidConfig(format!("{name} must be positive")));
+        }
+    }
+    if config.propagation_delay < 0.0 {
+        return Err(SimError::InvalidConfig(
+            "propagation delay must be non-negative".into(),
+        ));
+    }
+    if traffic.pair_count() == 0 {
+        return Err(SimError::InvalidConfig("traffic matrix is empty".into()));
+    }
+    Ok(())
+}
+
+/// Exponential inter-arrival sample in nanoseconds.
+fn exp_sample(rng: &mut StdRng, rate_per_sec: f64) -> Nanos {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let secs = -u.ln() / rate_per_sec;
+    (secs * NANOS_PER_SEC).ceil().max(1.0) as Nanos
+}
+
+/// Samples a next hop from `(edge, probability)` entries.
+fn sample_next_hop(hops: &[(EdgeId, f64)], rng: &mut StdRng) -> EdgeId {
+    let x: f64 = rng.random_range(0.0..1.0);
+    let mut acc = 0.0;
+    for &(e, p) in hops {
+        acc += p;
+        if x < acc {
+            return e;
+        }
+    }
+    hops.last().expect("non-empty next-hop list").0
+}
+
+/// Wrapper giving `Event` the total order the heap needs (events at equal
+/// `(time, seq)` never occur, so the comparison is arbitrary but total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventBox(Event);
+
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventBox {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spef_core::{Objective, SpefConfig, SpefRouting};
+    use spef_topology::standard;
+
+    /// A 3-node chain with a single demand: loads are exactly predictable.
+    fn chain_setup() -> (Network, TrafficMatrix, ForwardingTable) {
+        let mut b = Network::builder("chain");
+        let a = b.add_node("a", (0.0, 0.0));
+        let c = b.add_node("b", (1.0, 0.0));
+        let d = b.add_node("c", (2.0, 0.0));
+        b.add_duplex_link(a, c, 10.0);
+        b.add_duplex_link(c, d, 10.0);
+        let net = b.build().unwrap();
+        let mut tm = TrafficMatrix::new(3);
+        tm.set(0.into(), 2.into(), 2.0); // 2 Mb/s over 10 Mb/s links
+        let obj = Objective::proportional(net.link_count());
+        let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+        (net, tm, routing.forwarding_table().clone())
+    }
+
+    #[test]
+    fn chain_load_matches_offered_rate() {
+        let (net, tm, fib) = chain_setup();
+        let cfg = SimConfig {
+            duration: 30.0,
+            warmup: 2.0,
+            seed: 1,
+            ..SimConfig::default()
+        };
+        let report = simulate(&net, &tm, &fib, &cfg).unwrap();
+        // Edges 0 (a→b) and 2 (b→c) carry ~2 Mb/s; reverse edges nothing.
+        assert!(
+            (report.mean_link_load_bps[0] - 2e6).abs() < 0.1e6,
+            "a→b load {}",
+            report.mean_link_load_bps[0]
+        );
+        assert!(
+            (report.mean_link_load_bps[2] - 2e6).abs() < 0.1e6,
+            "b→c load {}",
+            report.mean_link_load_bps[2]
+        );
+        assert_eq!(report.mean_link_load_bps[1], 0.0);
+        assert_eq!(report.dropped_packets, 0);
+        assert!(report.delivered_packets > 4000);
+        assert!(report.mean_delay > 0.0);
+        assert!(report.p99_delay >= report.mean_delay);
+        assert_eq!(report.links_used, 2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (net, tm, fib) = chain_setup();
+        let cfg = SimConfig {
+            duration: 5.0,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let a = simulate(&net, &tm, &fib, &cfg).unwrap();
+        let b = simulate(&net, &tm, &fib, &cfg).unwrap();
+        assert_eq!(a, b);
+        let c = simulate(
+            &net,
+            &tm,
+            &fib,
+            &SimConfig {
+                seed: 8,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_ne!(a.delivered_packets, c.delivered_packets);
+    }
+
+    #[test]
+    fn overload_drops_packets() {
+        // Offer 15 Mb/s over a 10 Mb/s chain: the first link must drop.
+        let mut b = Network::builder("hot");
+        let a = b.add_node("a", (0.0, 0.0));
+        let c = b.add_node("b", (1.0, 0.0));
+        b.add_duplex_link(a, c, 10.0);
+        let net = b.build().unwrap();
+        let mut tm = TrafficMatrix::new(2);
+        tm.set(0.into(), 1.into(), 15.0);
+        let obj = Objective::proportional(net.link_count());
+        // SPEF would call this infeasible; wire the FIB manually.
+        let fib = ForwardingTable::new(
+            2,
+            vec![NodeId::new(1)],
+            vec![vec![vec![(EdgeId::new(0), 1.0)], vec![]]],
+        );
+        let cfg = SimConfig {
+            duration: 10.0,
+            seed: 2,
+            ..SimConfig::default()
+        };
+        let report = simulate(&net, &tm, &fib, &cfg).unwrap();
+        assert!(report.dropped_packets > 0);
+        // Delivered rate is capped at ~10 Mb/s worth of packets.
+        assert!(report.mean_link_load_bps[0] <= 10.1e6);
+        assert!(report.mean_link_load_bps[0] >= 9.5e6);
+        let _ = obj;
+    }
+
+    #[test]
+    fn probabilistic_split_approximates_ratios() {
+        // Diamond with a 30/70 FIB split: measured loads follow.
+        let mut b = Network::builder("dia");
+        let s = b.add_node("s", (0.0, 0.0));
+        let x = b.add_node("x", (1.0, 1.0));
+        let y = b.add_node("y", (1.0, -1.0));
+        let t = b.add_node("t", (2.0, 0.0));
+        b.add_link(s, x, 10.0); // e0
+        b.add_link(s, y, 10.0); // e1
+        b.add_link(x, t, 10.0); // e2
+        b.add_link(y, t, 10.0); // e3
+        b.add_link(t, s, 10.0); // e4 return for connectivity
+        let net = b.build().unwrap();
+        let mut tm = TrafficMatrix::new(4);
+        tm.set(0.into(), 3.into(), 4.0);
+        let fib = ForwardingTable::new(
+            4,
+            vec![NodeId::new(3)],
+            vec![vec![
+                vec![(EdgeId::new(0), 0.3), (EdgeId::new(1), 0.7)],
+                vec![(EdgeId::new(2), 1.0)],
+                vec![(EdgeId::new(3), 1.0)],
+                vec![],
+            ]],
+        );
+        let cfg = SimConfig {
+            duration: 60.0,
+            warmup: 5.0,
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let report = simulate(&net, &tm, &fib, &cfg).unwrap();
+        let total = report.mean_link_load_bps[0] + report.mean_link_load_bps[1];
+        let share = report.mean_link_load_bps[0] / total;
+        assert!((share - 0.3).abs() < 0.03, "measured share {share}");
+    }
+
+    #[test]
+    fn missing_route_detected() {
+        let (net, tm, _) = chain_setup();
+        // FIB without an entry at the middle hop.
+        let fib = ForwardingTable::new(
+            3,
+            vec![NodeId::new(2)],
+            vec![vec![vec![(EdgeId::new(0), 1.0)], vec![], vec![]]],
+        );
+        let cfg = SimConfig {
+            duration: 1.0,
+            seed: 4,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            simulate(&net, &tm, &fib, &cfg),
+            Err(SimError::MissingRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (net, tm, fib) = chain_setup();
+        let bad = |f: fn(&mut SimConfig)| {
+            let mut c = SimConfig::default();
+            f(&mut c);
+            simulate(&net, &tm, &fib, &c)
+        };
+        assert!(bad(|c| c.duration = 0.0).is_err());
+        assert!(bad(|c| c.warmup = 1000.0).is_err());
+        assert!(bad(|c| c.packet_size_bits = 0).is_err());
+        assert!(bad(|c| c.capacity_to_bps = -1.0).is_err());
+        assert!(bad(|c| c.propagation_delay = -1.0).is_err());
+        let empty = TrafficMatrix::new(3);
+        assert!(simulate(&net, &empty, &fib, &SimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn spef_fig4_simulation_stays_under_capacity() {
+        // End-to-end: SPEF FIB on Fig. 4 at 4 Mb/s demands over 5 Mb/s
+        // links keeps every measured load under capacity (Fig. 11(a)).
+        let net = standard::fig4();
+        let tm = standard::table4_simple_demands();
+        let obj = Objective::proportional(net.link_count());
+        let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+        let cfg = SimConfig {
+            duration: 20.0,
+            warmup: 2.0,
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let report = simulate(&net, &tm, routing.forwarding_table(), &cfg).unwrap();
+        for (e, &load) in report.mean_link_load_bps.iter().enumerate() {
+            assert!(load <= 5.05e6, "link {e} at {load} bps");
+        }
+        assert!(report.delivered_packets > 0);
+        // Loss should be negligible at SPEF's operating point.
+        assert!(report.dropped_packets * 100 < report.generated_packets);
+    }
+}

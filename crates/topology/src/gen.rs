@@ -1,0 +1,343 @@
+//! Synthetic network generators matching §V.B of the paper.
+//!
+//! * [`random_network`] — "the probability of having a link between two
+//!   nodes is a constant parameter, and all link capacities are 1 unit";
+//!   we additionally *target an exact link count* so the generated networks
+//!   reproduce the sizes of TABLE III (Rand50a: 242, Rand50b: 230,
+//!   Rand100: 392 directed links).
+//! * [`hierarchical_network`] — GT-ITM-style 2-level networks "consisting
+//!   of two kinds of links: local access links with 1 unit capacity and
+//!   long distance links with 5-unit capacity" (Hier50a: 222, Hier50b: 152
+//!   directed links).
+//!
+//! Both generators guarantee strong connectivity (a random spanning tree is
+//! laid down first and every link is duplex) and are fully deterministic in
+//! the seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spef_graph::NodeId;
+
+use crate::{Network, NetworkBuilder};
+
+/// Capacity of local access links in 2-level networks (paper: 1 unit).
+pub const LOCAL_CAPACITY: f64 = 1.0;
+/// Capacity of long-distance links in 2-level networks (paper: 5 units).
+pub const LONG_DISTANCE_CAPACITY: f64 = 5.0;
+
+/// Generates a connected random network with `n` nodes, exactly
+/// `directed_links` directed links (all capacity 1), and coordinates in the
+/// unit square.
+///
+/// # Panics
+///
+/// Panics if `directed_links` is odd, below `2(n−1)` (a spanning tree needs
+/// that many), or above `n(n−1)` (simple-graph maximum), or if `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use spef_topology::gen::random_network;
+///
+/// let net = random_network("Rand50a", 50, 242, 1);
+/// assert_eq!(net.node_count(), 50);
+/// assert_eq!(net.link_count(), 242);
+/// ```
+pub fn random_network(name: &str, n: usize, directed_links: usize, seed: u64) -> Network {
+    assert!(n >= 2, "need at least 2 nodes");
+    assert!(directed_links.is_multiple_of(2), "directed link count must be even");
+    let undirected = directed_links / 2;
+    assert!(
+        undirected >= n - 1,
+        "need at least {} undirected links for connectivity",
+        n - 1
+    );
+    assert!(
+        undirected <= n * (n - 1) / 2,
+        "too many links for a simple graph on {n} nodes"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Network::builder(name);
+    for i in 0..n {
+        b.add_node(
+            format!("r{i}"),
+            (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)),
+        );
+    }
+    let mut present = AdjacencySet::new(n);
+    spanning_tree(&mut b, &mut rng, &mut present, &(0..n).collect::<Vec<_>>(), 1.0);
+    fill_random_links(&mut b, &mut rng, &mut present, undirected, |_, _| 1.0);
+    b.build().expect("random generator output is connected")
+}
+
+/// Generates a GT-ITM-style 2-level hierarchical network: `domains`
+/// clusters of `per_domain` nodes, local links of capacity 1 inside a
+/// domain, long-distance links of capacity 5 between domains, exactly
+/// `directed_links` directed links in total.
+///
+/// # Panics
+///
+/// Panics if `directed_links` is odd or too small to connect the topology
+/// (`2·(nodes − 1)` is the minimum), or if `domains`/`per_domain` is zero,
+/// or if the count exceeds the simple-graph maximum.
+///
+/// # Example
+///
+/// ```
+/// use spef_topology::gen::hierarchical_network;
+///
+/// let net = hierarchical_network("Hier50a", 5, 10, 222, 1);
+/// assert_eq!(net.node_count(), 50);
+/// assert_eq!(net.link_count(), 222);
+/// ```
+pub fn hierarchical_network(
+    name: &str,
+    domains: usize,
+    per_domain: usize,
+    directed_links: usize,
+    seed: u64,
+) -> Network {
+    assert!(domains >= 1 && per_domain >= 1, "empty hierarchy");
+    assert!(directed_links.is_multiple_of(2), "directed link count must be even");
+    let n = domains * per_domain;
+    let undirected = directed_links / 2;
+    assert!(
+        undirected >= n - 1,
+        "need at least {} undirected links for connectivity",
+        n - 1
+    );
+    assert!(
+        undirected <= n * (n - 1) / 2,
+        "too many links for a simple graph on {n} nodes"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Network::builder(name);
+    // Domain centres on a circle of radius 5; members jittered around them.
+    for d in 0..domains {
+        let angle = std::f64::consts::TAU * d as f64 / domains as f64;
+        let (cx, cy) = (5.0 * angle.cos(), 5.0 * angle.sin());
+        for k in 0..per_domain {
+            b.add_node(
+                format!("d{d}n{k}"),
+                (
+                    cx + rng.random_range(-0.5..0.5),
+                    cy + rng.random_range(-0.5..0.5),
+                ),
+            );
+        }
+    }
+    let domain_of = move |v: usize| v / per_domain;
+
+    let mut present = AdjacencySet::new(n);
+    // Local spanning tree inside each domain.
+    for d in 0..domains {
+        let members: Vec<usize> = (d * per_domain..(d + 1) * per_domain).collect();
+        spanning_tree(&mut b, &mut rng, &mut present, &members, LOCAL_CAPACITY);
+    }
+    // Long-distance spanning tree over the domains (random member pairs).
+    for d in 1..domains {
+        let prev = rng.random_range(0..d);
+        let u = prev * per_domain + rng.random_range(0..per_domain);
+        let v = d * per_domain + rng.random_range(0..per_domain);
+        present.insert(u, v);
+        b.add_duplex_link(
+            NodeId::new(u),
+            NodeId::new(v),
+            LONG_DISTANCE_CAPACITY,
+        );
+    }
+    // Random extras, classed by whether they cross domains.
+    fill_random_links(&mut b, &mut rng, &mut present, undirected, |u, v| {
+        if domain_of(u) == domain_of(v) {
+            LOCAL_CAPACITY
+        } else {
+            LONG_DISTANCE_CAPACITY
+        }
+    });
+    b.build().expect("hierarchical generator output is connected")
+}
+
+/// Tracks which undirected pairs already have a link.
+struct AdjacencySet {
+    n: usize,
+    present: Vec<bool>,
+    count: usize,
+}
+
+impl AdjacencySet {
+    fn new(n: usize) -> Self {
+        AdjacencySet {
+            n,
+            present: vec![false; n * n],
+            count: 0,
+        }
+    }
+
+    fn contains(&self, u: usize, v: usize) -> bool {
+        self.present[u * self.n + v]
+    }
+
+    fn insert(&mut self, u: usize, v: usize) {
+        debug_assert!(u != v && !self.contains(u, v));
+        self.present[u * self.n + v] = true;
+        self.present[v * self.n + u] = true;
+        self.count += 1;
+    }
+}
+
+/// Wires `members` into a random spanning tree with duplex links of the
+/// given capacity.
+fn spanning_tree(
+    b: &mut NetworkBuilder,
+    rng: &mut StdRng,
+    present: &mut AdjacencySet,
+    members: &[usize],
+    capacity: f64,
+) {
+    for (i, &v) in members.iter().enumerate().skip(1) {
+        let u = members[rng.random_range(0..i)];
+        present.insert(u, v);
+        b.add_duplex_link(NodeId::new(u), NodeId::new(v), capacity);
+    }
+}
+
+/// Adds uniformly random absent pairs until `present.count == target`.
+fn fill_random_links(
+    b: &mut NetworkBuilder,
+    rng: &mut StdRng,
+    present: &mut AdjacencySet,
+    target: usize,
+    capacity_of: impl Fn(usize, usize) -> f64,
+) {
+    let n = present.n;
+    while present.count < target {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v || present.contains(u, v) {
+            continue;
+        }
+        present.insert(u, v);
+        b.add_duplex_link(NodeId::new(u), NodeId::new(v), capacity_of(u, v));
+    }
+}
+
+/// Builds the five synthetic networks of TABLE III with fixed seeds.
+///
+/// Returned in TABLE III order: Hier50a, Hier50b, Rand50a, Rand50b,
+/// Rand100.
+pub fn table3_synthetic_networks() -> Vec<Network> {
+    vec![
+        hierarchical_network("Hier50a", 5, 10, 222, 0xA11CE),
+        hierarchical_network("Hier50b", 5, 10, 152, 0xB0B),
+        random_network("Rand50a", 50, 242, 0xC0FFEE),
+        random_network("Rand50b", 50, 230, 0xD1CE),
+        random_network("Rand100", 100, 392, 0xFEED),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spef_graph::traversal;
+
+    #[test]
+    fn random_network_hits_exact_size() {
+        for (links, seed) in [(242usize, 1u64), (230, 2), (98, 3)] {
+            let net = random_network("r", 50, links, seed);
+            assert_eq!(net.link_count(), links);
+            assert!(traversal::is_strongly_connected(net.graph()));
+            assert!(net.capacities().iter().all(|&c| c == 1.0));
+        }
+    }
+
+    #[test]
+    fn random_network_is_deterministic() {
+        let a = random_network("r", 30, 120, 7);
+        let b = random_network("r", 30, 120, 7);
+        assert_eq!(a, b);
+        let c = random_network("r", 30, 120, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hierarchical_network_hits_exact_size_and_capacity_classes() {
+        let net = hierarchical_network("h", 5, 10, 222, 9);
+        assert_eq!(net.node_count(), 50);
+        assert_eq!(net.link_count(), 222);
+        assert!(traversal::is_strongly_connected(net.graph()));
+        let locals = net
+            .capacities()
+            .iter()
+            .filter(|&&c| c == LOCAL_CAPACITY)
+            .count();
+        let longs = net
+            .capacities()
+            .iter()
+            .filter(|&&c| c == LONG_DISTANCE_CAPACITY)
+            .count();
+        assert_eq!(locals + longs, 222);
+        // At least the intra-domain trees are local and the inter-domain
+        // tree is long-distance.
+        assert!(locals >= 2 * 5 * 9);
+        assert!(longs >= 2 * 4);
+    }
+
+    #[test]
+    fn hierarchical_local_links_stay_inside_domains() {
+        let net = hierarchical_network("h", 5, 10, 200, 11);
+        let g = net.graph();
+        for (e, u, v) in g.edges() {
+            let same_domain = u.index() / 10 == v.index() / 10;
+            if net.capacity(e) == LOCAL_CAPACITY {
+                assert!(same_domain, "local link {e} crosses domains");
+            } else {
+                assert!(!same_domain, "long link {e} inside a domain");
+            }
+        }
+    }
+
+    #[test]
+    fn table3_synthetic_networks_match_paper_sizes() {
+        let nets = table3_synthetic_networks();
+        let expected = [
+            ("Hier50a", 50, 222),
+            ("Hier50b", 50, 152),
+            ("Rand50a", 50, 242),
+            ("Rand50b", 50, 230),
+            ("Rand100", 100, 392),
+        ];
+        for (net, (name, nodes, links)) in nets.iter().zip(expected) {
+            assert_eq!(net.name(), name);
+            assert_eq!(net.node_count(), nodes, "{name} node count");
+            assert_eq!(net.link_count(), links, "{name} link count");
+            assert!(traversal::is_strongly_connected(net.graph()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_link_count_panics() {
+        random_network("r", 10, 37, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connectivity")]
+    fn too_few_links_panics() {
+        random_network("r", 10, 16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many links")]
+    fn too_many_links_panics() {
+        random_network("r", 4, 14, 0);
+    }
+
+    #[test]
+    fn minimum_tree_size_works() {
+        let net = random_network("tree", 10, 18, 5);
+        assert_eq!(net.link_count(), 18);
+        assert!(traversal::is_strongly_connected(net.graph()));
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: build SPEF routing for the Abilene backbone and compare it
+//! with plain OSPF.
+//!
+//! ```bash
+//! cargo run --release -p spef-experiments --example quickstart
+//! ```
+
+use spef_baselines::ospf::OspfRouting;
+use spef_core::{Objective, SpefConfig, SpefRouting};
+use spef_topology::{standard, TrafficMatrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A network and an expected traffic matrix.
+    let network = standard::abilene();
+    let traffic =
+        TrafficMatrix::fortz_thorup(&network, 42).scaled_to_network_load(&network, 0.15);
+    println!(
+        "network: {} ({} nodes, {} links), offered load {:.1}% of capacity",
+        network.name(),
+        network.node_count(),
+        network.link_count(),
+        100.0 * traffic.network_load(&network)
+    );
+
+    // 2. The TE objective: (q, β) proportional load balance with β = 1 —
+    //    proportional fairness over spare capacity, the paper's default.
+    let objective = Objective::proportional(network.link_count());
+
+    // 3. Build the protocol state: first weights (optimal TE duals) and
+    //    second weights (NEM), plus per-router forwarding tables.
+    let spef = SpefRouting::build(&network, &traffic, &objective, &SpefConfig::default())?;
+
+    // 4. The baseline: InvCap weights, even ECMP.
+    let ospf = OspfRouting::route(&network, &traffic)?;
+
+    println!("\n{:<28} {:>10} {:>10}", "metric", "OSPF", "SPEF");
+    println!("{}", "-".repeat(50));
+    println!(
+        "{:<28} {:>10.4} {:>10.4}",
+        "max link utilization",
+        ospf.max_link_utilization(&network),
+        spef.max_link_utilization(&network)
+    );
+    println!(
+        "{:<28} {:>10.3} {:>10.3}",
+        "normalized utility",
+        ospf.normalized_utility(&network),
+        spef.normalized_utility(&network)
+    );
+
+    // 5. What an operator would actually configure: two weights per link.
+    println!("\nper-link weights (first = OSPF metric, second = SPEF extra):");
+    let g = network.graph();
+    for (e, u, v) in g.edges().take(8) {
+        println!(
+            "  {:>14} -> {:<14}  w1 = {:>8.4}   w2 = {:>8.4}",
+            network.node_name(u),
+            network.node_name(v),
+            spef.first_weights()[e.index()],
+            spef.second_weights()[e.index()]
+        );
+    }
+    println!("  ... ({} links total)", network.link_count());
+
+    // 6. A router's forwarding table row (TABLE II of the paper).
+    let dest = network.node_by_name("NewYork").expect("known node");
+    let src = network.node_by_name("Sunnyvale").expect("known node");
+    let hops = spef
+        .forwarding_table()
+        .next_hops(src, dest)
+        .expect("destination is covered");
+    println!("\nSunnyvale's next hops toward NewYork:");
+    for &(e, ratio) in hops {
+        println!(
+            "  via {:<14} {:>6.2}%",
+            network.node_name(g.target(e)),
+            100.0 * ratio
+        );
+    }
+    Ok(())
+}

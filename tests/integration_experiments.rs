@@ -1,0 +1,100 @@
+//! Smoke/shape tests over the full experiment harness: every experiment
+//! id runs at `Quality::Quick`, produces its artifacts, and respects basic
+//! cross-experiment consistency.
+
+use spef_experiments::{run_experiment, Quality, ALL_EXPERIMENTS, EXTRA_EXPERIMENTS};
+
+#[test]
+fn every_experiment_runs_and_produces_artifacts() {
+    for id in ALL_EXPERIMENTS.into_iter().chain(EXTRA_EXPERIMENTS) {
+        let result = run_experiment(id, Quality::Quick)
+            .unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
+        assert_eq!(result.id, id);
+        assert!(!result.tables.is_empty(), "{id}: no tables");
+        for t in &result.tables {
+            assert!(!t.rows.is_empty(), "{id}: empty table {}", t.title);
+        }
+        for csv in &result.csvs {
+            assert!(csv.content.lines().count() >= 2, "{id}: empty csv");
+            assert!(csv.name.ends_with(".csv"));
+        }
+        // Tables render without panicking and non-trivially.
+        let rendered = result.to_string();
+        assert!(rendered.len() > 40, "{id}: suspiciously short rendering");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let err = run_experiment("fig99", Quality::Quick).unwrap_err();
+    assert!(err.contains("unknown experiment"));
+    assert!(err.contains("fig99"));
+}
+
+#[test]
+fn csv_artifacts_write_to_disk() {
+    let dir = std::env::temp_dir().join("spef_repro_smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = run_experiment("fig2", Quality::Quick).unwrap();
+    result.write_csvs(&dir).unwrap();
+    let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(entries.len(), result.csvs.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn table1_and_fig3_agree_at_beta_one() {
+    // The β = 1 column of TABLE I and the β = 1 sample of Fig. 3 are the
+    // same computation through two different harness paths.
+    let t1 = run_experiment("table1", Quality::Quick).unwrap();
+    let f3 = run_experiment("fig3", Quality::Quick).unwrap();
+    let t1_w13: f64 = t1.tables[0].rows[0][3].parse().unwrap();
+    let beta1_row: Vec<f64> = f3.csvs[0]
+        .content
+        .lines()
+        .skip(1)
+        .map(|l| {
+            l.split(',')
+                .map(|c| c.parse::<f64>().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .find(|row| (row[0] - 1.0).abs() < 1e-9)
+        .expect("beta = 1 sampled");
+    assert!(
+        (t1_w13 - beta1_row[1]).abs() < 0.05 * beta1_row[1],
+        "w(1,3): table1 {t1_w13} vs fig3 {}",
+        beta1_row[1]
+    );
+}
+
+#[test]
+fn fig6_and_fig7_share_the_spef_solutions() {
+    // Fig. 7's first weights must be consistent with Fig. 6's utilizations:
+    // under β = 1 the weight is 1/(c−f) = 1/(c(1−u)).
+    let f6 = run_experiment("fig6", Quality::Quick).unwrap();
+    let f7 = run_experiment("fig7", Quality::Quick).unwrap();
+    let u_rows: Vec<Vec<f64>> = f6.csvs[0]
+        .content
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+        .collect();
+    let w_rows: Vec<Vec<f64>> = f7.csvs[0]
+        .content
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+        .collect();
+    for (u_row, w_row) in u_rows.iter().zip(&w_rows) {
+        let u = u_row[3]; // SPEF1 utilization
+        let w = w_row[2]; // SPEF1 first weight
+        let expected = 1.0 / (5.0 * (1.0 - u));
+        // The utilizations are the *realised* flows, the weights come from
+        // the TE optimum — equal up to the NEM realisation tolerance.
+        assert!(
+            (w - expected).abs() < 0.15 * expected,
+            "link {}: w {w} vs 1/(c-f) {expected}",
+            u_row[0]
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Simulator-vs-analytic validation: the discrete-event simulator's mean
+//! link loads must converge to the flow solution its FIB encodes — the
+//! property that makes the Fig. 11 substitution for SSFnet sound.
+
+use spef_baselines::ospf::OspfRouting;
+use spef_baselines::peft::PeftRouting;
+use spef_core::{Objective, SpefConfig, SpefRouting};
+use spef_netsim::{simulate, SimConfig};
+use spef_topology::standard;
+
+fn relative_error(measured_bps: &[f64], analytic_units: &[f64], unit: f64) -> f64 {
+    let peak = analytic_units.iter().cloned().fold(0.0, f64::max) * unit;
+    measured_bps
+        .iter()
+        .zip(analytic_units)
+        .map(|(m, a)| (m - a * unit).abs() / peak)
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn sim_loads_match_spef_flows_on_fig4() {
+    let net = standard::fig4();
+    let tm = standard::table4_simple_demands();
+    let obj = Objective::proportional(net.link_count());
+    let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let cfg = SimConfig {
+        duration: 120.0,
+        warmup: 10.0,
+        capacity_to_bps: 1e6,
+        demand_to_bps: 1e6,
+        seed: 101,
+        ..SimConfig::default()
+    };
+    let report = simulate(&net, &tm, routing.forwarding_table(), &cfg).unwrap();
+    let err = relative_error(
+        &report.mean_link_load_bps,
+        routing.flows().aggregate(),
+        1e6,
+    );
+    assert!(err < 0.05, "max relative link-load error {err}");
+    // Essentially lossless at SPEF's operating point.
+    assert!(report.dropped_packets * 50 < report.generated_packets);
+}
+
+#[test]
+fn sim_loads_match_peft_flows_on_fig4() {
+    // Validate at an uncongested operating point: once any link
+    // saturates, drops make every downstream analytic comparison
+    // meaningless (that congested regime is covered by the OSPF test
+    // below).
+    let net = standard::fig4();
+    let tm = standard::table4_simple_demands().scaled(0.5);
+    let w = vec![1.0; net.link_count()];
+    let peft = PeftRouting::route(&net, &tm, &w).unwrap();
+    assert!(
+        peft.max_link_utilization(&net) < 0.95,
+        "operating point must be uncongested for this validation"
+    );
+    let cfg = SimConfig {
+        duration: 120.0,
+        warmup: 10.0,
+        capacity_to_bps: 1e6,
+        demand_to_bps: 1e6,
+        seed: 102,
+        ..SimConfig::default()
+    };
+    let report = simulate(&net, &tm, peft.forwarding_table(), &cfg).unwrap();
+    let err = relative_error(&report.mean_link_load_bps, peft.flows().aggregate(), 1e6);
+    assert!(err < 0.05, "max relative link-load error {err}");
+    assert_eq!(report.dropped_packets, 0);
+}
+
+#[test]
+fn sim_shows_ospf_congestion_collapse() {
+    // OSPF offers 8 Mb/s to a 5 Mb/s link: the simulator must show ~37%
+    // loss on that demand set and cap the hot link at capacity.
+    let net = standard::fig4();
+    let tm = standard::table4_simple_demands();
+    let ospf = OspfRouting::route(&net, &tm).unwrap();
+    let cfg = SimConfig {
+        duration: 60.0,
+        warmup: 5.0,
+        capacity_to_bps: 1e6,
+        demand_to_bps: 1e6,
+        seed: 103,
+        ..SimConfig::default()
+    };
+    let report = simulate(&net, &tm, ospf.forwarding_table(), &cfg).unwrap();
+    assert!(report.dropped_packets > 0);
+    let loss = report.dropped_packets as f64 / report.generated_packets as f64;
+    assert!(loss > 0.10, "loss {loss}");
+    // The overloaded link (edge 0) is pinned at its 5 Mb/s capacity.
+    assert!(report.mean_link_load_bps[0] <= 5.05e6);
+    assert!(report.mean_link_load_bps[0] >= 4.8e6);
+}
+
+#[test]
+fn spef_beats_ospf_on_delay_and_loss_in_simulation() {
+    let net = standard::fig4();
+    let tm = standard::table4_simple_demands();
+    let obj = Objective::proportional(net.link_count());
+    let spef = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let ospf = OspfRouting::route(&net, &tm).unwrap();
+    let cfg = SimConfig {
+        duration: 60.0,
+        warmup: 5.0,
+        capacity_to_bps: 1e6,
+        demand_to_bps: 1e6,
+        seed: 104,
+        ..SimConfig::default()
+    };
+    let spef_r = simulate(&net, &tm, spef.forwarding_table(), &cfg).unwrap();
+    let ospf_r = simulate(&net, &tm, ospf.forwarding_table(), &cfg).unwrap();
+    assert!(spef_r.dropped_packets < ospf_r.dropped_packets / 10);
+    assert!(spef_r.delivered_packets > ospf_r.delivered_packets);
+    // OSPF's overloaded queue dominates its delay.
+    assert!(spef_r.mean_delay < ospf_r.mean_delay);
+}
+
+#[test]
+fn cernet2_simulation_scales_to_gbps() {
+    // The Fig. 11(b) configuration: Gb/s capacities, Gb demands.
+    let net = standard::cernet2();
+    let tm = standard::table4_cernet2_demands().scaled(0.5);
+    let obj = Objective::proportional(net.link_count());
+    let spef = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let cfg = SimConfig {
+        duration: 3.0,
+        warmup: 0.5,
+        capacity_to_bps: 1e9,
+        demand_to_bps: 1e9,
+        seed: 105,
+        ..SimConfig::default()
+    };
+    let report = simulate(&net, &tm, spef.forwarding_table(), &cfg).unwrap();
+    assert!(report.delivered_packets > 100_000);
+    let err = relative_error(&report.mean_link_load_bps, spef.flows().aggregate(), 1e9);
+    assert!(err < 0.08, "max relative link-load error {err}");
+}

@@ -1,0 +1,236 @@
+//! Cross-crate integration tests asserting the paper's theorems
+//! numerically.
+
+use proptest::prelude::*;
+use spef_core::{
+    build_dags, dual_decomp, nem, solve_te, traffic_distribution, DualDecompConfig,
+    FrankWolfeConfig, NemConfig, Objective, SplitRule,
+};
+use spef_graph::NodeId;
+use spef_topology::{standard, TrafficMatrix};
+
+/// Theorem 3.1 (weight-setting): all optimal flow travels on shortest
+/// paths under the first weights `w = V'(s*)`.
+#[test]
+fn theorem_3_1_optimal_support_lies_on_shortest_paths() {
+    for (net, tm) in [
+        (standard::fig1(), standard::fig1_demands()),
+        (standard::fig4(), standard::fig4_demands()),
+    ] {
+        let obj = Objective::proportional(net.link_count());
+        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+        let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
+        let dags = build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-3 * max_w)
+            .unwrap();
+        for (dag, &t) in dags.iter().zip(&tm.destinations()) {
+            let flows = te.flows.for_destination(t).unwrap();
+            let peak = flows.iter().cloned().fold(0.0, f64::max);
+            for (e, _, _) in net.graph().edges() {
+                if flows[e.index()] > 1e-2 * peak {
+                    assert!(
+                        dag.contains_edge(e),
+                        "{}: edge {e} carries {} toward {t} but is off the DAG",
+                        net.name(),
+                        flows[e.index()]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 3.3: the TE(V) optimum is (q, β) proportionally load balanced —
+/// for any other feasible distribution f, Σ q (s_f − s*) / (s*)^β ≤ 0.
+#[test]
+fn theorem_3_3_optimum_is_q_beta_balanced() {
+    let net = standard::fig4();
+    let tm = standard::fig4_demands();
+    for beta in [0.5, 1.0, 2.0] {
+        let obj = Objective::uniform(beta, net.link_count());
+        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+        // Alternative feasible distributions: ECMP under a few weight
+        // settings whose MLU stays below 1 so they are genuinely feasible.
+        for seed_w in [1.3f64, 2.0, 3.7] {
+            let w: Vec<f64> = (0..net.link_count())
+                .map(|e| 1.0 + ((e as f64) * seed_w).sin().abs())
+                .collect();
+            let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).unwrap();
+            let Ok(alt) = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp)
+            else {
+                continue;
+            };
+            if spef_core::metrics::max_link_utilization(&net, alt.aggregate()) >= 1.0 {
+                continue;
+            }
+            let mut aggregate_change = 0.0;
+            for e in 0..net.link_count() {
+                let s_star = te.spare[e];
+                let s_alt = net.capacities()[e] - alt.aggregate()[e];
+                aggregate_change += (s_alt - s_star) / s_star.powf(beta);
+            }
+            assert!(
+                aggregate_change <= 1e-4,
+                "beta={beta} w-seed={seed_w}: proportional change {aggregate_change} > 0"
+            );
+        }
+    }
+}
+
+/// Theorem 4.1 / Fig. 12(a): Algorithm 1's weights converge toward the
+/// primal reference solver's weights.
+#[test]
+fn theorem_4_1_dual_decomposition_agrees_with_frank_wolfe() {
+    let net = standard::fig4();
+    let tm = standard::fig4_demands();
+    let obj = Objective::proportional(net.link_count());
+    let fw = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+    // Theorem 4.1's conditions: Σγ_k = ∞, γ_k → 0 (diminishing steps).
+    let dd = dual_decomp::solve(
+        &net,
+        &tm,
+        &obj,
+        &DualDecompConfig {
+            step: spef_core::StepRule::Diminishing(1.0),
+            max_iterations: 20000,
+            record_trace: false,
+            ..DualDecompConfig::default()
+        },
+    )
+    .unwrap();
+    // The ergodic (averaged) primal recovery approaches the optimum.
+    let dd_avg_utility = obj.aggregate_utility(
+        &net.capacities()
+            .iter()
+            .zip(&dd.average_flows)
+            .map(|(c, f)| c - f)
+            .collect::<Vec<_>>(),
+    );
+    let primal = fw.utility;
+    assert!(
+        (dd_avg_utility - primal).abs() < 0.01 * primal.abs().max(1.0),
+        "averaged dual-iterate utility {dd_avg_utility} vs primal {primal}"
+    );
+}
+
+/// Theorem 4.2: the optimal TE is realisable with the second weights and
+/// exponential flow splitting — end to end through `SpefRouting`.
+#[test]
+fn theorem_4_2_nem_realises_optimal_te() {
+    for (net, tm) in [
+        (standard::fig1(), standard::fig1_demands()),
+        (standard::fig4(), standard::fig4_demands()),
+    ] {
+        let obj = Objective::proportional(net.link_count());
+        let cfg = spef_core::SpefConfig {
+            nem: NemConfig {
+                max_iterations: 20000,
+                epsilon: Some(1e-6),
+                ..NemConfig::default()
+            },
+            ..spef_core::SpefConfig::default()
+        };
+        let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+        assert!(routing.nem_converged(), "{}", net.name());
+        let te_utility = routing.te_solution().utility;
+        let realized_spare: Vec<f64> = net
+            .capacities()
+            .iter()
+            .zip(routing.flows().aggregate())
+            .map(|(c, f)| c - f)
+            .collect();
+        let realized_utility = obj.aggregate_utility(&realized_spare);
+        assert!(
+            (realized_utility - te_utility).abs() < 0.01 * te_utility.abs().max(1.0),
+            "{}: realized {realized_utility} vs optimal {te_utility}",
+            net.name()
+        );
+    }
+}
+
+/// Remark 2: β → ∞ approaches min-max load balance; the large-β MLU
+/// matches the exact min-MLU LP.
+#[test]
+fn large_beta_approaches_min_mlu() {
+    let net = standard::fig4();
+    let tm = standard::fig4_demands();
+    let lp = spef_baselines::mlu_lp::MluSolution::solve(&net, &tm).unwrap();
+    let obj = Objective::uniform(25.0, net.link_count());
+    let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+    let mlu = spef_core::metrics::max_link_utilization(&net, te.flows.aggregate());
+    assert!(
+        (mlu - lp.mlu).abs() < 0.05,
+        "beta=25 MLU {mlu} vs LP optimum {}",
+        lp.mlu
+    );
+}
+
+/// Example 1 (§III.B): β = 1 weights equal the M/M/1 marginal delay
+/// `1/(c−f)` on every link.
+#[test]
+fn example_1_proportional_weights_are_mm1_prices() {
+    let net = standard::fig1();
+    let tm = standard::fig1_demands();
+    let obj = Objective::proportional(net.link_count());
+    let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+    for e in 0..net.link_count() {
+        let expected = 1.0 / (net.capacities()[e] - te.flows.aggregate()[e]);
+        assert!((te.weights[e] - expected).abs() < 1e-6 * expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 3.3's converse, randomised: the optimum's aggregate utility
+    /// dominates every random feasible distribution's.
+    #[test]
+    fn optimum_dominates_random_feasible_flows(seed in 0u64..1000) {
+        let net = standard::fig4();
+        let base = standard::fig4_demands();
+        // Random sub-scaling keeps alternatives feasible.
+        let tm = base.scaled(0.4 + (seed % 5) as f64 * 0.08);
+        let obj = Objective::proportional(net.link_count());
+        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        // Random weight perturbation produces an alternative routing.
+        let w: Vec<f64> = (0..net.link_count())
+            .map(|e| 1.0 + (((e as u64 + 1) * (seed + 3)) % 7) as f64 * 0.29)
+            .collect();
+        let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).unwrap();
+        let alt = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp).unwrap();
+        let alt_spare: Vec<f64> = net
+            .capacities()
+            .iter()
+            .zip(alt.aggregate())
+            .map(|(c, f)| c - f)
+            .collect();
+        if alt_spare.iter().all(|&s| s > 0.0) {
+            prop_assert!(te.utility >= obj.aggregate_utility(&alt_spare) - 1e-6);
+        }
+    }
+
+    /// NEM realisability on random diamond targets: any convex split of a
+    /// two-path demand is induced by some second-weight pair (Eq. 18).
+    #[test]
+    fn nem_realises_arbitrary_two_path_splits(share in 0.05f64..0.95) {
+        let mut g = spef_graph::Graph::with_nodes(4);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        let w = vec![1.0; 4];
+        let mut tm = TrafficMatrix::new(4);
+        tm.set(NodeId::new(0), NodeId::new(3), 1.0);
+        let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
+        let target = vec![share, 1.0 - share, share, 1.0 - share];
+        let out = nem::solve_second_weights(
+            &g,
+            &dags,
+            &tm,
+            &target,
+            &NemConfig { max_iterations: 20000, epsilon: Some(1e-6), ..NemConfig::default() },
+        )
+        .unwrap();
+        prop_assert!(out.converged);
+        prop_assert!((out.flows.aggregate()[0] - share).abs() < 1e-3);
+    }
+}
