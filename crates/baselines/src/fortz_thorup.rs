@@ -11,7 +11,7 @@
 //! reproduce the FT column of TABLE I and serve as a comparison point.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use spef_core::SpefError;
 use spef_topology::{Network, TrafficMatrix};
 

@@ -67,8 +67,7 @@ impl MluSolution {
 
         let mut cap_rows = Vec::with_capacity(m);
         for e in 0..m {
-            let mut row: Vec<(usize, f64)> =
-                (0..dests.len()).map(|ti| (var(ti, e), 1.0)).collect();
+            let mut row: Vec<(usize, f64)> = (0..dests.len()).map(|ti| (var(ti, e), 1.0)).collect();
             row.push((theta, -network.capacity(e.into())));
             cap_rows.push(lp.add_constraint(&row, Relation::Le, 0.0));
         }
@@ -92,9 +91,7 @@ impl MluSolution {
         let sol = match lp.solve() {
             Ok(sol) => sol,
             Err(SimplexError::Infeasible) => return Err(SpefError::Infeasible),
-            Err(e) => {
-                return Err(SpefError::InvalidInput(format!("min-MLU LP failed: {e}")))
-            }
+            Err(e) => return Err(SpefError::InvalidInput(format!("min-MLU LP failed: {e}"))),
         };
 
         let mut per_dest = Vec::with_capacity(dests.len());
@@ -136,8 +133,7 @@ mod tests {
         assert!(u[0] >= 0.1 - 1e-9 && u[0] <= 0.9 + 1e-9, "a = {}", u[0]);
         // Achieved MLU equals the LP objective.
         assert!(
-            (metrics::max_link_utilization(&net, sol.flows.aggregate()) - sol.mlu).abs()
-                < 1e-9
+            (metrics::max_link_utilization(&net, sol.flows.aggregate()) - sol.mlu).abs() < 1e-9
         );
         // Only the bottleneck carries a positive price.
         assert!(sol.link_prices[1] > 0.0);

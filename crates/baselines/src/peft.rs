@@ -82,10 +82,8 @@ impl PeftRouting {
         for &t in &dests {
             let dist = distances_to(g, weights, t)?;
             // Nodes by decreasing distance (finite only).
-            let mut order: Vec<NodeId> = g
-                .nodes()
-                .filter(|u| dist[u.index()].is_finite())
-                .collect();
+            let mut order: Vec<NodeId> =
+                g.nodes().filter(|u| dist[u.index()].is_finite()).collect();
             order.sort_by(|a, b| {
                 dist[b.index()]
                     .total_cmp(&dist[a.index()])

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spef_core::{
-    build_dags, solve_te, traffic_distribution, FrankWolfeConfig, NemConfig, Objective,
-    SplitRule,
+    build_dags, solve_te, traffic_distribution, FrankWolfeConfig, NemConfig, Objective, SplitRule,
 };
 use spef_graph::ShortestPathDag;
 use spef_lp::simplex::{LinearProgram, Relation};
@@ -15,9 +14,7 @@ fn bench_dijkstra_dag(c: &mut Criterion) {
     let net = gen::random_network("Rand100", 100, 392, 0xFEED);
     let w: Vec<f64> = net.capacities().iter().map(|x| 1.0 / x).collect();
     c.bench_function("dag_build_rand100", |b| {
-        b.iter(|| {
-            ShortestPathDag::build(net.graph(), &w, 0.into(), 0.0).expect("dag")
-        })
+        b.iter(|| ShortestPathDag::build(net.graph(), &w, 0.into(), 0.0).expect("dag"))
     });
 }
 
@@ -58,8 +55,8 @@ fn bench_nem(c: &mut Criterion) {
     let obj = Objective::proportional(net.link_count());
     let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).expect("te");
     let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
-    let dags = build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-2 * max_w)
-        .expect("dags");
+    let dags =
+        build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-2 * max_w).expect("dags");
     let cfg = NemConfig {
         max_iterations: 100,
         epsilon: Some(0.0),
@@ -112,13 +109,8 @@ fn bench_simulator(c: &mut Criterion) {
     let net = standard::fig4();
     let tm = standard::table4_simple_demands();
     let obj = Objective::proportional(net.link_count());
-    let routing = spef_core::SpefRouting::build(
-        &net,
-        &tm,
-        &obj,
-        &spef_core::SpefConfig::default(),
-    )
-    .expect("routing");
+    let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &spef_core::SpefConfig::default())
+        .expect("routing");
     let cfg = SimConfig {
         duration: 5.0,
         capacity_to_bps: 1e6,

@@ -1,0 +1,192 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API surface the `spef-bench` targets use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`criterion_group!`] and [`criterion_main!`] — with a plain wall-clock
+//! measurement loop: a warm-up call, then `sample_size` timed samples, with
+//! min / mean / max reported on stdout. No statistics, plots, or saved
+//! baselines; the point is that `cargo bench` runs the real workloads and
+//! prints comparable numbers on a machine without registry access.
+//!
+//! When invoked by `cargo test` (which passes `--test` to bench targets),
+//! every benchmark body runs exactly once, mirroring upstream's smoke-test
+//! mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark context handed to each `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters: if self.test_mode { 1 } else { self.sample_size },
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (upstream: shares sampling configuration).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let iters = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finishes the group (upstream flushes reports here; a no-op in the
+    /// shim, kept so call sites stay source-compatible).
+    pub fn finish(&mut self) {}
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` once for warm-up, then `sample_size` timed times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("bench {id:<40} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "bench {id:<40} min {:>12?}  mean {:>12?}  max {:>12?}  ({} samples)",
+            min,
+            mean,
+            max,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group: a function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut calls = 0;
+        c.bench_function("demo", |b| b.iter(|| calls += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: false,
+        };
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("demo", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! Test-runner configuration and the deterministic RNG behind sampling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Error a property body can return (upstream: `TestCaseError`); the shim
+/// only ever sees it through `?`/`return Err(...)` in test bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "test case failed: {}", self.0)
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim keeps that fidelity.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies: seeded from the test's name, so every run
+/// of a given test samples the same inputs.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying `rand` generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,200 @@
+//! The JSON-shaped value tree all (de)serialization flows through.
+
+/// A JSON number, kept wide enough that `u64` seeds and negative integers
+/// survive a round-trip without going through `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An unsigned integer (anything parsed without sign or fraction).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_u64(), other.as_u64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {
+                // One side integral, the other not: compare as floats.
+            }
+        }
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {}
+        }
+        self.as_f64_lossy() == other.as_f64_lossy()
+    }
+}
+
+impl Number {
+    /// The value as `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::UInt(n) => Some(n),
+            Number::Int(n) => u64::try_from(n).ok(),
+            Number::Float(x) => {
+                if x.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&x) {
+                    Some(x as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The value as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::UInt(n) => i64::try_from(n).ok(),
+            Number::Int(n) => Some(n),
+            Number::Float(x) => {
+                if x.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&x) {
+                    Some(x as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The value as `f64` (integers convert, possibly losing precision
+    /// beyond 2^53).
+    pub fn as_f64_lossy(&self) -> f64 {
+        match *self {
+            Number::UInt(n) => n as f64,
+            Number::Int(n) => n as f64,
+            Number::Float(x) => x,
+        }
+    }
+}
+
+/// A JSON-shaped document tree.
+///
+/// Objects preserve insertion order (serialized structs keep their field
+/// declaration order), matching what `serde_json` users expect from
+/// `preserve_order`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of field name to value.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an integral number in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64_lossy()),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(Number::Float(x))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(Number::UInt(n))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(Number::Int(n))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_equality_mixes_representations() {
+        assert_eq!(Number::UInt(5), Number::Float(5.0));
+        assert_eq!(Number::Int(-2), Number::Float(-2.0));
+        assert_ne!(Number::UInt(5), Number::Float(5.5));
+    }
+
+    #[test]
+    fn u64_seeds_do_not_lose_precision() {
+        let big = u64::MAX - 1;
+        let n = Number::UInt(big);
+        assert_eq!(n.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::from(1.0))]);
+        assert!(v.get_field("a").is_some());
+        assert!(v.get_field("b").is_none());
+    }
+}

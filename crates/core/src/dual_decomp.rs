@@ -191,8 +191,8 @@ pub fn solve(
         }
         // Ergodic primal recovery: running mean over iterations.
         let kf = (k + 1) as f64;
-        for e in 0..m {
-            average_flows[e] += (f.aggregate()[e] - average_flows[e]) / kf;
+        for (avg, cur) in average_flows.iter_mut().zip(f.aggregate()) {
+            *avg += (cur - *avg) / kf;
         }
         flows = Some(f);
         if gap.abs() < gap_tol {

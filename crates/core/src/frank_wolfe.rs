@@ -159,9 +159,7 @@ pub fn solve(
     let dags0 = build_dags(g, &invcap, &dests, 0.0)?;
     let mut flows = traffic_distribution(g, &dags0, traffic, SplitRule::EvenEcmp)?;
 
-    let spare_of = |agg: &[f64]| -> Vec<f64> {
-        caps.iter().zip(agg).map(|(c, f)| c - f).collect()
-    };
+    let spare_of = |agg: &[f64]| -> Vec<f64> { caps.iter().zip(agg).map(|(c, f)| c - f).collect() };
 
     let mut spare = spare_of(flows.aggregate());
     let mut gap = f64::INFINITY;
@@ -386,10 +384,26 @@ mod tests {
         let tm = standard::fig1_demands();
         let obj = Objective::proportional(net.link_count());
         let sol = solve(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
-        assert!((sol.weights[0] - 3.0).abs() < 2e-2, "w13 = {}", sol.weights[0]);
-        assert!((sol.weights[1] - 10.0).abs() < 1e-6, "w34 = {}", sol.weights[1]);
-        assert!((sol.weights[2] - 1.5).abs() < 1e-2, "w12 = {}", sol.weights[2]);
-        assert!((sol.weights[3] - 1.5).abs() < 1e-2, "w23 = {}", sol.weights[3]);
+        assert!(
+            (sol.weights[0] - 3.0).abs() < 2e-2,
+            "w13 = {}",
+            sol.weights[0]
+        );
+        assert!(
+            (sol.weights[1] - 10.0).abs() < 1e-6,
+            "w34 = {}",
+            sol.weights[1]
+        );
+        assert!(
+            (sol.weights[2] - 1.5).abs() < 1e-2,
+            "w12 = {}",
+            sol.weights[2]
+        );
+        assert!(
+            (sol.weights[3] - 1.5).abs() < 1e-2,
+            "w23 = {}",
+            sol.weights[3]
+        );
     }
 
     #[test]

@@ -18,10 +18,7 @@ use spef_topology::Network;
 ///
 /// Panics if `flows.len() != network.link_count()`.
 pub fn max_link_utilization(network: &Network, flows: &[f64]) -> f64 {
-    network
-        .utilizations(flows)
-        .into_iter()
-        .fold(0.0, f64::max)
+    network.utilizations(flows).into_iter().fold(0.0, f64::max)
 }
 
 /// The paper's normalized utility `Σ_e log(1 − u_e)`, or `−∞` if any link
@@ -143,14 +140,8 @@ mod tests {
     #[test]
     fn normalized_utility_is_neg_infinity_at_saturation() {
         let net = two_link_net();
-        assert_eq!(
-            normalized_utility(&net, &[10.0, 0.0]),
-            f64::NEG_INFINITY
-        );
-        assert_eq!(
-            normalized_utility(&net, &[11.0, 0.0]),
-            f64::NEG_INFINITY
-        );
+        assert_eq!(normalized_utility(&net, &[10.0, 0.0]), f64::NEG_INFINITY);
+        assert_eq!(normalized_utility(&net, &[11.0, 0.0]), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -118,12 +118,7 @@ pub fn solve_second_weights(
         if config.record_trace {
             // d(v) = Σ_r d_r log Σ_k e^{-v^r_k} + Σ_e v_e f*_e.
             let mut dual = 0.0;
-            for ((&t, table), _dag) in traffic
-                .destinations()
-                .iter()
-                .zip(&tables)
-                .zip(dags.iter())
-            {
+            for ((&t, table), _dag) in traffic.destinations().iter().zip(&tables).zip(dags.iter()) {
                 let demands = traffic.demands_to(t);
                 for (s, &d) in demands.iter().enumerate() {
                     if d > 0.0 {
@@ -245,14 +240,8 @@ mod tests {
             epsilon: Some(1e-5),
             ..NemConfig::default()
         };
-        let out = solve_second_weights(
-            net.graph(),
-            &dags,
-            &tm,
-            te.flows.aggregate(),
-            &cfg,
-        )
-        .unwrap();
+        let out =
+            solve_second_weights(net.graph(), &dags, &tm, te.flows.aggregate(), &cfg).unwrap();
         assert!(out.converged);
         for (e, (f, t)) in out
             .flows

@@ -60,7 +60,10 @@ impl Objective {
     /// positive `q` so that first weights `w = V'(s)` stay positive, which
     /// Theorem 3.1 presumes.)
     pub fn with_weights(q: Vec<f64>, beta: f64) -> Self {
-        assert!(beta.is_finite() && beta >= 0.0, "beta must be finite and >= 0");
+        assert!(
+            beta.is_finite() && beta >= 0.0,
+            "beta must be finite and >= 0"
+        );
         assert!(
             q.iter().all(|&x| x.is_finite() && x > 0.0),
             "q weights must be finite and positive"
@@ -309,8 +312,7 @@ mod tests {
         // V(s1) + V(s2) is maximised at equal split for concave V.
         for beta in [0.5, 1.0, 2.0] {
             let obj = Objective::uniform(beta, 2);
-            let balanced =
-                obj.aggregate_utility(&[1.0, 1.0]);
+            let balanced = obj.aggregate_utility(&[1.0, 1.0]);
             let skewed = obj.aggregate_utility(&[1.5, 0.5]);
             assert!(balanced > skewed, "beta={beta}");
         }

@@ -485,8 +485,7 @@ mod tests {
         let net = standard::fig4();
         let tm = standard::fig4_demands();
         let obj = Objective::proportional(net.link_count());
-        let routing =
-            SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+        let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
         // OSPF InvCap even split.
         let invcap: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
         let dags = build_dags(net.graph(), &invcap, &tm.destinations(), 0.0).unwrap();

@@ -78,11 +78,7 @@ impl SplitTable {
                     graph.edge_count()
                 )));
             }
-            if let Some((i, &w)) = v
-                .iter()
-                .enumerate()
-                .find(|(_, &w)| w.is_nan() || w < 0.0)
-            {
+            if let Some((i, &w)) = v.iter().enumerate().find(|(_, &w)| w.is_nan() || w < 0.0) {
                 return Err(SpefError::InvalidInput(format!(
                     "second weight of edge e{i} is {w}"
                 )));
@@ -201,7 +197,11 @@ impl Flows {
     /// Panics if `per_dest` is misaligned with `dests` or the per-
     /// destination vectors have inconsistent lengths.
     pub fn assemble(dests: Vec<NodeId>, per_dest: Vec<Vec<f64>>, aggregate: Vec<f64>) -> Flows {
-        assert_eq!(dests.len(), per_dest.len(), "one flow vector per destination");
+        assert_eq!(
+            dests.len(),
+            per_dest.len(),
+            "one flow vector per destination"
+        );
         for f in &per_dest {
             assert_eq!(f.len(), aggregate.len(), "flow vector length mismatch");
         }
@@ -411,8 +411,7 @@ mod tests {
         // Second weights: upper path (e0, e2) has total length 1+0=1,
         // lower (e1, e3) has 0. Ratios: e^{-1} : e^{0}.
         let v = vec![1.0, 0.0, 0.0, 0.0];
-        let flows =
-            traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
+        let flows = traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
         let upper = (-1.0f64).exp() / ((-1.0f64).exp() + 1.0);
         assert!((flows.aggregate()[0] - upper).abs() < 1e-12);
         assert!((flows.aggregate()[1] - (1.0 - upper)).abs() < 1e-12);
@@ -434,8 +433,7 @@ mod tests {
         let tm = demand(5, 0, 4, 1.0);
         let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
         let v = vec![0.0, 0.0, 0.0, 0.0, 7.0];
-        let flows =
-            traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
+        let flows = traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
         assert!((flows.aggregate()[0] - 0.5).abs() < 1e-12);
         assert!((flows.aggregate()[1] - 0.5).abs() < 1e-12);
     }
@@ -539,8 +537,7 @@ mod tests {
         let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
         // Huge weights would underflow a naive e^{-v} implementation.
         let v = vec![5000.0, 5001.0, 0.0, 0.0];
-        let flows =
-            traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
+        let flows = traffic_distribution(&g, &dags, &tm, SplitRule::Exponential(&v)).unwrap();
         let total = flows.aggregate()[0] + flows.aggregate()[1];
         assert!((total - 1.0).abs() < 1e-9);
         // Path with weight 5000 is e^1 more likely than 5001.
@@ -556,10 +553,13 @@ mod tests {
         let tm = standard::fig4_demands();
         let w = vec![1.0; net.graph().edge_count()];
         let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).unwrap();
-        let flows =
-            traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp).unwrap();
+        let flows = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp).unwrap();
         let agg = flows.aggregate();
-        assert!((agg[0] - 8.0).abs() < 1e-12, "bottleneck link 1: {}", agg[0]);
+        assert!(
+            (agg[0] - 8.0).abs() < 1e-12,
+            "bottleneck link 1: {}",
+            agg[0]
+        );
         // 1→7 splits across the two 2-hop paths via 5 and via 6.
         assert!((agg[3] - 2.0).abs() < 1e-12);
         assert!((agg[5] - 2.0).abs() < 1e-12);

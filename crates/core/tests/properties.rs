@@ -19,11 +19,7 @@ fn random_instance() -> impl Strategy<Value = (spef_topology::Network, TrafficMa
             let s = (seed as usize + k * 3) % n;
             let t = (seed as usize + k * 5 + 1) % n;
             if s != t {
-                tm.set(
-                    NodeId::new(s),
-                    NodeId::new(t),
-                    0.2 + (k as f64) * 0.13,
-                );
+                tm.set(NodeId::new(s), NodeId::new(t), 0.2 + (k as f64) * 0.13);
             }
         }
         if tm.pair_count() == 0 {

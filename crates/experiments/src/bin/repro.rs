@@ -1,4 +1,5 @@
-//! `repro` — regenerates the SPEF paper's tables and figures.
+//! `repro` — regenerates the SPEF paper's tables and figures, and runs
+//! scenario sweeps.
 //!
 //! ```bash
 //! repro                         # run everything at full fidelity
@@ -6,12 +7,21 @@
 //! repro --quick                # reduced iteration budgets
 //! repro --out results          # CSV output directory (default: results)
 //! repro --list                 # list experiment ids
+//!
+//! repro sweep                  # default smoke grid, parallel, JSON report
+//! repro sweep --topologies abilene,cernet2 --seeds 1,2,3 \
+//!     --loads 0.15,0.3 --betas 0.5,1.0,2.0 --solvers fw \
+//!     --json BENCH_sweep.json
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spef_experiments::{run_experiment, Quality, ALL_EXPERIMENTS, EXTRA_EXPERIMENTS};
+use spef_experiments::{
+    harness::{run_batch, BatchOptions},
+    run_experiment, Quality, ScenarioGrid, SolverSpec, TopologySpec, TrafficModel, ALL_EXPERIMENTS,
+    EXTRA_EXPERIMENTS,
+};
 
 struct Args {
     experiments: Vec<String>,
@@ -61,7 +71,143 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// Parses and runs `repro sweep ...`, returning the process exit code.
+fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut grid = ScenarioGrid::new();
+    let mut json_path = PathBuf::from("BENCH_sweep.json");
+    let mut options = BatchOptions::default();
+
+    let parse_list =
+        |val: &str| -> Vec<String> { val.split(',').map(|s| s.trim().to_string()).collect() };
+    let parse_f64s = |flag: &str, val: &str| -> Result<Vec<f64>, String> {
+        val.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("{flag}: invalid number {s:?}: {e}"))
+            })
+            .collect()
+    };
+
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--topologies" => {
+                let names = value("--topologies")?;
+                grid = grid.topologies(
+                    parse_list(&names)
+                        .iter()
+                        .map(|n| TopologySpec::parse(n))
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            "--seeds" => {
+                let val = value("--seeds")?;
+                grid = grid.seeds(
+                    parse_list(&val)
+                        .iter()
+                        .map(|s| {
+                            s.parse::<u64>()
+                                .map_err(|e| format!("--seeds: invalid seed {s:?}: {e}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            "--loads" => {
+                let val = value("--loads")?;
+                grid = grid.loads(parse_f64s("--loads", &val)?);
+            }
+            "--betas" => {
+                let val = value("--betas")?;
+                grid = grid.betas(parse_f64s("--betas", &val)?);
+            }
+            "--q" => {
+                let val = value("--q")?;
+                grid = grid.q(val
+                    .parse::<f64>()
+                    .map_err(|e| format!("--q: invalid value {val:?}: {e}"))?);
+            }
+            "--solvers" => {
+                let val = value("--solvers")?;
+                grid = grid.solvers(
+                    parse_list(&val)
+                        .iter()
+                        .map(|n| SolverSpec::parse(n))
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            "--traffic" => {
+                let val = value("--traffic")?;
+                grid = grid.traffic_model(match val.as_str() {
+                    "ft" => TrafficModel::FortzThorup,
+                    "gravity" => TrafficModel::Gravity,
+                    other => return Err(format!("--traffic: unknown model {other:?}")),
+                });
+            }
+            "--base-seed" => {
+                let val = value("--base-seed")?;
+                grid = grid.base_seed(
+                    val.parse::<u64>()
+                        .map_err(|e| format!("--base-seed: invalid value {val:?}: {e}"))?,
+                );
+            }
+            "--json" => json_path = PathBuf::from(value("--json")?),
+            "--serial" => options.serial = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro sweep [--topologies a,b,...] [--seeds 1,2,...] \
+                     [--loads 0.15,...] [--betas 1.0,...] [--q 1.0] \
+                     [--solvers fw|fw-fast|dd] [--traffic ft|gravity] \
+                     [--base-seed N] [--json FILE] [--serial]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown sweep argument {other:?}")),
+        }
+    }
+
+    let scenarios = grid.build();
+    println!(
+        "sweep: {} scenario(s), {} thread(s)",
+        scenarios.len(),
+        if options.serial {
+            1
+        } else {
+            rayon::current_num_threads()
+        }
+    );
+    let report = run_batch(scenarios, &options);
+    print!("{}", report.summary_table());
+    report
+        .write(&json_path)
+        .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    println!(
+        "sweep: {} ok, {} failed, {:.1}s total; report: {}",
+        report.results.len(),
+        report.failures.len(),
+        report.total_wall_ms / 1e3,
+        json_path.display()
+    );
+    if report.failures.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("sweep") {
+        argv.next();
+        return match run_sweep(argv) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -63,24 +63,21 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
             continue; // failing a bridge disconnects: skip (none on Abilene)
         };
         // Remap per-link vectors onto the surviving edge ids.
-        let remap = |vals: &[f64]| -> Vec<f64> {
-            kept.iter().map(|&old| vals[old.index()]).collect()
-        };
+        let remap =
+            |vals: &[f64]| -> Vec<f64> { kept.iter().map(|&old| vals[old.index()]).collect() };
         let dests = tm.destinations();
 
         // OSPF reconvergence.
         let w_ospf = remap(&invcap);
         let dags = build_dags(degraded.graph(), &w_ospf, &dests, 0.0)?;
-        let ospf_flows =
-            traffic_distribution(degraded.graph(), &dags, &tm, SplitRule::EvenEcmp)?;
+        let ospf_flows = traffic_distribution(degraded.graph(), &dags, &tm, SplitRule::EvenEcmp)?;
         let mlu_ospf = metrics::max_link_utilization(&degraded, ospf_flows.aggregate());
 
         // SPEF with stale (intact-optimal) weights.
         let w_stale = remap(&intact.weights);
         let max_w = w_stale.iter().cloned().fold(0.0, f64::max);
         let dags = build_dags(degraded.graph(), &w_stale, &dests, 1e-2 * max_w)?;
-        let stale_flows =
-            traffic_distribution(degraded.graph(), &dags, &tm, SplitRule::EvenEcmp)?;
+        let stale_flows = traffic_distribution(degraded.graph(), &dags, &tm, SplitRule::EvenEcmp)?;
         let mlu_stale = metrics::max_link_utilization(&degraded, stale_flows.aggregate());
 
         // SPEF re-optimised on the degraded topology.
@@ -91,10 +88,7 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
             Err(e) => return Err(e),
         };
 
-        let (u, v) = (
-            net.graph().source(e_fwd),
-            net.graph().target(e_fwd),
-        );
+        let (u, v) = (net.graph().source(e_fwd), net.graph().target(e_fwd));
         table.push_row(vec![
             format!("{}-{}", net.node_name(u), net.node_name(v)),
             fmt_val(mlu_ospf),

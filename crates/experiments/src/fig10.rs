@@ -106,7 +106,10 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     for panel in panels {
         let panel = panel?;
         let mut table = TextTable::new(
-            format!("Fig. 10 — normalized utility vs network load, {}", panel.name),
+            format!(
+                "Fig. 10 — normalized utility vs network load, {}",
+                panel.name
+            ),
             &["load", "OSPF", "SPEF"],
         );
         let mut rows = Vec::new();

@@ -111,9 +111,7 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
         let mut table = TextTable::new(
             format!(
                 "Fig. 11 — mean link load ({}) over {}s, {} network",
-                spec.load_unit,
-                cfg.duration,
-                spec.name
+                spec.load_unit, cfg.duration, spec.name
             ),
             &["link", "PEFT", "SPEF"],
         );
@@ -190,8 +188,7 @@ mod tests {
                     .filter(|&v| v > 0.01 * max)
                     .collect();
                 let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-                let var =
-                    vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
                 var.sqrt() / mean
             };
             assert!(

@@ -154,9 +154,26 @@ mod tests {
             let last = te.last().unwrap()[col];
             assert!(last < first, "TE ratio col {col}: {first} → {last}");
         }
-        // The default ratio (col 2) ends at least as low as the smallest
-        // step (col 4) — fast convergence of the default setting.
-        assert!(te.last().unwrap()[2] <= te.last().unwrap()[4] + 1.0);
+        // The default ratio (col 2) converges fast: through the early
+        // budget it sits below the smallest step (col 4), which descends
+        // monotonically but slowly. (With a constant step the default
+        // ratio plateaus at an O(step) neighbourhood of the optimum, so
+        // the *final* values may cross — the paper's claim is about speed.)
+        let k10 = (te.len() / 10).max(1);
+        assert!(
+            te[k10][2] < te[k10][4],
+            "default ratio not faster at k={k10}: {} vs {}",
+            te[k10][2],
+            te[k10][4]
+        );
+        // ...and it has essentially reached its plateau by a third of the
+        // budget.
+        let last = te.last().unwrap()[2];
+        let descent = te.first().unwrap()[2] - last;
+        assert!(
+            (te[te.len() / 3][2] - last).abs() <= 0.15 * descent,
+            "default ratio still moving after a third of the budget"
+        );
         // NEM duals are finite and the default ratio is non-increasing
         // overall.
         for row in &nem {

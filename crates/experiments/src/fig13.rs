@@ -21,8 +21,7 @@ use crate::{scale, Quality};
 pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let abilene = standard::abilene();
     let cernet2 = standard::cernet2();
-    let tm_a =
-        spef_topology::TrafficMatrix::fortz_thorup(&abilene, crate::fig9::ABILENE_TM_SEED);
+    let tm_a = spef_topology::TrafficMatrix::fortz_thorup(&abilene, crate::fig9::ABILENE_TM_SEED);
     let tm_c = spef_topology::TrafficMatrix::gravity(
         &cernet2,
         crate::fig9::CERNET2_SIGMA,

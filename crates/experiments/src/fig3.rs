@@ -52,8 +52,7 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let mut table = TextTable::new(
         "Fig. 3 — weights and utilizations vs beta (Fig. 1 network, q = 1)",
         &[
-            "beta", "w(1,3)", "w(3,4)", "w(1,2)", "w(2,3)", "u(1,3)", "u(3,4)", "u(1,2)",
-            "u(2,3)",
+            "beta", "w(1,3)", "w(3,4)", "w(1,2)", "w(2,3)", "u(1,3)", "u(3,4)", "u(1,2)", "u(2,3)",
         ],
     );
     for row in &rows {
@@ -65,7 +64,9 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
         tables: vec![table],
         csvs: vec![CsvFile::from_rows(
             "fig3.csv",
-            &["beta", "w13", "w34", "w12", "w23", "u13", "u34", "u12", "u23"],
+            &[
+                "beta", "w13", "w34", "w12", "w23", "u13", "u34", "u12", "u23",
+            ],
             &rows,
         )],
     })
@@ -87,7 +88,10 @@ mod tests {
         // Fig. 3(a): w(3,4) grows explosively with beta.
         let w34_first = parsed.first().unwrap()[2];
         let w34_last = parsed.last().unwrap()[2];
-        assert!(w34_last > 100.0 * w34_first.max(1.0), "{w34_first} → {w34_last}");
+        assert!(
+            w34_last > 100.0 * w34_first.max(1.0),
+            "{w34_first} → {w34_last}"
+        );
         // Arcs (1,2) and (2,3) always share a weight.
         for row in &parsed {
             assert!((row[3] - row[4]).abs() < 1e-6 * row[3].max(1.0));

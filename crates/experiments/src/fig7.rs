@@ -98,11 +98,11 @@ mod tests {
             if max_v <= 0.0 {
                 continue;
             }
-            let significant = second
-                .iter()
-                .filter(|r| r[1 + bi] > 0.05 * max_v)
-                .count();
-            assert!(significant <= 8, "beta index {bi}: {significant} significant");
+            let significant = second.iter().filter(|r| r[1 + bi] > 0.05 * max_v).count();
+            assert!(
+                significant <= 8,
+                "beta index {bi}: {significant} significant"
+            );
         }
         // And non-negative everywhere.
         for row in &second {

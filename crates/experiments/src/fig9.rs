@@ -73,11 +73,7 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
                 table.push_row(vec![format!("{}", i + 1), fmt_val(*o), fmt_val(*s)]);
             }
         }
-        table.push_row(vec![
-            "MLU".into(),
-            fmt_val(s_ospf[0]),
-            fmt_val(s_spef[0]),
-        ]);
+        table.push_row(vec!["MLU".into(), fmt_val(s_ospf[0]), fmt_val(s_spef[0])]);
         tables.push(table);
         csvs.push(CsvFile::from_rows(
             format!("fig9_{}.csv", net.name().to_lowercase()),

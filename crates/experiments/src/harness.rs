@@ -1,0 +1,281 @@
+//! Parallel scenario-sweep harness.
+//!
+//! Takes a batch of [`Scenario`]s (usually from a
+//! [`ScenarioGrid`](crate::scenario::ScenarioGrid)), fans the runs out over
+//! rayon — every scenario carries its own deterministic seed, so the
+//! parallel schedule cannot change any result — and collects a
+//! [`BatchReport`] of [`ScenarioResult`]s that serializes to the
+//! `BENCH_*.json` format downstream tooling tracks.
+//!
+//! ```
+//! use spef_experiments::harness::{run_batch, BatchOptions};
+//! use spef_experiments::scenario::ScenarioGrid;
+//! use spef_experiments::scenario::TopologySpec;
+//!
+//! let scenarios = ScenarioGrid::new()
+//!     .topologies([TopologySpec::Fig1])
+//!     .seeds([1])
+//!     .loads([0.2])
+//!     .build();
+//! let report = run_batch(scenarios, &BatchOptions::default());
+//! assert_eq!(report.results.len(), 1);
+//! assert!(report.results[0].mlu < 1.0);
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use spef_core::SpefRouting;
+
+use crate::scenario::Scenario;
+
+/// Schema version stamped into every [`BatchReport`]; bump when the JSON
+/// layout changes incompatibly.
+pub const BATCH_SCHEMA_VERSION: u64 = 1;
+
+/// Measurements of one successfully solved scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario that produced this result (embedded so a report is
+    /// self-describing).
+    pub scenario: Scenario,
+    /// Maximum link utilization of the realised routing.
+    pub mlu: f64,
+    /// Normalized aggregate utility (1 = the TE optimum's scale; see
+    /// `spef_core::metrics::normalized_utility`).
+    pub utility: f64,
+    /// TE-solver iterations spent on the first weights.
+    pub iterations: u64,
+    /// Whether the NEM second-weight solver converged.
+    pub nem_converged: bool,
+    /// Wall-clock milliseconds for the full pipeline (the only
+    /// non-deterministic field).
+    pub wall_ms: f64,
+}
+
+/// A scenario the pipeline could not solve (e.g. demands infeasible at the
+/// requested load).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioFailure {
+    /// The failing scenario.
+    pub scenario: Scenario,
+    /// The solver error, stringified.
+    pub error: String,
+}
+
+/// Everything one sweep produces; serializes to the `BENCH_*.json` format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// JSON schema version ([`BATCH_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Successful runs, in scenario order.
+    pub results: Vec<ScenarioResult>,
+    /// Failed runs, in scenario order.
+    pub failures: Vec<ScenarioFailure>,
+    /// Wall-clock milliseconds for the whole batch.
+    pub total_wall_ms: f64,
+    /// Worker threads the batch ran on (1 = serial).
+    pub threads: u64,
+}
+
+impl BatchReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("batch report serializes")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error message on malformed input.
+    pub fn from_json(text: &str) -> Result<BatchReport, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Writes the report to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// A terminal summary table of the batch.
+    pub fn summary_table(&self) -> crate::report::TextTable {
+        let mut table = crate::report::TextTable::new(
+            "scenario sweep",
+            &["scenario", "MLU", "utility", "iters", "NEM", "wall ms"],
+        );
+        for r in &self.results {
+            table.push_row(vec![
+                r.scenario.id.clone(),
+                format!("{:.4}", r.mlu),
+                format!("{:.4}", r.utility),
+                r.iterations.to_string(),
+                if r.nem_converged { "conv" } else { "MAX" }.to_string(),
+                format!("{:.1}", r.wall_ms),
+            ]);
+        }
+        for f in &self.failures {
+            table.push_row(vec![
+                f.scenario.id.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("FAILED: {}", f.error),
+            ]);
+        }
+        table
+    }
+}
+
+/// Batch execution options.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Run scenarios one at a time on the calling thread instead of fanning
+    /// out over rayon (useful for profiling a single scenario's cost).
+    pub serial: bool,
+}
+
+/// Runs one scenario end to end: materialize → solve → measure.
+///
+/// # Errors
+///
+/// Returns the stringified solver error (e.g. infeasible demands at the
+/// requested load).
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, String> {
+    let started = Instant::now();
+    let network = scenario.topology.build();
+    let traffic = scenario.traffic.build(&network);
+    let objective = scenario.objective.build(network.link_count());
+    let config = scenario.solver.build();
+    let routing =
+        SpefRouting::build(&network, &traffic, &objective, &config).map_err(|e| e.to_string())?;
+    Ok(ScenarioResult {
+        scenario: scenario.clone(),
+        mlu: routing.max_link_utilization(&network),
+        utility: routing.normalized_utility(&network),
+        iterations: routing.te_solution().iterations as u64,
+        nem_converged: routing.nem_converged(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Runs a batch of scenarios, in parallel unless
+/// [`BatchOptions::serial`] is set.
+///
+/// Results and failures come back in scenario order regardless of the
+/// parallel schedule, and every field except the wall-clock times is a pure
+/// function of the scenario (each run re-seeds its own generators), so a
+/// sweep is reproducible run-to-run and machine-to-machine.
+pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchReport {
+    let started = Instant::now();
+    let threads = if options.serial {
+        1
+    } else {
+        rayon::current_num_threads() as u64
+    };
+    let outcomes: Vec<(Scenario, Result<ScenarioResult, String>)> = if options.serial {
+        scenarios
+            .into_iter()
+            .map(|s| {
+                let outcome = run_scenario(&s);
+                (s, outcome)
+            })
+            .collect()
+    } else {
+        scenarios
+            .into_par_iter()
+            .map(|s| {
+                let outcome = run_scenario(&s);
+                (s, outcome)
+            })
+            .collect()
+    };
+
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for (scenario, outcome) in outcomes {
+        match outcome {
+            Ok(result) => results.push(result),
+            Err(error) => failures.push(ScenarioFailure { scenario, error }),
+        }
+    }
+    BatchReport {
+        schema_version: BATCH_SCHEMA_VERSION,
+        results,
+        failures,
+        total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TrafficModel;
+    use crate::scenario::{ObjectiveSpec, ScenarioGrid, SolverSpec, TopologySpec, TrafficSpec};
+
+    #[test]
+    fn single_scenario_runs_and_reports() {
+        let scenario = Scenario::new(
+            TopologySpec::Fig1,
+            TrafficSpec {
+                model: TrafficModel::FortzThorup,
+                seed: 3,
+                load: 0.2,
+            },
+            ObjectiveSpec { q: 1.0, beta: 1.0 },
+            SolverSpec::FrankWolfeFast,
+        );
+        let result = run_scenario(&scenario).expect("fig1 at load 0.2 is feasible");
+        assert!(result.mlu > 0.0 && result.mlu < 1.0);
+        assert!(result.iterations > 0);
+        assert_eq!(result.scenario, scenario);
+    }
+
+    #[test]
+    fn infeasible_scenario_is_reported_not_dropped() {
+        let scenario = Scenario::new(
+            TopologySpec::Fig1,
+            TrafficSpec {
+                model: TrafficModel::FortzThorup,
+                seed: 3,
+                load: 50.0, // 50× total capacity cannot be routed
+            },
+            ObjectiveSpec { q: 1.0, beta: 1.0 },
+            SolverSpec::FrankWolfeFast,
+        );
+        let report = run_batch(vec![scenario], &BatchOptions::default());
+        assert!(report.results.is_empty());
+        assert_eq!(report.failures.len(), 1);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let scenarios = ScenarioGrid::new()
+            .topologies([TopologySpec::Fig1, TopologySpec::Fig4])
+            .seeds([1, 2])
+            .loads([0.15])
+            .build();
+        let par = run_batch(scenarios.clone(), &BatchOptions::default());
+        let ser = run_batch(scenarios, &BatchOptions { serial: true });
+        assert_eq!(par.results.len(), ser.results.len());
+        for (a, b) in par.results.iter().zip(&ser.results) {
+            assert_eq!(a.scenario.id, b.scenario.id, "order is preserved");
+            assert_eq!(a.mlu, b.mlu);
+            assert_eq!(a.utility, b.utility);
+            assert_eq!(a.iterations, b.iterations);
+        }
+    }
+}

@@ -16,14 +16,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod report;
 pub mod scale;
+pub mod scenario;
 
+pub mod failure;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
-pub mod failure;
 pub mod fig2;
 pub mod fig3;
 pub mod fig6;
@@ -34,7 +36,13 @@ pub mod table1;
 pub mod table3;
 pub mod table5;
 
+pub use harness::{
+    run_batch, run_scenario, BatchOptions, BatchReport, ScenarioFailure, ScenarioResult,
+};
 pub use report::{CsvFile, ExperimentResult, TextTable};
+pub use scenario::{
+    ObjectiveSpec, Scenario, ScenarioGrid, SolverSpec, TopologySpec, TrafficModel, TrafficSpec,
+};
 
 /// Fidelity of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,8 +92,8 @@ impl Quality {
 
 /// All paper-artifact experiment ids, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "table1", "fig2", "fig3", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "table3", "table5",
+    "table1", "fig2", "fig3", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "table3",
+    "table5",
 ];
 
 /// Extension experiments beyond the paper's artifacts (run explicitly via

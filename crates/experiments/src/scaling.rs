@@ -16,9 +16,7 @@
 use std::time::Instant;
 
 use spef_baselines::ospf::OspfRouting;
-use spef_core::{
-    dual_decomp, nem, solve_te, DualDecompConfig, NemConfig, Objective, SpefError,
-};
+use spef_core::{dual_decomp, nem, solve_te, DualDecompConfig, NemConfig, Objective, SpefError};
 use spef_topology::{gen, TrafficMatrix};
 
 use crate::report::{CsvFile, ExperimentResult, TextTable};
@@ -88,12 +86,8 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
         let alg1_ms = t0.elapsed().as_secs_f64() * 1e3 / alg1_iters as f64;
 
         let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
-        let dags = spef_core::build_dags(
-            net.graph(),
-            &te.weights,
-            &tm.destinations(),
-            1e-2 * max_w,
-        )?;
+        let dags =
+            spef_core::build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-2 * max_w)?;
         let alg2_iters = 50;
         let t0 = Instant::now();
         nem::solve_second_weights(
@@ -146,8 +140,14 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
         csvs: vec![CsvFile::from_rows(
             "scaling.csv",
             &[
-                "nodes", "links", "te_ms", "alg1_ms_per_iter", "alg2_ms_per_iter",
-                "spef_build_ms", "spef_fib_entries", "ospf_fib_entries",
+                "nodes",
+                "links",
+                "te_ms",
+                "alg1_ms_per_iter",
+                "alg2_ms_per_iter",
+                "spef_build_ms",
+                "spef_fib_entries",
+                "ospf_fib_entries",
             ],
             &rows,
         )],

@@ -1,0 +1,584 @@
+//! Declarative scenario descriptions for the sweep harness.
+//!
+//! A [`Scenario`] pins down everything needed to reproduce one SPEF run —
+//! topology, traffic model and seed, load scale, (q, β) objective, solver —
+//! as plain serializable data, so a batch of results can name exactly what
+//! produced each number. [`ScenarioGrid`] builds the cartesian product the
+//! paper-style evaluations sweep over (topology × seed × load × β × solver).
+
+use serde::{Deserialize, Serialize};
+use serde::{Error as SerdeError, Value};
+use spef_core::{DualDecompConfig, FrankWolfeConfig, NemConfig, Objective, SpefConfig, TeSolver};
+use spef_topology::{gen, standard, Network, TrafficMatrix};
+
+/// Which evaluation network a scenario runs on.
+///
+/// The named variants are the paper's networks (§V.B TABLE III plus the two
+/// pedagogical examples); [`TopologySpec::Random`] and
+/// [`TopologySpec::Hierarchical`] expose the generators directly so sweeps
+/// can scale beyond the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Fig. 1's 4-node example.
+    Fig1,
+    /// Fig. 4's 7-node, 13-link example.
+    Fig4,
+    /// The Abilene backbone (11 nodes, 28 links).
+    Abilene,
+    /// The CERNET2 backbone (20 nodes, 44 links).
+    Cernet2,
+    /// TABLE III's Hier50a (seeded 2-level GT-ITM-style hierarchy).
+    Hier50a,
+    /// TABLE III's Hier50b.
+    Hier50b,
+    /// TABLE III's Rand50a (seeded random network).
+    Rand50a,
+    /// TABLE III's Rand50b.
+    Rand50b,
+    /// TABLE III's Rand100.
+    Rand100,
+    /// A connected random network with exactly `links` directed links.
+    Random {
+        /// Node count.
+        nodes: usize,
+        /// Directed link count (must be even and connectable).
+        links: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A 2-level hierarchical network of `domains × per_domain` nodes.
+    Hierarchical {
+        /// Number of top-level domains.
+        domains: usize,
+        /// Nodes per domain.
+        per_domain: usize,
+        /// Directed link count.
+        links: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Materializes the network.
+    pub fn build(&self) -> Network {
+        match self {
+            TopologySpec::Fig1 => standard::fig1(),
+            TopologySpec::Fig4 => standard::fig4(),
+            TopologySpec::Abilene => standard::abilene(),
+            TopologySpec::Cernet2 => standard::cernet2(),
+            TopologySpec::Hier50a => gen::hierarchical_network("Hier50a", 5, 10, 222, 0xA11CE),
+            TopologySpec::Hier50b => gen::hierarchical_network("Hier50b", 5, 10, 152, 0xB0B),
+            TopologySpec::Rand50a => gen::random_network("Rand50a", 50, 242, 0xC0FFEE),
+            TopologySpec::Rand50b => gen::random_network("Rand50b", 50, 230, 0xD1CE),
+            TopologySpec::Rand100 => gen::random_network("Rand100", 100, 392, 0xFEED),
+            TopologySpec::Random { nodes, links, seed } => {
+                gen::random_network(&format!("Rand{nodes}"), *nodes, *links, *seed)
+            }
+            TopologySpec::Hierarchical {
+                domains,
+                per_domain,
+                links,
+                seed,
+            } => gen::hierarchical_network(
+                &format!("Hier{}", domains * per_domain),
+                *domains,
+                *per_domain,
+                *links,
+                *seed,
+            ),
+        }
+    }
+
+    /// A short stable identifier used in scenario ids and CLI flags.
+    pub fn id(&self) -> String {
+        match self {
+            TopologySpec::Fig1 => "fig1".into(),
+            TopologySpec::Fig4 => "fig4".into(),
+            TopologySpec::Abilene => "abilene".into(),
+            TopologySpec::Cernet2 => "cernet2".into(),
+            TopologySpec::Hier50a => "hier50a".into(),
+            TopologySpec::Hier50b => "hier50b".into(),
+            TopologySpec::Rand50a => "rand50a".into(),
+            TopologySpec::Rand50b => "rand50b".into(),
+            TopologySpec::Rand100 => "rand100".into(),
+            TopologySpec::Random { nodes, links, seed } => {
+                format!("random-n{nodes}-m{links}-s{seed}")
+            }
+            TopologySpec::Hierarchical {
+                domains,
+                per_domain,
+                links,
+                seed,
+            } => format!("hier-d{domains}x{per_domain}-m{links}-s{seed}"),
+        }
+    }
+
+    /// Parses a CLI topology name (the named variants only).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the known names on failure.
+    pub fn parse(name: &str) -> Result<TopologySpec, String> {
+        match name {
+            "fig1" => Ok(TopologySpec::Fig1),
+            "fig4" => Ok(TopologySpec::Fig4),
+            "abilene" => Ok(TopologySpec::Abilene),
+            "cernet2" => Ok(TopologySpec::Cernet2),
+            "hier50a" => Ok(TopologySpec::Hier50a),
+            "hier50b" => Ok(TopologySpec::Hier50b),
+            "rand50a" => Ok(TopologySpec::Rand50a),
+            "rand50b" => Ok(TopologySpec::Rand50b),
+            "rand100" => Ok(TopologySpec::Rand100),
+            other => Err(format!(
+                "unknown topology {other:?}; known: fig1, fig4, abilene, cernet2, \
+                 hier50a, hier50b, rand50a, rand50b, rand100"
+            )),
+        }
+    }
+}
+
+// The offline serde derive handles fieldless enums only, so the two
+// data-carrying variants are encoded by hand: named networks serialize as
+// their id string, generator variants as a single-key object.
+impl Serialize for TopologySpec {
+    fn to_value(&self) -> Value {
+        match self {
+            TopologySpec::Random { nodes, links, seed } => Value::Object(vec![(
+                "random".to_string(),
+                Value::Object(vec![
+                    ("nodes".to_string(), nodes.to_value()),
+                    ("links".to_string(), links.to_value()),
+                    ("seed".to_string(), seed.to_value()),
+                ]),
+            )]),
+            TopologySpec::Hierarchical {
+                domains,
+                per_domain,
+                links,
+                seed,
+            } => Value::Object(vec![(
+                "hierarchical".to_string(),
+                Value::Object(vec![
+                    ("domains".to_string(), domains.to_value()),
+                    ("per_domain".to_string(), per_domain.to_value()),
+                    ("links".to_string(), links.to_value()),
+                    ("seed".to_string(), seed.to_value()),
+                ]),
+            )]),
+            named => Value::String(named.id()),
+        }
+    }
+}
+
+impl Deserialize for TopologySpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if let Some(name) = value.as_str() {
+            return TopologySpec::parse(name).map_err(SerdeError::custom);
+        }
+        let field = |outer: &Value, key: &str| -> Result<usize, SerdeError> {
+            outer
+                .get_field(key)
+                .ok_or_else(|| SerdeError::custom(format!("missing field `{key}`")))
+                .and_then(usize::from_value)
+        };
+        if let Some(body) = value.get_field("random") {
+            return Ok(TopologySpec::Random {
+                nodes: field(body, "nodes")?,
+                links: field(body, "links")?,
+                seed: u64::from_value(
+                    body.get_field("seed")
+                        .ok_or_else(|| SerdeError::custom("missing field `seed`"))?,
+                )?,
+            });
+        }
+        if let Some(body) = value.get_field("hierarchical") {
+            return Ok(TopologySpec::Hierarchical {
+                domains: field(body, "domains")?,
+                per_domain: field(body, "per_domain")?,
+                links: field(body, "links")?,
+                seed: u64::from_value(
+                    body.get_field("seed")
+                        .ok_or_else(|| SerdeError::custom("missing field `seed`"))?,
+                )?,
+            });
+        }
+        Err(SerdeError::custom(format!(
+            "invalid topology spec: {value:?}"
+        )))
+    }
+}
+
+/// Which demand model generates the traffic matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// The Fortz–Thorup demand model (used for Abilene and the synthetic
+    /// networks in §V.B).
+    FortzThorup,
+    /// The gravity model with σ = 1 (the stand-in for the paper's
+    /// NetFlow-derived CERNET2 demands).
+    Gravity,
+}
+
+/// Traffic matrix recipe: model, seed and target network load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Demand model.
+    pub model: TrafficModel,
+    /// Demand-generator seed.
+    pub seed: u64,
+    /// Target network load the matrix is scaled to (total demand ÷ total
+    /// capacity, as in `TrafficMatrix::scaled_to_network_load`).
+    pub load: f64,
+}
+
+impl TrafficSpec {
+    /// Materializes the traffic matrix for `network`.
+    pub fn build(&self, network: &Network) -> TrafficMatrix {
+        let tm = match self.model {
+            TrafficModel::FortzThorup => TrafficMatrix::fortz_thorup(network, self.seed),
+            TrafficModel::Gravity => TrafficMatrix::gravity(network, 1.0, self.seed),
+        };
+        tm.scaled_to_network_load(network, self.load)
+    }
+
+    /// A short stable identifier used in scenario ids.
+    pub fn id(&self) -> String {
+        let model = match self.model {
+            TrafficModel::FortzThorup => "ft",
+            TrafficModel::Gravity => "grav",
+        };
+        // Shortest round-trip float formatting: distinct loads always
+        // produce distinct ids (ids are the join key of batch reports).
+        format!("{model}-s{}-l{}", self.seed, self.load)
+    }
+}
+
+/// The (q, β) proportional load-balance objective of Eq. (4), with uniform
+/// per-link weight `q`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSpec {
+    /// Uniform per-link objective weight (the paper's evaluations use 1).
+    pub q: f64,
+    /// The load-balance exponent β (β = 1 is proportional balance, β = 0
+    /// the linear objective, large β approaches min-max).
+    pub beta: f64,
+}
+
+impl ObjectiveSpec {
+    /// Materializes the objective for a network with `links` links.
+    pub fn build(&self, links: usize) -> Objective {
+        Objective::with_weights(vec![self.q; links], self.beta)
+    }
+}
+
+/// Which solver pipeline computes the routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverSpec {
+    /// Frank–Wolfe at paper-fidelity budgets (the reference).
+    FrankWolfe,
+    /// Frank–Wolfe at reduced budgets (`FrankWolfeConfig::fast`) — the CI
+    /// and smoke-sweep setting.
+    FrankWolfeFast,
+    /// The paper's Algorithm 1 (distributed dual decomposition).
+    DualDecomposition,
+}
+
+impl SolverSpec {
+    /// Materializes the full SPEF pipeline configuration.
+    pub fn build(&self) -> SpefConfig {
+        match self {
+            SolverSpec::FrankWolfe => SpefConfig::default(),
+            SolverSpec::FrankWolfeFast => SpefConfig {
+                solver: TeSolver::FrankWolfe(FrankWolfeConfig::fast()),
+                nem: NemConfig {
+                    max_iterations: 1000,
+                    ..NemConfig::default()
+                },
+                ..SpefConfig::default()
+            },
+            SolverSpec::DualDecomposition => SpefConfig {
+                solver: TeSolver::DualDecomposition(DualDecompConfig::default()),
+                ..SpefConfig::default()
+            },
+        }
+    }
+
+    /// A short stable identifier used in scenario ids and CLI flags.
+    pub fn id(&self) -> &'static str {
+        match self {
+            SolverSpec::FrankWolfe => "fw",
+            SolverSpec::FrankWolfeFast => "fw-fast",
+            SolverSpec::DualDecomposition => "dd",
+        }
+    }
+
+    /// Parses a CLI solver name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the known names on failure.
+    pub fn parse(name: &str) -> Result<SolverSpec, String> {
+        match name {
+            "fw" => Ok(SolverSpec::FrankWolfe),
+            "fw-fast" => Ok(SolverSpec::FrankWolfeFast),
+            "dd" => Ok(SolverSpec::DualDecomposition),
+            other => Err(format!("unknown solver {other:?}; known: fw, fw-fast, dd")),
+        }
+    }
+}
+
+/// One fully pinned-down run of the SPEF pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Stable human-readable id (topology + traffic + objective + solver).
+    pub id: String,
+    /// Network to route on.
+    pub topology: TopologySpec,
+    /// Demand recipe (model, seed, load scale).
+    pub traffic: TrafficSpec,
+    /// The (q, β) objective.
+    pub objective: ObjectiveSpec,
+    /// Solver pipeline.
+    pub solver: SolverSpec,
+}
+
+impl Scenario {
+    /// Creates a scenario with its canonical id.
+    pub fn new(
+        topology: TopologySpec,
+        traffic: TrafficSpec,
+        objective: ObjectiveSpec,
+        solver: SolverSpec,
+    ) -> Scenario {
+        let id = format!(
+            "{}+{}+q{}b{}+{}",
+            topology.id(),
+            traffic.id(),
+            objective.q,
+            objective.beta,
+            solver.id()
+        );
+        Scenario {
+            id,
+            topology,
+            traffic,
+            objective,
+            solver,
+        }
+    }
+}
+
+/// Cartesian-product builder for scenario batches:
+/// topologies × traffic seeds × loads × βs × solvers.
+///
+/// Traffic seeds are mixed with the grid's `base_seed`, so two grids with
+/// different base seeds explore disjoint demand draws while each grid stays
+/// fully deterministic.
+///
+/// # Example
+///
+/// ```
+/// use spef_experiments::{ScenarioGrid, TopologySpec};
+///
+/// let scenarios = ScenarioGrid::new()
+///     .topologies([TopologySpec::Fig1, TopologySpec::Abilene])
+///     .seeds([1, 2])
+///     .loads([0.15])
+///     .betas([1.0])
+///     .build();
+/// assert_eq!(scenarios.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    topologies: Vec<TopologySpec>,
+    traffic_model: TrafficModel,
+    seeds: Vec<u64>,
+    loads: Vec<f64>,
+    q: f64,
+    betas: Vec<f64>,
+    solvers: Vec<SolverSpec>,
+    base_seed: u64,
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        ScenarioGrid {
+            topologies: vec![
+                TopologySpec::Fig1,
+                TopologySpec::Fig4,
+                TopologySpec::Abilene,
+            ],
+            traffic_model: TrafficModel::FortzThorup,
+            seeds: vec![1, 2],
+            // Loads every default topology can route with headroom (Abilene
+            // under Fortz-Thorup demands already reaches MLU ~0.86 at 0.15).
+            loads: vec![0.1, 0.15],
+            q: 1.0,
+            betas: vec![1.0],
+            solvers: vec![SolverSpec::FrankWolfeFast],
+            base_seed: 0,
+        }
+    }
+}
+
+impl ScenarioGrid {
+    /// Starts from the default smoke grid (fig1/fig4/abilene × 2 seeds ×
+    /// loads {0.1, 0.15} × β = 1 × fast Frank–Wolfe).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the topologies to sweep.
+    pub fn topologies(mut self, topologies: impl IntoIterator<Item = TopologySpec>) -> Self {
+        self.topologies = topologies.into_iter().collect();
+        self
+    }
+
+    /// Sets the demand model (applied to every scenario).
+    pub fn traffic_model(mut self, model: TrafficModel) -> Self {
+        self.traffic_model = model;
+        self
+    }
+
+    /// Sets the traffic seeds to sweep.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the network loads to sweep.
+    pub fn loads(mut self, loads: impl IntoIterator<Item = f64>) -> Self {
+        self.loads = loads.into_iter().collect();
+        self
+    }
+
+    /// Sets the uniform objective weight q (applied to every scenario).
+    pub fn q(mut self, q: f64) -> Self {
+        self.q = q;
+        self
+    }
+
+    /// Sets the β values to sweep.
+    pub fn betas(mut self, betas: impl IntoIterator<Item = f64>) -> Self {
+        self.betas = betas.into_iter().collect();
+        self
+    }
+
+    /// Sets the solvers to sweep.
+    pub fn solvers(mut self, solvers: impl IntoIterator<Item = SolverSpec>) -> Self {
+        self.solvers = solvers.into_iter().collect();
+        self
+    }
+
+    /// Sets the base seed mixed into every scenario's traffic seed.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Derives the per-scenario traffic seed from the base seed and the
+    /// grid seed (SplitMix64 finalizer, so nearby seeds decorrelate).
+    fn scenario_seed(&self, seed: u64) -> u64 {
+        if self.base_seed == 0 {
+            return seed; // Grids without a base seed use their seeds as-is.
+        }
+        let mut z = self
+            .base_seed
+            .wrapping_add(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Expands the grid into the full cartesian product, in deterministic
+    /// order (topology-major, solver-minor).
+    pub fn build(&self) -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        for topology in &self.topologies {
+            for &seed in &self.seeds {
+                for &load in &self.loads {
+                    for &beta in &self.betas {
+                        for &solver in &self.solvers {
+                            scenarios.push(Scenario::new(
+                                topology.clone(),
+                                TrafficSpec {
+                                    model: self.traffic_model,
+                                    seed: self.scenario_seed(seed),
+                                    load,
+                                },
+                                ObjectiveSpec { q: self.q, beta },
+                                solver,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_a_cartesian_product_in_stable_order() {
+        let grid = ScenarioGrid::new()
+            .topologies([TopologySpec::Fig1, TopologySpec::Fig4])
+            .seeds([1, 2, 3])
+            .loads([0.1])
+            .betas([0.0, 1.0])
+            .solvers([SolverSpec::FrankWolfeFast]);
+        let scenarios = grid.build();
+        assert_eq!(scenarios.len(), 12); // 2 topologies x 3 seeds x 1 load x 2 betas
+        assert_eq!(scenarios, grid.build(), "expansion is deterministic");
+        assert!(scenarios[0].id.starts_with("fig1+ft-s1"));
+    }
+
+    #[test]
+    fn scenario_ids_are_unique() {
+        let scenarios = ScenarioGrid::new().build();
+        let mut ids: Vec<&str> = scenarios.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), scenarios.len());
+    }
+
+    #[test]
+    fn base_seed_decorrelates_but_stays_deterministic() {
+        let a = ScenarioGrid::new().base_seed(7).build();
+        let b = ScenarioGrid::new().base_seed(7).build();
+        let c = ScenarioGrid::new().base_seed(8).build();
+        assert_eq!(a, b);
+        assert_ne!(a[0].traffic.seed, c[0].traffic.seed);
+    }
+
+    #[test]
+    fn topology_spec_roundtrips_through_serde() {
+        for spec in [
+            TopologySpec::Abilene,
+            TopologySpec::Random {
+                nodes: 30,
+                links: 120,
+                seed: 9,
+            },
+            TopologySpec::Hierarchical {
+                domains: 5,
+                per_domain: 10,
+                links: 222,
+                seed: 0xA11CE,
+            },
+        ] {
+            let v = spec.to_value();
+            assert_eq!(TopologySpec::from_value(&v).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn named_topologies_materialize() {
+        assert_eq!(TopologySpec::Fig4.build().node_count(), 7);
+        assert_eq!(TopologySpec::Abilene.build().link_count(), 28);
+    }
+}

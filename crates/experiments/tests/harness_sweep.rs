@@ -1,0 +1,90 @@
+//! Integration tests of the scenario-sweep harness: determinism across
+//! runs and JSON round-tripping of the batch report.
+
+use spef_experiments::harness::{run_batch, BatchOptions, BatchReport};
+use spef_experiments::scenario::{
+    ObjectiveSpec, Scenario, ScenarioGrid, SolverSpec, TopologySpec, TrafficModel, TrafficSpec,
+};
+
+/// A 3-scenario sweep: fig1 at two seeds plus Abilene.
+fn three_scenarios() -> Vec<Scenario> {
+    let spec = |topology: TopologySpec, seed: u64| {
+        Scenario::new(
+            topology,
+            TrafficSpec {
+                model: TrafficModel::FortzThorup,
+                seed,
+                load: 0.15,
+            },
+            ObjectiveSpec { q: 1.0, beta: 1.0 },
+            SolverSpec::FrankWolfeFast,
+        )
+    };
+    vec![
+        spec(TopologySpec::Fig1, 1),
+        spec(TopologySpec::Fig1, 2),
+        spec(TopologySpec::Abilene, 1),
+    ]
+}
+
+#[test]
+fn sweep_is_deterministic_across_runs() {
+    let first = run_batch(three_scenarios(), &BatchOptions::default());
+    let second = run_batch(three_scenarios(), &BatchOptions::default());
+
+    assert_eq!(first.results.len(), 3, "all scenarios feasible");
+    assert!(first.failures.is_empty());
+    for (a, b) in first.results.iter().zip(&second.results) {
+        assert_eq!(a.scenario, b.scenario);
+        // Every measurement except wall-clock is a pure function of the
+        // scenario, bit for bit.
+        assert_eq!(a.mlu, b.mlu, "{}", a.scenario.id);
+        assert_eq!(a.utility, b.utility, "{}", a.scenario.id);
+        assert_eq!(a.iterations, b.iterations, "{}", a.scenario.id);
+        assert_eq!(a.nem_converged, b.nem_converged, "{}", a.scenario.id);
+    }
+}
+
+#[test]
+fn results_are_physically_sane() {
+    let report = run_batch(three_scenarios(), &BatchOptions::default());
+    for r in &report.results {
+        assert!(
+            r.mlu > 0.0 && r.mlu < 1.0,
+            "{}: MLU {}",
+            r.scenario.id,
+            r.mlu
+        );
+        assert!(r.iterations > 0, "{}", r.scenario.id);
+        assert!(r.wall_ms > 0.0, "{}", r.scenario.id);
+    }
+}
+
+#[test]
+fn batch_report_roundtrips_through_json() {
+    let report = run_batch(three_scenarios(), &BatchOptions::default());
+    let json = report.to_json();
+    let back = BatchReport::from_json(&json).expect("report parses back");
+    // Full structural equality: scenarios (nested enums included), all
+    // measurements, and the wall-clock fields survive serialization.
+    assert_eq!(back, report);
+
+    // The id field stays the stable join key tooling can rely on.
+    assert!(json.contains("\"fig1+ft-s1-l0.15+q1b1+fw-fast\""));
+    assert!(json.contains("\"schema_version\": 1"));
+}
+
+#[test]
+fn grid_sweep_runs_mixed_feasibility_batches() {
+    // One infeasible scenario (load 5.0 = 5x capacity) among feasible ones:
+    // the batch completes, failures are recorded, results keep their order.
+    let scenarios = ScenarioGrid::new()
+        .topologies([TopologySpec::Fig1])
+        .seeds([1])
+        .loads([0.15, 5.0])
+        .build();
+    let report = run_batch(scenarios, &BatchOptions::default());
+    assert_eq!(report.results.len(), 1);
+    assert_eq!(report.failures.len(), 1);
+    assert!(report.failures[0].scenario.traffic.load > 1.0);
+}

@@ -106,7 +106,11 @@ pub fn distances_from(
 /// # Ok(())
 /// # }
 /// ```
-pub fn distances_to(graph: &Graph, weights: &[f64], target: NodeId) -> Result<Vec<f64>, GraphError> {
+pub fn distances_to(
+    graph: &Graph,
+    weights: &[f64],
+    target: NodeId,
+) -> Result<Vec<f64>, GraphError> {
     validate_weights(graph.edge_count(), weights)?;
     check_node(graph, target)?;
     Ok(run(graph, weights, target, Direction::Reverse))

@@ -60,8 +60,7 @@ pub fn is_strongly_connected(graph: &Graph) -> bool {
         return true;
     }
     let origin = NodeId::new(0);
-    reachable_from(graph, origin).iter().all(|&r| r)
-        && reaches(graph, origin).iter().all(|&r| r)
+    reachable_from(graph, origin).iter().all(|&r| r) && reaches(graph, origin).iter().all(|&r| r)
 }
 
 /// Returns `true` if the graph is connected when edge directions are ignored.

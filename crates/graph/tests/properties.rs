@@ -15,9 +15,7 @@ fn random_network() -> impl Strategy<Value = (Graph, Vec<f64>)> {
         let extra = 0usize..(n * 2);
         (
             Just(n),
-            extra.prop_flat_map(move |k| {
-                proptest::collection::vec((0..n, 0..n), k..=k)
-            }),
+            extra.prop_flat_map(move |k| proptest::collection::vec((0..n, 0..n), k..=k)),
             proptest::collection::vec(0.0f64..10.0, n + n * 2),
         )
             .prop_map(|(n, chords, weights)| {

@@ -186,8 +186,8 @@ mod tests {
         assert_eq!(v, 23.0);
         // Flow conservation at interior nodes.
         let div = g.divergence(&flows);
-        for i in 1..=4 {
-            assert!(div[i].abs() < 1e-9);
+        for d in &div[1..=4] {
+            assert!(d.abs() < 1e-9);
         }
         assert!((div[0] - 23.0).abs() < 1e-9);
     }

@@ -178,11 +178,8 @@ impl<'g> MinCostFlow<'g> {
         let _ = bellman_ford::distances_from; // (kept for general-cost variants)
 
         let mut remaining: Vec<f64> = supply.to_vec();
-        loop {
-            // Pick any node with positive remaining supply.
-            let Some(src) = (0..n).find(|&i| remaining[i] > EPS) else {
-                break;
-            };
+        // Pick any node with positive remaining supply until none is left.
+        while let Some(src) = (0..n).find(|&i| remaining[i] > EPS) {
             // Dijkstra over the residual graph with reduced costs.
             let (dist, parent) = self.residual_dijkstra(src, &resid, &pi);
             // Find the nearest reachable node with deficit.
@@ -393,10 +390,7 @@ mod tests {
         let mut g = Graph::with_nodes(2);
         g.add_edge(0.into(), 1.into());
         let mcf = MinCostFlow::new(&g, &[1.0], &[1.0]);
-        assert_eq!(
-            mcf.solve(&[2.0, -2.0]),
-            Err(MinCostFlowError::Infeasible)
-        );
+        assert_eq!(mcf.solve(&[2.0, -2.0]), Err(MinCostFlowError::Infeasible));
     }
 
     #[test]
@@ -435,11 +429,7 @@ mod tests {
         g.add_edge(1.into(), 2.into());
         g.add_edge(1.into(), 3.into());
         g.add_edge(2.into(), 3.into());
-        let mcf = MinCostFlow::new(
-            &g,
-            &[1.0, 1.0, 1.0, 1.0, 1.0],
-            &[1.0, 2.0, 0.0, 2.0, 1.0],
-        );
+        let mcf = MinCostFlow::new(&g, &[1.0, 1.0, 1.0, 1.0, 1.0], &[1.0, 2.0, 0.0, 2.0, 1.0]);
         let sol = mcf.solve(&[2.0, 0.0, 0.0, -2.0]).unwrap();
         assert!((sol.cost() - 6.0).abs() < 1e-9, "cost = {}", sol.cost());
     }

@@ -402,8 +402,8 @@ impl Tableau {
         for i in 0..self.m {
             if self.basis[i] >= self.art_start {
                 let row = self.t[i].clone();
-                for j in 0..=self.cols {
-                    self.t[obj][j] -= row[j];
+                for (dst, src) in self.t[obj].iter_mut().zip(&row).take(self.cols + 1) {
+                    *dst -= *src;
                 }
             }
         }
@@ -443,11 +443,15 @@ impl Tableau {
                 continue;
             }
             let b = self.basis[i];
-            let cb = if b < self.n_struct { self.costs[b] } else { 0.0 };
+            let cb = if b < self.n_struct {
+                self.costs[b]
+            } else {
+                0.0
+            };
             if cb != 0.0 {
                 let row = self.t[i].clone();
-                for j in 0..=self.cols {
-                    self.t[obj][j] -= cb * row[j];
+                for (dst, src) in self.t[obj].iter_mut().zip(&row).take(self.cols + 1) {
+                    *dst -= cb * *src;
                 }
             }
         }
@@ -533,8 +537,8 @@ impl Tableau {
             }
             let factor = self.t[i][pivot_col];
             if factor.abs() > 0.0 {
-                for j in 0..=self.cols {
-                    self.t[i][j] -= factor * prow[j];
+                for (dst, src) in self.t[i].iter_mut().zip(&prow).take(self.cols + 1) {
+                    *dst -= factor * *src;
                 }
                 self.t[i][pivot_col] = 0.0;
             }
@@ -549,16 +553,12 @@ impl Tableau {
                 x[self.basis[i]] = self.t[i][self.cols];
             }
         }
-        let mut objective: f64 = x
-            .iter()
-            .zip(&lp.objective)
-            .map(|(xi, ci)| xi * ci)
-            .sum();
+        let mut objective: f64 = x.iter().zip(&lp.objective).map(|(xi, ci)| xi * ci).sum();
         // Duals from the reduced costs of the per-row added columns:
         // r_added = c_added − y_i · coeff = −y_i · coeff (added costs are 0).
         let obj_row = &self.t[self.m];
         let mut duals = vec![0.0; self.m];
-        for i in 0..self.m {
+        for (i, dual) in duals.iter_mut().enumerate() {
             if !self.row_active[i] {
                 continue;
             }
@@ -568,7 +568,7 @@ impl Tableau {
             if lp.rows[i].rhs < 0.0 {
                 y = -y;
             }
-            duals[i] = y;
+            *dual = y;
         }
         if lp.sense == Sense::Maximize {
             for y in &mut duals {

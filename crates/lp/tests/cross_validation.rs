@@ -103,8 +103,8 @@ proptest! {
         // LP: maximize net out-flow of s subject to conservation + capacity.
         let m = g.edge_count();
         let mut lp = LinearProgram::maximize(m);
-        for e in 0..m {
-            lp.add_constraint(&[(e, 1.0)], Relation::Le, caps[e]);
+        for (e, &cap) in caps.iter().enumerate().take(m) {
+            lp.add_constraint(&[(e, 1.0)], Relation::Le, cap);
         }
         for node in g.nodes() {
             if node.index() == s || node.index() == t { continue; }

@@ -3,7 +3,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use spef_core::ForwardingTable;
 use spef_graph::{EdgeId, NodeId};
 use spef_topology::{Network, TrafficMatrix};
@@ -220,7 +220,15 @@ pub fn simulate(
                     created_at: now,
                 });
                 generated += 1;
-                push(&mut heap, now, &mut seq, Event::NodeArrival { node: src, packet: id });
+                push(
+                    &mut heap,
+                    now,
+                    &mut seq,
+                    Event::NodeArrival {
+                        node: src,
+                        packet: id,
+                    },
+                );
                 // Schedule the next arrival of this pair.
                 let next = now + exp_sample(&mut rng, rates[pair]);
                 if next <= duration_ns {
@@ -236,13 +244,12 @@ pub fn simulate(
                     }
                     continue;
                 }
-                let hops = fib
-                    .next_hops(node, dst)
-                    .filter(|h| !h.is_empty())
-                    .ok_or(SimError::MissingRoute {
+                let hops = fib.next_hops(node, dst).filter(|h| !h.is_empty()).ok_or(
+                    SimError::MissingRoute {
                         node,
                         destination: dst,
-                    })?;
+                    },
+                )?;
                 let edge = sample_next_hop(hops, &mut rng);
                 let link = &mut links[edge.index()];
                 if link.queue.len() >= config.buffer_packets {
@@ -293,10 +300,7 @@ pub fn simulate(
     }
 
     let window = (duration_ns - warmup_ns) as f64 / NANOS_PER_SEC;
-    let mean_link_load_bps: Vec<f64> = links
-        .iter()
-        .map(|l| l.measured_bits / window)
-        .collect();
+    let mean_link_load_bps: Vec<f64> = links.iter().map(|l| l.measured_bits / window).collect();
     delays_ns.sort_unstable();
     let mean_delay = if delays_ns.is_empty() {
         0.0
@@ -333,7 +337,7 @@ fn validate(
             network.node_count()
         )));
     }
-    if !(config.duration > 0.0) {
+    if config.duration.is_nan() || config.duration <= 0.0 {
         return Err(SimError::InvalidConfig("duration must be positive".into()));
     }
     if config.warmup >= config.duration {
@@ -348,7 +352,7 @@ fn validate(
         (config.capacity_to_bps, "capacity_to_bps"),
         (config.demand_to_bps, "demand_to_bps"),
     ] {
-        if !(v > 0.0) || !v.is_finite() {
+        if !v.is_finite() || v <= 0.0 {
             return Err(SimError::InvalidConfig(format!("{name} must be positive")));
         }
     }

@@ -15,7 +15,7 @@
 //! the seed.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use spef_graph::NodeId;
 
 use crate::{Network, NetworkBuilder};
@@ -45,7 +45,10 @@ pub const LONG_DISTANCE_CAPACITY: f64 = 5.0;
 /// ```
 pub fn random_network(name: &str, n: usize, directed_links: usize, seed: u64) -> Network {
     assert!(n >= 2, "need at least 2 nodes");
-    assert!(directed_links.is_multiple_of(2), "directed link count must be even");
+    assert!(
+        directed_links.is_multiple_of(2),
+        "directed link count must be even"
+    );
     let undirected = directed_links / 2;
     assert!(
         undirected >= n - 1,
@@ -66,7 +69,13 @@ pub fn random_network(name: &str, n: usize, directed_links: usize, seed: u64) ->
         );
     }
     let mut present = AdjacencySet::new(n);
-    spanning_tree(&mut b, &mut rng, &mut present, &(0..n).collect::<Vec<_>>(), 1.0);
+    spanning_tree(
+        &mut b,
+        &mut rng,
+        &mut present,
+        &(0..n).collect::<Vec<_>>(),
+        1.0,
+    );
     fill_random_links(&mut b, &mut rng, &mut present, undirected, |_, _| 1.0);
     b.build().expect("random generator output is connected")
 }
@@ -99,7 +108,10 @@ pub fn hierarchical_network(
     seed: u64,
 ) -> Network {
     assert!(domains >= 1 && per_domain >= 1, "empty hierarchy");
-    assert!(directed_links.is_multiple_of(2), "directed link count must be even");
+    assert!(
+        directed_links.is_multiple_of(2),
+        "directed link count must be even"
+    );
     let n = domains * per_domain;
     let undirected = directed_links / 2;
     assert!(
@@ -142,11 +154,7 @@ pub fn hierarchical_network(
         let u = prev * per_domain + rng.random_range(0..per_domain);
         let v = d * per_domain + rng.random_range(0..per_domain);
         present.insert(u, v);
-        b.add_duplex_link(
-            NodeId::new(u),
-            NodeId::new(v),
-            LONG_DISTANCE_CAPACITY,
-        );
+        b.add_duplex_link(NodeId::new(u), NodeId::new(v), LONG_DISTANCE_CAPACITY);
     }
     // Random extras, classed by whether they cross domains.
     fill_random_links(&mut b, &mut rng, &mut present, undirected, |u, v| {
@@ -156,7 +164,8 @@ pub fn hierarchical_network(
             LONG_DISTANCE_CAPACITY
         }
     });
-    b.build().expect("hierarchical generator output is connected")
+    b.build()
+        .expect("hierarchical generator output is connected")
 }
 
 /// Tracks which undirected pairs already have a link.

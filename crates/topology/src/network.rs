@@ -336,10 +336,7 @@ mod tests {
     #[test]
     fn euclidean_distances() {
         let net = triangle();
-        assert_eq!(
-            net.euclidean_distance(NodeId::new(0), NodeId::new(1)),
-            5.0
-        );
+        assert_eq!(net.euclidean_distance(NodeId::new(0), NodeId::new(1)), 5.0);
         assert_eq!(net.max_distance(), 5.0);
     }
 
@@ -390,7 +387,10 @@ mod tests {
         assert_eq!(kept.len(), 4);
         // New edge 0 is the original edge 2.
         assert_eq!(kept[0], EdgeId::new(2));
-        assert_eq!(degraded.capacity(EdgeId::new(0)), net.capacity(EdgeId::new(2)));
+        assert_eq!(
+            degraded.capacity(EdgeId::new(0)),
+            net.capacity(EdgeId::new(2))
+        );
         assert_eq!(degraded.node_count(), 3);
     }
 

@@ -26,9 +26,9 @@ pub fn fig1() -> Network {
     b.add_link(n3, n4, 1.0); // e1 = (3,4)
     b.add_link(n1, n2, 1.0); // e2 = (1,2)
     b.add_link(n2, n3, 1.0); // e3 = (2,3)
-    // Return links so the network is strongly connected (the paper's
-    // example only uses the forward directions; these carry no demand and
-    // stay empty).
+                             // Return links so the network is strongly connected (the paper's
+                             // example only uses the forward directions; these carry no demand and
+                             // stay empty).
     b.add_link(n4, n3, 1.0); // e4
     b.add_link(n3, n1, 1.0); // e5
     b.build().expect("fig1 is valid by construction")
@@ -133,9 +133,7 @@ pub fn abilene() -> Network {
         .iter()
         .map(|(name, coord)| b.add_node(*name, *coord))
         .collect();
-    let by_name = |n: &str| -> NodeId {
-        ids[cities.iter().position(|(c, _)| *c == n).unwrap()]
-    };
+    let by_name = |n: &str| -> NodeId { ids[cities.iter().position(|(c, _)| *c == n).unwrap()] };
     let circuits = [
         ("Seattle", "Sunnyvale"),
         ("Seattle", "Denver"),
@@ -170,34 +168,32 @@ pub fn abilene() -> Network {
 pub fn cernet2() -> Network {
     let mut b = Network::builder("Cernet2");
     let cities: [(&str, (f64, f64)); 20] = [
-        ("Beijing", (116.4, 39.9)),    // 1
-        ("Tianjin", (117.2, 39.1)),    // 2
-        ("Jinan", (117.0, 36.7)),      // 3
-        ("Shanghai", (121.5, 31.2)),   // 4
-        ("Nanjing", (118.8, 32.1)),    // 5
-        ("Hefei", (117.3, 31.9)),      // 6
-        ("Hangzhou", (120.2, 30.3)),   // 7
-        ("Wuhan", (114.3, 30.6)),      // 8
-        ("Changsha", (113.0, 28.2)),   // 9
-        ("Guangzhou", (113.3, 23.1)),  // 10
-        ("Xiamen", (118.1, 24.5)),     // 11
-        ("Chengdu", (104.1, 30.7)),    // 12
-        ("Chongqing", (106.5, 29.6)),  // 13
-        ("Xian", (108.9, 34.3)),       // 14
-        ("Lanzhou", (103.8, 36.1)),    // 15
-        ("Zhengzhou", (113.7, 34.8)),  // 16
-        ("Harbin", (126.6, 45.8)),     // 17
-        ("Changchun", (125.3, 43.9)),  // 18
-        ("Shenyang", (123.4, 41.8)),   // 19
-        ("Dalian", (121.6, 38.9)),     // 20
+        ("Beijing", (116.4, 39.9)),   // 1
+        ("Tianjin", (117.2, 39.1)),   // 2
+        ("Jinan", (117.0, 36.7)),     // 3
+        ("Shanghai", (121.5, 31.2)),  // 4
+        ("Nanjing", (118.8, 32.1)),   // 5
+        ("Hefei", (117.3, 31.9)),     // 6
+        ("Hangzhou", (120.2, 30.3)),  // 7
+        ("Wuhan", (114.3, 30.6)),     // 8
+        ("Changsha", (113.0, 28.2)),  // 9
+        ("Guangzhou", (113.3, 23.1)), // 10
+        ("Xiamen", (118.1, 24.5)),    // 11
+        ("Chengdu", (104.1, 30.7)),   // 12
+        ("Chongqing", (106.5, 29.6)), // 13
+        ("Xian", (108.9, 34.3)),      // 14
+        ("Lanzhou", (103.8, 36.1)),   // 15
+        ("Zhengzhou", (113.7, 34.8)), // 16
+        ("Harbin", (126.6, 45.8)),    // 17
+        ("Changchun", (125.3, 43.9)), // 18
+        ("Shenyang", (123.4, 41.8)),  // 19
+        ("Dalian", (121.6, 38.9)),    // 20
     ];
     let ids: Vec<NodeId> = cities
         .iter()
         .map(|(name, coord)| b.add_node(*name, *coord))
         .collect();
-    let by_name = |n: &str| -> NodeId {
-        ids[cities.iter().position(|(c, _)| *c == n).unwrap()]
-    };
+    let by_name = |n: &str| -> NodeId { ids[cities.iter().position(|(c, _)| *c == n).unwrap()] };
     // The two bold 10 Gb/s trunks.
     b.add_duplex_link(by_name("Beijing"), by_name("Wuhan"), 10.0);
     b.add_duplex_link(by_name("Wuhan"), by_name("Guangzhou"), 10.0);

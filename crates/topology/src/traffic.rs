@@ -1,5 +1,5 @@
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use spef_graph::NodeId;
 
@@ -69,7 +69,11 @@ impl TrafficMatrix {
     /// Iterates over the `(source, destination, demand)` triples with
     /// strictly positive demand.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.demands.iter().enumerate().filter(|&(_i, &d)| d > 0.0 ).map(|(i, &d)| (NodeId::new(i / self.n), NodeId::new(i % self.n), d))
+        self.demands
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &d)| d > 0.0)
+            .map(|(i, &d)| (NodeId::new(i / self.n), NodeId::new(i % self.n), d))
     }
 
     /// Destinations that receive positive demand — the commodity set `D` of
@@ -165,14 +169,14 @@ impl TrafficMatrix {
         let d: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
         let delta_max = network.max_distance().max(f64::MIN_POSITIVE);
         let mut tm = TrafficMatrix::new(n);
-        for s in 0..n {
-            for t in 0..n {
+        for (s, o_s) in o.iter().enumerate() {
+            for (t, d_t) in d.iter().enumerate() {
                 if s == t {
                     continue;
                 }
                 let c: f64 = rng.random_range(0.0..1.0);
                 let dist = network.euclidean_distance(NodeId::new(s), NodeId::new(t));
-                let demand = o[s] * d[t] * c * (-dist / (2.0 * delta_max)).exp();
+                let demand = o_s * d_t * c * (-dist / (2.0 * delta_max)).exp();
                 tm.set(NodeId::new(s), NodeId::new(t), demand);
             }
         }
@@ -191,7 +195,9 @@ impl TrafficMatrix {
         assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be finite");
         let mut rng = StdRng::seed_from_u64(seed);
         let n = network.node_count();
-        let masses: Vec<f64> = (0..n).map(|_| (sigma * standard_normal(&mut rng)).exp()).collect();
+        let masses: Vec<f64> = (0..n)
+            .map(|_| (sigma * standard_normal(&mut rng)).exp())
+            .collect();
         let total: f64 = masses.iter().sum();
         let mut tm = TrafficMatrix::new(n);
         for s in 0..n {

@@ -17,8 +17,7 @@ use spef_topology::{standard, TrafficMatrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = standard::abilene();
-    let traffic =
-        TrafficMatrix::fortz_thorup(&network, 42).scaled_to_network_load(&network, 0.15);
+    let traffic = TrafficMatrix::fortz_thorup(&network, 42).scaled_to_network_load(&network, 0.15);
     let total_demand = traffic.total_demand();
 
     println!(

@@ -12,7 +12,7 @@
 //! ```
 
 use spef_baselines::ospf::OspfRouting;
-use spef_core::{Objective, SpefConfig, SpefRouting, SpefError};
+use spef_core::{Objective, SpefConfig, SpefError, SpefRouting};
 use spef_topology::{standard, Network, TrafficMatrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -84,6 +84,9 @@ fn summarize(network: &Network, ospf_breaks: Option<f64>, spef_breaks: Option<f6
             network.name(),
             o
         ),
-        _ => println!("{}: neither protocol congested in this sweep", network.name()),
+        _ => println!(
+            "{}: neither protocol congested in this sweep",
+            network.name()
+        ),
     }
 }

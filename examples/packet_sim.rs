@@ -49,9 +49,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(70));
     for (name, report) in [
-        ("OSPF", simulate(&network, &traffic, ospf.forwarding_table(), &cfg)?),
-        ("PEFT", simulate(&network, &traffic, peft.forwarding_table(), &cfg)?),
-        ("SPEF", simulate(&network, &traffic, spef.forwarding_table(), &cfg)?),
+        (
+            "OSPF",
+            simulate(&network, &traffic, ospf.forwarding_table(), &cfg)?,
+        ),
+        (
+            "PEFT",
+            simulate(&network, &traffic, peft.forwarding_table(), &cfg)?,
+        ),
+        (
+            "SPEF",
+            simulate(&network, &traffic, spef.forwarding_table(), &cfg)?,
+        ),
     ] {
         print_row(name, &report);
     }

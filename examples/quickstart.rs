@@ -12,8 +12,7 @@ use spef_topology::{standard, TrafficMatrix};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A network and an expected traffic matrix.
     let network = standard::abilene();
-    let traffic =
-        TrafficMatrix::fortz_thorup(&network, 42).scaled_to_network_load(&network, 0.15);
+    let traffic = TrafficMatrix::fortz_thorup(&network, 42).scaled_to_network_load(&network, 0.15);
     println!(
         "network: {} ({} nodes, {} links), offered load {:.1}% of capacity",
         network.name(),

@@ -32,9 +32,7 @@ fn spef_utility_dominates_ospf_everywhere() {
     for (net, shape) in cases {
         for load_frac in [0.4, 0.7] {
             // Express loads relative to a conservative feasible point.
-            let tm = shape
-                .scaled_to_network_load(&net, load_frac * 0.1)
-                .clone();
+            let tm = shape.scaled_to_network_load(&net, load_frac * 0.1).clone();
             let obj = Objective::proportional(net.link_count());
             let spef = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
             let ospf = OspfRouting::route(&net, &tm).unwrap();
@@ -96,7 +94,11 @@ fn ft_search_improves_and_relieves_congestion() {
     let obj = Objective::proportional(net.link_count());
     let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
     let te_cost = FtCost.total_cost(&net, te.flows.aggregate());
-    assert!(te_cost <= out.cost * 1.05, "TE {te_cost} vs FT {}", out.cost);
+    assert!(
+        te_cost <= out.cost * 1.05,
+        "TE {te_cost} vs FT {}",
+        out.cost
+    );
 }
 
 /// PEFT under the optimal weights is feasible but (weakly) worse-balanced

@@ -1,9 +1,7 @@
 //! End-to-end protocol tests: the full SPEF pipeline (Algorithm 4) on the
 //! evaluation backbones.
 
-use spef_core::{
-    metrics, Objective, SpefConfig, SpefRouting, TeSolver, WeightMode,
-};
+use spef_core::{metrics, Objective, SpefConfig, SpefRouting, TeSolver, WeightMode};
 use spef_topology::{standard, TrafficMatrix};
 
 fn abilene_setup(load: f64) -> (spef_topology::Network, TrafficMatrix) {
@@ -96,8 +94,7 @@ fn scaled_weights_preserve_routing_exactly() {
     // realised MLU close to Exact's.
     let (net, tm) = abilene_setup(0.12);
     let obj = Objective::proportional(net.link_count());
-    let exact =
-        SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let exact = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
     let scaled = SpefRouting::build(
         &net,
         &tm,
@@ -139,8 +136,7 @@ fn table5_census_has_more_multipath_under_spef_at_high_load() {
     let all_dests: Vec<_> = net.graph().nodes().collect();
 
     let invcap: Vec<f64> = net.capacities().iter().map(|c| 10.0 / c).collect();
-    let ospf_dags =
-        spef_core::build_dags(net.graph(), &invcap, &all_dests, 0.0).unwrap();
+    let ospf_dags = spef_core::build_dags(net.graph(), &invcap, &all_dests, 0.0).unwrap();
     let ospf_census = metrics::PathCensus::from_dags(&ospf_dags);
 
     let lmax = spef_experiments::scale::max_feasible_load(&net, &shape, 0.05).unwrap();

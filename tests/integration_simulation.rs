@@ -32,11 +32,7 @@ fn sim_loads_match_spef_flows_on_fig4() {
         ..SimConfig::default()
     };
     let report = simulate(&net, &tm, routing.forwarding_table(), &cfg).unwrap();
-    let err = relative_error(
-        &report.mean_link_load_bps,
-        routing.flows().aggregate(),
-        1e6,
-    );
+    let err = relative_error(&report.mean_link_load_bps, routing.flows().aggregate(), 1e6);
     assert!(err < 0.05, "max relative link-load error {err}");
     // Essentially lossless at SPEF's operating point.
     assert!(report.dropped_packets * 50 < report.generated_packets);

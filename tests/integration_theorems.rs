@@ -20,8 +20,7 @@ fn theorem_3_1_optimal_support_lies_on_shortest_paths() {
         let obj = Objective::proportional(net.link_count());
         let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
         let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
-        let dags = build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-3 * max_w)
-            .unwrap();
+        let dags = build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-3 * max_w).unwrap();
         for (dag, &t) in dags.iter().zip(&tm.destinations()) {
             let flows = te.flows.for_destination(t).unwrap();
             let peak = flows.iter().cloned().fold(0.0, f64::max);
@@ -55,8 +54,7 @@ fn theorem_3_3_optimum_is_q_beta_balanced() {
                 .map(|e| 1.0 + ((e as f64) * seed_w).sin().abs())
                 .collect();
             let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).unwrap();
-            let Ok(alt) = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp)
-            else {
+            let Ok(alt) = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp) else {
                 continue;
             };
             if spef_core::metrics::max_link_utilization(&net, alt.aggregate()) >= 1.0 {
