@@ -12,10 +12,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spef_core::SpefError;
+use spef_core::{RoutingEngine, SpefError};
 use spef_topology::{Network, TrafficMatrix};
 
-use crate::ospf::OspfRouting;
+use crate::ospf::{self, OspfRouting};
 
 /// The Fortz–Thorup piecewise-linear link cost Φ.
 ///
@@ -150,10 +150,19 @@ impl FtOutcome {
     ) -> Result<FtOutcome, SpefError> {
         let m = network.link_count();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let cost_of = |weights: &[f64]| -> Result<(f64, OspfRouting), SpefError> {
-            let routing = OspfRouting::route_with_weights(network, traffic, weights)?;
-            let cost = FtCost.total_cost(network, routing.flows().aggregate());
-            Ok((cost, routing))
+        // One batched engine evaluates every candidate: the thousands of
+        // cost probes below rebuild DAGs and flows into reused arenas
+        // instead of allocating a full routing (FIB included) per probe.
+        // The winning routing is materialised once at the end.
+        let dests = ospf::validate_ospf_inputs(network, traffic)?;
+        let mut engine = RoutingEngine::new(network.graph());
+        let mut flows = engine.distribute_fresh();
+        let cost_of = |weights: &[f64],
+                       engine: &mut RoutingEngine<'_>,
+                       flows: &mut spef_core::Flows|
+         -> Result<f64, SpefError> {
+            ospf::route_flows_into(engine, traffic, &dests, weights, flows)?;
+            Ok(FtCost.total_cost(network, flows.aggregate()))
         };
 
         // Start points: rounded InvCap, then random vectors.
@@ -176,13 +185,13 @@ impl FtOutcome {
             );
         }
 
-        let mut best: Option<(f64, Vec<f64>, OspfRouting)> = None;
+        let mut best: Option<(f64, Vec<f64>)> = None;
         let mut trace = Vec::new();
         let mut evaluations = 0;
 
         for start in starts {
             let mut weights = start;
-            let (mut cost, mut routing) = cost_of(&weights)?;
+            let mut cost = cost_of(&weights, &mut engine, &mut flows)?;
             evaluations += 1;
             let mut improved = true;
             while improved && evaluations < config.max_evaluations {
@@ -198,11 +207,10 @@ impl FtOutcome {
                             continue;
                         }
                         weights[e] = cand;
-                        let (c_new, r_new) = cost_of(&weights)?;
+                        let c_new = cost_of(&weights, &mut engine, &mut flows)?;
                         evaluations += 1;
                         if c_new < cost - 1e-9 {
                             cost = c_new;
-                            routing = r_new;
                             improved = true;
                             trace.push(cost);
                             continue 'links; // keep the improvement, next link
@@ -216,14 +224,16 @@ impl FtOutcome {
             }
             match &best {
                 Some((bc, ..)) if *bc <= cost => {}
-                _ => best = Some((cost, weights.clone(), routing)),
+                _ => best = Some((cost, weights.clone())),
             }
             if evaluations >= config.max_evaluations {
                 break;
             }
         }
 
-        let (cost, weights, routing) = best.expect("at least one start point evaluated");
+        let (cost, weights) = best.expect("at least one start point evaluated");
+        // Materialise the winning routing (flows + FIB) exactly once.
+        let routing = OspfRouting::route_with_weights(network, traffic, &weights)?;
         Ok(FtOutcome {
             weights,
             cost,

@@ -8,10 +8,7 @@
 //! exceed capacity (MLU > 1) — exactly the regime where Fig. 10 shows its
 //! utility collapsing to −∞ while "SPEF still works".
 
-use spef_core::{
-    build_dags, metrics, traffic_distribution_detailed, Flows, ForwardingTable, SpefError,
-    SplitRule,
-};
+use spef_core::{metrics, Flows, ForwardingTable, RoutingEngine, SpefError, SplitRule};
 use spef_topology::{Network, TrafficMatrix};
 
 /// Cisco InvCap weights: `w_e = max_cap / c_e`, normalised so the largest
@@ -56,24 +53,12 @@ impl OspfRouting {
         traffic: &TrafficMatrix,
         weights: &[f64],
     ) -> Result<OspfRouting, SpefError> {
-        if traffic.node_count() != network.node_count() {
-            return Err(SpefError::InvalidInput(format!(
-                "traffic matrix covers {} nodes, network has {}",
-                traffic.node_count(),
-                network.node_count()
-            )));
-        }
         let g = network.graph();
-        let dests = traffic.destinations();
-        if dests.is_empty() {
-            return Err(SpefError::InvalidInput(
-                "traffic matrix is empty".to_string(),
-            ));
-        }
-        let dags = build_dags(g, weights, &dests, 0.0)?;
-        let (flows, tables) =
-            traffic_distribution_detailed(g, &dags, traffic, SplitRule::EvenEcmp)?;
-        let fib = ForwardingTable::from_split_tables(g.node_count(), &dests, &tables);
+        let mut engine = RoutingEngine::new(g);
+        let dests = validate_ospf_inputs(network, traffic)?;
+        let flows = route_flows(&mut engine, traffic, &dests, weights)?;
+        let fib =
+            ForwardingTable::from_split_table_set(g.node_count(), &dests, engine.split_tables());
         Ok(OspfRouting {
             weights: weights.to_vec(),
             flows,
@@ -105,6 +90,53 @@ impl OspfRouting {
     pub fn normalized_utility(&self, network: &Network) -> f64 {
         metrics::normalized_utility(network, self.flows.aggregate())
     }
+}
+
+/// Shared input validation for OSPF routing; returns the destination set.
+pub(crate) fn validate_ospf_inputs(
+    network: &Network,
+    traffic: &TrafficMatrix,
+) -> Result<Vec<spef_graph::NodeId>, SpefError> {
+    if traffic.node_count() != network.node_count() {
+        return Err(SpefError::InvalidInput(format!(
+            "traffic matrix covers {} nodes, network has {}",
+            traffic.node_count(),
+            network.node_count()
+        )));
+    }
+    let dests = traffic.destinations();
+    if dests.is_empty() {
+        return Err(SpefError::InvalidInput(
+            "traffic matrix is empty".to_string(),
+        ));
+    }
+    Ok(dests)
+}
+
+/// One even-ECMP routing pass on a reusable engine, returning fresh flows.
+/// The Fortz–Thorup local search drives this thousands of times per run;
+/// the engine's arenas make each pass allocation-free apart from the
+/// returned flows.
+pub(crate) fn route_flows(
+    engine: &mut RoutingEngine<'_>,
+    traffic: &TrafficMatrix,
+    dests: &[spef_graph::NodeId],
+    weights: &[f64],
+) -> Result<Flows, SpefError> {
+    engine.build_dags(weights, dests, 0.0)?;
+    engine.distribute(traffic, SplitRule::EvenEcmp)
+}
+
+/// The allocation-free variant: routes into a caller-held buffer.
+pub(crate) fn route_flows_into(
+    engine: &mut RoutingEngine<'_>,
+    traffic: &TrafficMatrix,
+    dests: &[spef_graph::NodeId],
+    weights: &[f64],
+    out: &mut Flows,
+) -> Result<(), SpefError> {
+    engine.build_dags(weights, dests, 0.0)?;
+    engine.distribute_into(traffic, SplitRule::EvenEcmp, out)
 }
 
 #[cfg(test)]

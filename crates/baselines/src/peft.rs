@@ -24,7 +24,9 @@
 //! it uniformly over an engineered equal-cost set.
 
 use spef_core::{metrics, Flows, ForwardingTable, SpefError};
-use spef_graph::{distances_to, EdgeId, NodeId};
+use spef_graph::{
+    batch_distances_to, Csr, DistanceSet, EdgeId, NodeId, Parallelism, RoutingWorkspace,
+};
 use spef_topology::{Network, TrafficMatrix};
 
 /// A Downward-PEFT routing of a traffic matrix under given link weights.
@@ -79,11 +81,28 @@ impl PeftRouting {
         let mut aggregate = vec![0.0; m];
         let mut fib_rows = Vec::with_capacity(dests.len());
 
-        for &t in &dests {
-            let dist = distances_to(g, weights, t)?;
+        // All per-destination distances in one batched sweep: weights are
+        // validated once and the Dijkstra scratch is shared (parallel for
+        // large destination sets).
+        let in_csr = Csr::in_of(g);
+        let mut ws = RoutingWorkspace::new();
+        let mut dset = DistanceSet::new();
+        batch_distances_to(
+            g,
+            &in_csr,
+            weights,
+            &dests,
+            Parallelism::Auto,
+            &mut ws,
+            &mut dset,
+        )?;
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+
+        for (di, &t) in dests.iter().enumerate() {
+            let dist = dset.row(di);
             // Nodes by decreasing distance (finite only).
-            let mut order: Vec<NodeId> =
-                g.nodes().filter(|u| dist[u.index()].is_finite()).collect();
+            order.clear();
+            order.extend(g.nodes().filter(|u| dist[u.index()].is_finite()));
             order.sort_by(|a, b| {
                 dist[b.index()]
                     .total_cmp(&dist[a.index()])

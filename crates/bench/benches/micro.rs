@@ -3,9 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spef_core::{
-    build_dags, solve_te, traffic_distribution, FrankWolfeConfig, NemConfig, Objective, SplitRule,
+    build_dags, solve_te, traffic_distribution, FrankWolfeConfig, NemConfig, Objective,
+    RoutingEngine, SplitRule,
 };
-use spef_graph::ShortestPathDag;
+use spef_graph::{
+    build_dag_set, Csr, DagSet, NodeId, Parallelism, RoutingWorkspace, ShortestPathDag,
+};
 use spef_lp::simplex::{LinearProgram, Relation};
 use spef_netsim::{simulate, SimConfig};
 use spef_topology::{gen, standard, TrafficMatrix};
@@ -13,8 +16,56 @@ use spef_topology::{gen, standard, TrafficMatrix};
 fn bench_dijkstra_dag(c: &mut Criterion) {
     let net = gen::random_network("Rand100", 100, 392, 0xFEED);
     let w: Vec<f64> = net.capacities().iter().map(|x| 1.0 / x).collect();
+
+    // The engine path: CSR + workspace arenas amortised across iterations,
+    // exactly how the solver loops drive DAG construction.
+    let csr = Csr::in_of(net.graph());
+    let mut ws = RoutingWorkspace::new();
+    let mut set = DagSet::new();
     c.bench_function("dag_build_rand100", |b| {
+        b.iter(|| {
+            build_dag_set(
+                net.graph(),
+                &csr,
+                &w,
+                &[NodeId::new(0)],
+                0.0,
+                Parallelism::Never,
+                &mut ws,
+                &mut set,
+            )
+            .expect("dag")
+        })
+    });
+    // The legacy per-destination path, kept as the comparison point.
+    c.bench_function("dag_build_rand100_legacy", |b| {
         b.iter(|| ShortestPathDag::build(net.graph(), &w, 0.into(), 0.0).expect("dag"))
+    });
+
+    // All-destinations batch: batched (parallel fan-out) vs a legacy loop.
+    let dests: Vec<NodeId> = net.graph().nodes().collect();
+    c.bench_function("dags_all_rand100_batched", |b| {
+        b.iter(|| {
+            build_dag_set(
+                net.graph(),
+                &csr,
+                &w,
+                &dests,
+                0.0,
+                Parallelism::Auto,
+                &mut ws,
+                &mut set,
+            )
+            .expect("dags")
+        })
+    });
+    c.bench_function("dags_all_rand100_legacy", |b| {
+        b.iter(|| {
+            dests
+                .iter()
+                .map(|&t| ShortestPathDag::build(net.graph(), &w, t, 0.0).expect("dag"))
+                .collect::<Vec<_>>()
+        })
     });
 }
 
@@ -27,6 +78,20 @@ fn bench_traffic_distribution(c: &mut Criterion) {
     c.bench_function("traffic_distribution_cernet2", |b| {
         b.iter(|| {
             traffic_distribution(net.graph(), &dags, &tm, SplitRule::Exponential(&v))
+                .expect("distribution")
+        })
+    });
+
+    // The full steady-state engine cycle (build DAGs + distribute) with
+    // zero allocations — what one solver iteration costs.
+    let dests = tm.destinations();
+    let mut engine = RoutingEngine::new(net.graph());
+    let mut flows = engine.distribute_fresh();
+    c.bench_function("engine_cycle_cernet2", |b| {
+        b.iter(|| {
+            engine.build_dags(&w, &dests, 0.0).expect("dags");
+            engine
+                .distribute_into(&tm, SplitRule::Exponential(&v), &mut flows)
                 .expect("distribution")
         })
     });

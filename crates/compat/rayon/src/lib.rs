@@ -1,11 +1,13 @@
 //! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
 //!
-//! Implements the small slice of rayon's API this workspace uses — the
-//! `into_par_iter().map(f).collect()` pipeline — with genuine parallelism on
-//! top of `std::thread::scope`. Work is distributed dynamically (an atomic
-//! work index, so uneven per-item costs balance across workers) and results
-//! are returned **in input order**, matching rayon's indexed-iterator
-//! semantics.
+//! Implements the slice of rayon's API this workspace uses — the
+//! `into_par_iter().map(f).collect()` pipeline plus the borrowed-slice and
+//! range entry points the batched routing engine needs (`par_iter`,
+//! `par_iter_mut`, ranges, `enumerate`, `for_each`) — with genuine
+//! parallelism on top of `std::thread::scope`. Work is distributed
+//! dynamically (an atomic work index, so uneven per-item costs balance
+//! across workers) and results are returned **in input order**, matching
+//! rayon's indexed-iterator semantics.
 //!
 //! Thread count defaults to [`std::thread::available_parallelism`] and can be
 //! lowered with the `RAYON_NUM_THREADS` environment variable, mirroring
@@ -30,7 +32,9 @@ use std::sync::Mutex;
 
 /// The rayon-style glob-import module.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParMap,
+    };
 }
 
 /// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,
@@ -65,6 +69,105 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     }
 }
 
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Rayon's `par_iter()` entry point: borrow a collection as a parallel
+/// iterator over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The reference type iterated over.
+    type Item: Send + 'a;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// Rayon's `par_iter_mut()` entry point: borrow a collection as a parallel
+/// iterator over exclusive references — the primitive the batched routing
+/// engine uses to fan destination *slots* out across workers.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The reference type iterated over.
+    type Item: Send + 'a;
+
+    /// Mutably borrows `self` as a parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        self.into_par_iter()
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
 /// A parallel iterator over owned items.
 pub struct ParIter<T: Send> {
     items: Vec<T>,
@@ -81,6 +184,27 @@ impl<T: Send> ParIter<T> {
             items: self.items,
             f,
         }
+    }
+
+    /// Pairs every item with its index, preserving input order — rayon's
+    /// indexed-iterator `enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel, discarding results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_for_each(self.items, &f);
+    }
+
+    /// Collects the items in input order (no mapping step).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
     }
 }
 
@@ -99,6 +223,17 @@ impl<T: Send, F> ParMap<T, F> {
         C: FromIterator<U>,
     {
         par_map_ordered(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map in parallel purely for its side effects.
+    pub fn for_each<U, G>(self, g: G)
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        G: Fn(U) + Sync,
+    {
+        let f = &self.f;
+        par_for_each(self.items, &|t| g(f(t)));
     }
 }
 
@@ -146,6 +281,37 @@ fn par_map_ordered<T: Send, U: Send>(items: Vec<T>, f: &(impl Fn(T) -> U + Sync)
         .collect()
 }
 
+/// Side-effect-only parallel iteration: same dynamic work distribution as
+/// [`par_map_ordered`], without result storage.
+fn par_for_each<T: Send>(items: Vec<T>, f: &(impl Fn(T) + Sync)) {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = cells[i]
+                    .lock()
+                    .expect("poisoned work cell")
+                    .take()
+                    .expect("each cell is claimed exactly once");
+                f(item);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -163,6 +329,59 @@ mod tests {
         assert!(out.is_empty());
         let one: Vec<u8> = vec![9].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut data: Vec<u64> = (0..500).collect();
+        data.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(data, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_reads_shared_refs() {
+        let data: Vec<u64> = (0..100).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[40], 80);
+        assert_eq!(data.len(), 100); // still owned by the caller
+    }
+
+    #[test]
+    fn range_and_enumerate() {
+        let out: Vec<(usize, usize)> = (10..15usize).into_par_iter().enumerate().collect();
+        assert_eq!(out, vec![(0, 10), (1, 11), (2, 12), (3, 13), (4, 14)]);
+    }
+
+    #[test]
+    fn for_each_runs_every_item_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        let sum = AtomicUsize::new(0);
+        vec![1usize, 2, 3]
+            .into_par_iter()
+            .map(|x| x * 10)
+            .for_each(|x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        assert_eq!(sum.load(Ordering::Relaxed), 60);
+    }
+
+    #[test]
+    fn indexed_slot_fanout_preserves_slot_identity() {
+        // The batched-engine usage pattern: disjoint &mut slots, each worker
+        // writes only through its own reference.
+        let mut slots = vec![0usize; 64];
+        slots
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = i * i);
+        for (i, &v) in slots.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
     }
 
     #[test]

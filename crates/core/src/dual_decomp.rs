@@ -22,7 +22,8 @@
 
 use spef_topology::{Network, TrafficMatrix};
 
-use crate::traffic_dist::{build_dags, traffic_distribution, Flows, SplitRule};
+use crate::engine::RoutingEngine;
+use crate::traffic_dist::{Flows, SplitRule};
 use crate::{Objective, SpefError};
 
 /// Step-size schedule for the subgradient updates.
@@ -136,6 +137,11 @@ pub fn solve(
     let gap_tol = config
         .gap_tolerance
         .unwrap_or(1e-6 * traffic.total_demand().max(1.0));
+    if config.max_iterations == 0 {
+        return Err(SpefError::InvalidInput(
+            "max_iterations must be at least 1".to_string(),
+        ));
+    }
 
     // Paper §V.F: w(0) = 1/c is a proper choice.
     let mut weights: Vec<f64> = caps.iter().map(|c| 1.0 / c).collect();
@@ -143,10 +149,15 @@ pub fn solve(
     let mut gap_trace = Vec::new();
 
     let mut spare = vec![0.0; m];
-    let mut flows = None;
     let mut average_flows = vec![0.0; m];
     let mut converged = false;
     let mut iterations = 0;
+
+    // Batched routing engine with buffers reused across iterations.
+    let mut engine = RoutingEngine::new(g);
+    let mut f = Flows::empty();
+    let mut floored = vec![0.0; m];
+    let mut demands = Vec::new();
 
     for k in 0..config.max_iterations {
         iterations = k + 1;
@@ -155,9 +166,11 @@ pub fn solve(
             spare[e] = objective.link_optimal_spare(e.into(), weights[e], caps[e]);
         }
         // Route_t: all demand on shortest paths under w(k).
-        let floored: Vec<f64> = weights.iter().map(|w| w.max(WEIGHT_FLOOR)).collect();
-        let dags = build_dags(g, &floored, &dests, 0.0)?;
-        let f = traffic_distribution(g, &dags, traffic, SplitRule::EvenEcmp)?;
+        for (fl, w) in floored.iter_mut().zip(&weights) {
+            *fl = w.max(WEIGHT_FLOOR);
+        }
+        engine.build_dags(&floored, &dests, 0.0)?;
+        engine.distribute_into(traffic, SplitRule::EvenEcmp, &mut f)?;
 
         // Dual objective: Σ_e [V(s) − w·s + w·c] − Σ_t Σ_s d^t_s · dist_t(s).
         if config.record_trace {
@@ -166,8 +179,9 @@ pub fn solve(
                 dual += objective.utility(e.into(), spare[e]) - weights[e] * spare[e]
                     + weights[e] * caps[e];
             }
-            for (dag, &t) in dags.iter().zip(&dests) {
-                let demands = traffic.demands_to(t);
+            for (i, &t) in dests.iter().enumerate() {
+                let dag = engine.dag_set().dag(i);
+                traffic.demands_to_into(t, &mut demands);
                 for (s, &d) in demands.iter().enumerate() {
                     if d > 0.0 {
                         dual -= d * dag.distance(s.into());
@@ -194,7 +208,6 @@ pub fn solve(
         for (avg, cur) in average_flows.iter_mut().zip(f.aggregate()) {
             *avg += (cur - *avg) / kf;
         }
-        flows = Some(f);
         if gap.abs() < gap_tol {
             converged = true;
             break;
@@ -204,7 +217,7 @@ pub fn solve(
     Ok(DualDecompOutcome {
         weights,
         spare,
-        flows: flows.expect("at least one iteration runs"),
+        flows: f,
         average_flows,
         dual_objective_trace: dual_trace,
         gap_trace,

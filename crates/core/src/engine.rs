@@ -1,0 +1,295 @@
+//! The batched routing engine — the per-iteration hot path of every
+//! solver, packaged as one reusable object.
+//!
+//! A solver loop (Frank–Wolfe, Algorithm 1, NEM, the Fortz–Thorup local
+//! search) repeats the cycle *build per-destination DAGs → distribute
+//! traffic* hundreds to tens of thousands of times with only the weights
+//! changing. [`RoutingEngine`] amortises everything else:
+//!
+//! * the in-edge [`Csr`] adjacency is built **once** per engine;
+//! * weight validation runs once per batch, not once per destination;
+//! * DAGs ([`DagSet`]), split tables ([`SplitTableSet`]), demand columns
+//!   and flow vectors live in flat arenas that are reused across calls —
+//!   after the first iteration the cycle performs **zero allocations**
+//!   on the sequential path (with parallel fan-out engaged, only the
+//!   `O(dests)`-pointer task list is allocated per call, never the
+//!   arena data);
+//! * DAG construction fans destinations out across worker threads when
+//!   the batch is large enough, with bit-identical results regardless of
+//!   schedule (each destination writes only its own arena slices).
+//!
+//! The engine is a drop-in for the legacy
+//! [`build_dags`](crate::build_dags) +
+//! [`traffic_distribution`](crate::traffic_distribution) pair and produces
+//! bit-identical flows; the property tests in
+//! `tests/engine_equivalence.rs` pin that guarantee.
+//!
+//! ```
+//! use spef_core::{RoutingEngine, SplitRule};
+//! use spef_topology::{standard, TrafficMatrix};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = standard::fig1();
+//! let tm = standard::fig1_demands();
+//! let dests = tm.destinations();
+//! let weights = vec![1.0; net.link_count()];
+//!
+//! let mut engine = RoutingEngine::new(net.graph());
+//! let mut flows = engine.distribute_fresh();
+//! for _ in 0..3 {
+//!     // Steady state: no allocations inside this loop.
+//!     engine.build_dags(&weights, &dests, 0.0)?;
+//!     engine.distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)?;
+//! }
+//! assert_eq!(flows.aggregate().len(), net.link_count());
+//! # Ok(())
+//! # }
+//! ```
+
+use spef_graph::batch::{build_dag_set, DagSet, Parallelism, RoutingWorkspace};
+use spef_graph::{Csr, Graph, GraphError, NodeId};
+use spef_topology::TrafficMatrix;
+
+use crate::traffic_dist::{distribute_batch, DistScratch, Flows, SplitRule, SplitTableSet};
+use crate::SpefError;
+
+/// A reusable batched router over one graph. See the [module
+/// docs](self) for what it amortises.
+#[derive(Debug)]
+pub struct RoutingEngine<'g> {
+    graph: &'g Graph,
+    in_csr: Csr,
+    par: Parallelism,
+    ws: RoutingWorkspace,
+    dags: DagSet,
+    tables: SplitTableSet,
+    scratch: DistScratch,
+}
+
+impl<'g> RoutingEngine<'g> {
+    /// Creates an engine for `graph`, freezing its CSR adjacency.
+    /// Destination fan-out is parallelised automatically for large
+    /// batches.
+    pub fn new(graph: &'g Graph) -> RoutingEngine<'g> {
+        Self::with_parallelism(graph, Parallelism::Auto)
+    }
+
+    /// Like [`RoutingEngine::new`] with an explicit parallelism policy
+    /// (used by the schedule-independence tests; results are identical
+    /// either way).
+    pub fn with_parallelism(graph: &'g Graph, par: Parallelism) -> RoutingEngine<'g> {
+        RoutingEngine {
+            graph,
+            in_csr: Csr::in_of(graph),
+            par,
+            ws: RoutingWorkspace::new(),
+            dags: DagSet::new(),
+            tables: SplitTableSet::new(),
+            scratch: DistScratch::default(),
+        }
+    }
+
+    /// The graph the engine routes over.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Builds the shortest-path DAGs of every destination under `weights`
+    /// with equal-cost tolerance `tolerance`, replacing the engine's
+    /// current DAG set. Weights are validated once for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`spef_graph::ShortestPathDag::build`].
+    pub fn build_dags(
+        &mut self,
+        weights: &[f64],
+        dests: &[NodeId],
+        tolerance: f64,
+    ) -> Result<(), GraphError> {
+        build_dag_set(
+            self.graph,
+            &self.in_csr,
+            weights,
+            dests,
+            tolerance,
+            self.par,
+            &mut self.ws,
+            &mut self.dags,
+        )
+    }
+
+    /// The current DAG set (destinations of the last
+    /// [`build_dags`](Self::build_dags) call).
+    pub fn dag_set(&self) -> &DagSet {
+        &self.dags
+    }
+
+    /// The split tables of the last
+    /// [`distribute_into`](Self::distribute_into) call, aligned with the
+    /// DAG destinations — the batched form of the paper's TABLE II rows.
+    pub fn split_tables(&self) -> &SplitTableSet {
+        &self.tables
+    }
+
+    /// A flow buffer shaped for reuse with
+    /// [`distribute_into`](Self::distribute_into).
+    pub fn distribute_fresh(&self) -> Flows {
+        Flows::empty()
+    }
+
+    /// Algorithm 3 over the engine's current DAG set: routes the demand
+    /// columns of the DAG destinations under `rule`, writing flows into
+    /// `out` (reshaped as needed, zero allocations once warm) and split
+    /// tables into the engine.
+    ///
+    /// The traffic matrix must cover the engine's graph; demand columns
+    /// are taken for exactly the destinations the DAGs were built for.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpefError::UnroutableDemand`] if a positive demand has no path
+    ///   on its destination's DAG,
+    /// * [`SpefError::InvalidInput`] if the rule's weight vector is
+    ///   malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic` covers fewer nodes than the graph.
+    pub fn distribute_into(
+        &mut self,
+        traffic: &TrafficMatrix,
+        rule: SplitRule<'_>,
+        out: &mut Flows,
+    ) -> Result<(), SpefError> {
+        distribute_batch(
+            self.graph,
+            self.dags.destinations(),
+            self.dags.iter(),
+            traffic,
+            rule,
+            &mut self.tables,
+            &mut self.scratch,
+            out,
+        )
+    }
+
+    /// Builds only the split tables (TABLE II rows) for the current DAG
+    /// set under `rule`, without routing any traffic — the final
+    /// forwarding-table materialisation step of Algorithm 4.
+    ///
+    /// # Errors
+    ///
+    /// [`SpefError::InvalidInput`] if the rule's weight vector is
+    /// malformed.
+    pub fn build_split_tables(&mut self, rule: SplitRule<'_>) -> Result<&SplitTableSet, SpefError> {
+        crate::traffic_dist::validate_rule(self.graph, rule)?;
+        self.tables.reset(self.graph.node_count());
+        for dag in self.dags.iter() {
+            self.tables.push_table(self.graph, &dag, rule);
+        }
+        Ok(&self.tables)
+    }
+
+    /// Convenience wrapper around
+    /// [`distribute_into`](Self::distribute_into) returning an owned
+    /// [`Flows`] (allocating; iterating callers should hold a buffer).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`distribute_into`](Self::distribute_into).
+    pub fn distribute(
+        &mut self,
+        traffic: &TrafficMatrix,
+        rule: SplitRule<'_>,
+    ) -> Result<Flows, SpefError> {
+        let mut out = Flows::empty();
+        self.distribute_into(traffic, rule, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic_dist::{build_dags, traffic_distribution};
+    use spef_topology::standard;
+
+    #[test]
+    fn engine_matches_legacy_wrappers_exactly() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let g = net.graph();
+        let dests = tm.destinations();
+        let w: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
+
+        let dags = build_dags(g, &w, &dests, 0.0).unwrap();
+        let legacy = traffic_distribution(g, &dags, &tm, SplitRule::EvenEcmp).unwrap();
+
+        let mut engine = RoutingEngine::new(g);
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+
+        assert_eq!(flows.aggregate(), legacy.aggregate());
+        for &t in &dests {
+            assert_eq!(flows.for_destination(t), legacy.for_destination(t));
+        }
+    }
+
+    #[test]
+    fn buffers_are_reused_across_iterations() {
+        let net = standard::fig1();
+        let tm = standard::fig1_demands();
+        let dests = tm.destinations();
+        let mut engine = RoutingEngine::new(net.graph());
+        let mut flows = engine.distribute_fresh();
+        let mut last = Vec::new();
+        for k in 1..=4u32 {
+            let w: Vec<f64> = (0..net.link_count())
+                .map(|e| 1.0 + (e as f64) * 0.1 * k as f64)
+                .collect();
+            engine.build_dags(&w, &dests, 0.0).unwrap();
+            engine
+                .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+                .unwrap();
+            last = flows.aggregate().to_vec();
+        }
+        // Matches a from-scratch computation of the final iteration.
+        let w: Vec<f64> = (0..net.link_count())
+            .map(|e| 1.0 + (e as f64) * 0.4)
+            .collect();
+        let dags = build_dags(net.graph(), &w, &dests, 0.0).unwrap();
+        let fresh = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp).unwrap();
+        assert_eq!(last, fresh.aggregate());
+    }
+
+    #[test]
+    fn split_tables_align_with_destinations() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let dests = tm.destinations();
+        let w = vec![1.0; net.link_count()];
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+        assert_eq!(engine.split_tables().len(), dests.len());
+        for (i, _) in dests.iter().enumerate() {
+            let table = engine.split_tables().table(i);
+            let dag = engine.dag_set().dag(i);
+            for u in net.graph().nodes() {
+                let hops = table.next_hops(u);
+                if !hops.is_empty() {
+                    let sum: f64 = hops.iter().map(|&(_, r)| r).sum();
+                    assert!((sum - 1.0).abs() < 1e-9);
+                    assert_eq!(hops.len(), dag.successors(u).len());
+                }
+            }
+        }
+    }
+}

@@ -28,8 +28,9 @@
 use spef_graph::EdgeId;
 use spef_topology::{Network, TrafficMatrix};
 
+use crate::engine::RoutingEngine;
 use crate::te::TeSolution;
-use crate::traffic_dist::{build_dags, traffic_distribution, SplitRule};
+use crate::traffic_dist::SplitRule;
 use crate::{Objective, SpefError};
 
 /// Configuration of the Frank–Wolfe solver.
@@ -153,50 +154,53 @@ pub fn solve(
     let caps = network.capacities();
     let smooth = SmoothedUtility::new(objective, caps, config.smoothing_fraction);
 
+    // Batched routing engine: CSR adjacency and all per-iteration scratch
+    // (DAG arenas, split tables, flow buffers) are allocated once and
+    // reused, so the loop below performs no steady-state allocations.
+    let mut engine = RoutingEngine::new(g);
+
     // Initial point: even-ECMP on InvCap weights (always conservation-
     // feasible; capacities are handled by the smoothed barrier).
     let invcap: Vec<f64> = caps.iter().map(|c| 1.0 / c).collect();
-    let dags0 = build_dags(g, &invcap, &dests, 0.0)?;
-    let mut flows = traffic_distribution(g, &dags0, traffic, SplitRule::EvenEcmp)?;
+    engine.build_dags(&invcap, &dests, 0.0)?;
+    let mut flows = engine.distribute(traffic, SplitRule::EvenEcmp)?;
+    let mut target = engine.distribute_fresh();
 
-    let spare_of = |agg: &[f64]| -> Vec<f64> { caps.iter().zip(agg).map(|(c, f)| c - f).collect() };
-
-    let mut spare = spare_of(flows.aggregate());
+    let mut spare: Vec<f64> = caps
+        .iter()
+        .zip(flows.aggregate())
+        .map(|(c, f)| c - f)
+        .collect();
+    let mut kappa = vec![0.0; m];
+    let mut delta = vec![0.0; m];
     let mut gap = f64::INFINITY;
     let mut iterations = 0;
 
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
         // Linearise: per-link cost κ = V'_smooth(s) > 0.
-        let kappa: Vec<f64> = spare
-            .iter()
-            .enumerate()
-            .map(|(e, &s)| smooth.marginal(e, s))
-            .collect();
+        for (e, k) in kappa.iter_mut().enumerate() {
+            *k = smooth.marginal(e, spare[e]);
+        }
         // All-or-nothing target: Route_t under κ (even split over ties).
-        let dags = build_dags(g, &kappa, &dests, 0.0)?;
-        let target = traffic_distribution(g, &dags, traffic, SplitRule::EvenEcmp)?;
+        engine.build_dags(&kappa, &dests, 0.0)?;
+        engine.distribute_into(traffic, SplitRule::EvenEcmp, &mut target)?;
 
-        // Frank-Wolfe gap: ∇'(f − y) with ∇_e = −κ_e.
-        gap = flows
-            .aggregate()
-            .iter()
-            .zip(target.aggregate())
-            .zip(&kappa)
-            .map(|((f, y), k)| k * (f - y))
-            .sum::<f64>();
+        // One pass over the aggregates serves the gap, the line-search
+        // direction Δf = y − f, and (below) the spare update.
+        let agg = flows.aggregate();
+        let target_agg = target.aggregate();
+        gap = 0.0;
+        for e in 0..m {
+            gap += kappa[e] * (agg[e] - target_agg[e]);
+            delta[e] = target_agg[e] - agg[e];
+        }
         let obj_now = smooth.aggregate(&spare);
         if gap <= config.relative_gap_tolerance * obj_now.abs().max(1.0) {
             break;
         }
 
-        // Exact line search on φ(α) = Σ V_smooth(s − αΔf), Δf = y − f.
-        let delta: Vec<f64> = target
-            .aggregate()
-            .iter()
-            .zip(flows.aggregate())
-            .map(|(y, f)| y - f)
-            .collect();
+        // Exact line search on φ(α) = Σ V_smooth(s − αΔf).
         let phi_prime = |alpha: f64| -> f64 {
             spare
                 .iter()
@@ -223,7 +227,9 @@ pub fn solve(
             break;
         }
         flows.blend_toward(&target, alpha);
-        spare = spare_of(flows.aggregate());
+        for (s, (c, f)) in spare.iter_mut().zip(caps.iter().zip(flows.aggregate())) {
+            *s = c - f;
+        }
     }
 
     // Infeasibility check: the smoothed optimum must keep all links
@@ -253,6 +259,7 @@ pub fn solve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traffic_dist::{build_dags, traffic_distribution};
     use spef_graph::NodeId;
     use spef_topology::standard;
 

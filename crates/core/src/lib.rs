@@ -57,6 +57,7 @@ mod error;
 mod objective;
 
 pub mod dual_decomp;
+pub mod engine;
 pub mod frank_wolfe;
 pub mod metrics;
 pub mod nem;
@@ -69,10 +70,12 @@ pub use error::SpefError;
 pub use objective::Objective;
 
 pub use dual_decomp::{DualDecompConfig, DualDecompOutcome, StepRule};
+pub use engine::RoutingEngine;
 pub use frank_wolfe::FrankWolfeConfig;
 pub use nem::{NemConfig, NemOutcome};
 pub use protocol::{ForwardingTable, SpefConfig, SpefRouting, TeSolver, WeightMode};
 pub use te::{solve_te, TeSolution};
 pub use traffic_dist::{
     build_dags, traffic_distribution, traffic_distribution_detailed, Flows, SplitRule, SplitTable,
+    SplitTableRef, SplitTableSet,
 };

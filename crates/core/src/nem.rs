@@ -21,7 +21,7 @@ use spef_graph::{Graph, ShortestPathDag};
 use spef_topology::TrafficMatrix;
 
 use crate::dual_decomp::StepRule;
-use crate::traffic_dist::{traffic_distribution_detailed, Flows, SplitRule};
+use crate::traffic_dist::{distribute_batch, DistScratch, Flows, SplitRule, SplitTableSet};
 use crate::SpefError;
 
 /// Configuration of Algorithm 2.
@@ -100,6 +100,11 @@ pub fn solve_second_weights(
             "target flows are all zero".to_string(),
         ));
     }
+    if config.max_iterations == 0 {
+        return Err(SpefError::InvalidInput(
+            "max_iterations must be at least 1".to_string(),
+        ));
+    }
     let eps = config.epsilon.unwrap_or(1e-4 * max_target);
     let default_scale = 1.0 / max_target;
 
@@ -108,18 +113,35 @@ pub fn solve_second_weights(
     let mut trace = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
-    let mut last: Option<Flows> = None;
+
+    // Batched distribution buffers, reused across the (potentially tens of
+    // thousands of) projected-gradient iterations: split tables, demand
+    // columns and flow vectors are allocated once.
+    let dests = traffic.destinations();
+    let mut tables = SplitTableSet::new();
+    let mut scratch = DistScratch::default();
+    let mut flows = Flows::empty();
+    let mut demands = Vec::new();
 
     for k in 0..config.max_iterations {
         iterations = k + 1;
-        let (flows, tables) =
-            traffic_distribution_detailed(graph, dags, traffic, SplitRule::Exponential(&v))?;
+        distribute_batch(
+            graph,
+            &dests,
+            dags.iter(),
+            traffic,
+            SplitRule::Exponential(&v),
+            &mut tables,
+            &mut scratch,
+            &mut flows,
+        )?;
 
         if config.record_trace {
             // d(v) = Σ_r d_r log Σ_k e^{-v^r_k} + Σ_e v_e f*_e.
             let mut dual = 0.0;
-            for ((&t, table), _dag) in traffic.destinations().iter().zip(&tables).zip(dags.iter()) {
-                let demands = traffic.demands_to(t);
+            for (i, &t) in dests.iter().enumerate() {
+                let table = tables.table(i);
+                traffic.demands_to_into(t, &mut demands);
                 for (s, &d) in demands.iter().enumerate() {
                     if d > 0.0 {
                         dual += d * table.log_path_sum(s.into());
@@ -141,7 +163,6 @@ pub fn solve_second_weights(
             .fold(f64::NEG_INFINITY, f64::max);
         if worst <= eps {
             converged = true;
-            last = Some(flows);
             break;
         }
 
@@ -149,12 +170,11 @@ pub fn solve_second_weights(
         for e in 0..v.len() {
             v[e] = (v[e] - step * (target_flows[e] - flows.aggregate()[e])).max(0.0);
         }
-        last = Some(flows);
     }
 
     Ok(NemOutcome {
         second_weights: v,
-        flows: last.expect("at least one iteration runs"),
+        flows,
         dual_objective_trace: trace,
         iterations,
         converged,

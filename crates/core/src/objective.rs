@@ -154,6 +154,12 @@ impl Objective {
         }
         if s <= 0.0 {
             f64::INFINITY
+        } else if self.beta == 1.0 {
+            // powf(s, 1.0) is exactly s (IEEE 754 pow special case), so this
+            // fast path is bit-identical — and it keeps libm's powf out of
+            // the solvers' innermost line-search loops for the common
+            // proportional (β = 1) objective.
+            q / s
         } else {
             q / s.powf(self.beta)
         }
@@ -192,7 +198,12 @@ impl Objective {
             "inverse marginal utility is undefined for beta = 0"
         );
         let q = self.q[e.index()];
-        (q / w).powf(1.0 / self.beta)
+        if self.beta == 1.0 {
+            // Exact: powf(x, 1.0) = x.
+            q / w
+        } else {
+            (q / w).powf(1.0 / self.beta)
+        }
     }
 
     /// Solves the per-link problem `Link_e(V_e; w)` of Eq. (7):

@@ -17,10 +17,11 @@ use spef_graph::{EdgeId, NodeId, ShortestPathDag};
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::dual_decomp::{self, DualDecompConfig};
+use crate::engine::RoutingEngine;
 use crate::frank_wolfe::FrankWolfeConfig;
 use crate::nem::{self, NemConfig};
 use crate::te::{solve_te, TeSolution};
-use crate::traffic_dist::{build_dags, Flows, SplitTable};
+use crate::traffic_dist::{Flows, SplitTable, SplitTableSet};
 use crate::weights::{
     integerize, scale_weights, INTEGER_DIJKSTRA_TOLERANCE, NONINTEGER_DIJKSTRA_TOLERANCE,
 };
@@ -169,29 +170,27 @@ impl SpefRouting {
             }
         };
 
-        // Step 2: per-destination shortest-path DAGs.
+        // Step 2: per-destination shortest-path DAGs, built through the
+        // batched CSR engine and materialised for the public accessor.
         let dests = traffic.destinations();
         let floored: Vec<f64> = first_weights
             .iter()
             .map(|w| w.max(dual_decomp::WEIGHT_FLOOR))
             .collect();
-        let dags = build_dags(g, &floored, &dests, tolerance)?;
+        let mut engine = RoutingEngine::new(g);
+        engine.build_dags(&floored, &dests, tolerance)?;
+        let dags: Vec<ShortestPathDag> = (0..engine.dag_set().len())
+            .map(|i| engine.dag_set().to_shortest_path_dag(i, g))
+            .collect();
 
         // Step 3: second weights via NEM.
         let nem_out = nem::solve_second_weights(g, &dags, traffic, &target_flows, &config.nem)?;
 
-        // Step 4: forwarding tables.
-        let tables: Result<Vec<SplitTable>, SpefError> = dags
-            .iter()
-            .map(|dag| {
-                SplitTable::build(
-                    g,
-                    dag,
-                    crate::traffic_dist::SplitRule::Exponential(&nem_out.second_weights),
-                )
-            })
-            .collect();
-        let fib = ForwardingTable::from_split_tables(g.node_count(), &dests, &tables?);
+        // Step 4: forwarding tables (batched TABLE II rows).
+        let tables = engine.build_split_tables(crate::traffic_dist::SplitRule::Exponential(
+            &nem_out.second_weights,
+        ))?;
+        let fib = ForwardingTable::from_split_table_set(g.node_count(), &dests, tables);
 
         Ok(SpefRouting {
             first_weights,
@@ -358,6 +357,29 @@ impl ForwardingTable {
         let rows = tables
             .iter()
             .map(|t| {
+                (0..node_count)
+                    .map(|u| t.next_hops(NodeId::new(u)).to_vec())
+                    .collect()
+            })
+            .collect();
+        ForwardingTable::new(node_count, dests.to_vec(), rows)
+    }
+
+    /// Builds the table from a batched [`SplitTableSet`] (the engine's
+    /// arena form), materialising owned rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables.len() != dests.len()` or a non-empty row's ratios
+    /// do not sum to 1 within 1e-6.
+    pub fn from_split_table_set(
+        node_count: usize,
+        dests: &[NodeId],
+        tables: &SplitTableSet,
+    ) -> ForwardingTable {
+        let rows = (0..tables.len())
+            .map(|i| {
+                let t = tables.table(i);
                 (0..node_count)
                     .map(|u| t.next_hops(NodeId::new(u)).to_vec())
                     .collect()

@@ -27,8 +27,22 @@
 //! Algorithm 3 prescribes, so each node's incoming flow
 //! `d̄_st = d_st + Σ_{(j,s)} f^t_js` is complete before its outgoing flow
 //! is assigned.
+//!
+//! Two execution paths produce identical results:
+//!
+//! * the **legacy per-destination path** ([`build_dags`] →
+//!   [`traffic_distribution`]) with owned [`ShortestPathDag`]s and
+//!   [`SplitTable`]s — the readable reference;
+//! * the **batched path** ([`crate::RoutingEngine`]) where DAGs, split
+//!   tables and flows live in flat reusable arenas ([`SplitTableSet`])
+//!   and a solver iteration performs zero steady-state allocations.
+//!
+//! Both funnel through the same distribution kernel, generic over
+//! [`DagAccess`], and the public wrappers here now ride the batched CSR
+//! engine internally.
 
-use spef_graph::{EdgeId, Graph, GraphError, NodeId, ShortestPathDag};
+use spef_graph::batch::{build_dag_set, DagAccess, DagSet, Parallelism, RoutingWorkspace};
+use spef_graph::{Csr, EdgeId, Graph, GraphError, NodeId, ShortestPathDag};
 use spef_topology::TrafficMatrix;
 
 use crate::SpefError;
@@ -152,6 +166,166 @@ impl SplitTable {
     pub fn log_path_sum(&self, u: NodeId) -> f64 {
         self.log_path_sum[u.index()]
     }
+
+    /// Materialises an owned table from an arena-backed view.
+    fn from_ref(view: SplitTableRef<'_>, n: usize) -> SplitTable {
+        SplitTable {
+            ratios: (0..n)
+                .map(|u| view.next_hops(NodeId::new(u)).to_vec())
+                .collect(),
+            log_path_sum: view.log_z.to_vec(),
+        }
+    }
+}
+
+/// Split tables for a whole destination set, stored as flat arenas.
+///
+/// The batched analogue of `Vec<SplitTable>`: per-destination rows live in
+/// contiguous blocks of shared vectors, reused across
+/// [`crate::RoutingEngine::distribute_into`] calls so the NEM / Frank–Wolfe
+/// iteration loops allocate nothing in the steady state. Access
+/// per-destination views through [`SplitTableSet::table`].
+#[derive(Debug, Clone, Default)]
+pub struct SplitTableSet {
+    n: usize,
+    count: usize,
+    /// `(start, len)` into `entries` per `(dest, node)` — spans rather than
+    /// prefix offsets because rows are produced in decreasing-distance
+    /// order, not node-id order.
+    spans: Vec<(usize, usize)>,
+    entries: Vec<(EdgeId, f64)>,
+    /// `log Z_t(u)` per `(dest, node)`.
+    log_z: Vec<f64>,
+}
+
+impl SplitTableSet {
+    /// Creates an empty set; arenas grow on first use.
+    pub fn new() -> SplitTableSet {
+        SplitTableSet::default()
+    }
+
+    /// Number of destinations covered.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if the set covers no destinations.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// A cheap view of destination `i`'s split table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn table(&self, i: usize) -> SplitTableRef<'_> {
+        assert!(i < self.count, "table index {i} out of range");
+        SplitTableRef {
+            spans: &self.spans[i * self.n..(i + 1) * self.n],
+            entries: &self.entries,
+            log_z: &self.log_z[i * self.n..(i + 1) * self.n],
+        }
+    }
+
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.count = 0;
+        self.spans.clear();
+        self.entries.clear();
+        self.log_z.clear();
+    }
+
+    /// Appends the split table of one destination DAG. Mirrors
+    /// [`SplitTable::build`] operation for operation so ratios and log
+    /// path sums come out bit-identical; the rule's weight vector must be
+    /// pre-validated.
+    pub(crate) fn push_table<D: DagAccess>(&mut self, graph: &Graph, dag: &D, rule: SplitRule<'_>) {
+        let n = self.n;
+        let span_base = self.spans.len();
+        let lz_base = self.log_z.len();
+        self.spans.resize(span_base + n, (0, 0));
+        self.log_z.resize(lz_base + n, f64::NEG_INFINITY);
+        let target = dag.dag_target();
+        self.log_z[lz_base + target.index()] = 0.0;
+
+        for &u in dag.dag_order_desc().iter().rev() {
+            if u == target {
+                continue;
+            }
+            let succ = dag.dag_successors(u);
+            if succ.is_empty() {
+                continue;
+            }
+            let start = self.entries.len();
+            for &e in succ {
+                let x = graph.target(e);
+                let v_e = match rule {
+                    SplitRule::EvenEcmp => 0.0,
+                    SplitRule::Exponential(v) => v[e.index()],
+                };
+                self.entries
+                    .push((e, -v_e + self.log_z[lz_base + x.index()]));
+            }
+            let max_term = self.entries[start..]
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if max_term == f64::NEG_INFINITY {
+                self.entries.truncate(start);
+                continue; // all successors stranded
+            }
+            let sum_exp: f64 = self.entries[start..]
+                .iter()
+                .map(|&(_, t)| (t - max_term).exp())
+                .sum();
+            let lz = max_term + sum_exp.ln();
+            self.log_z[lz_base + u.index()] = lz;
+            for slot in &mut self.entries[start..] {
+                slot.1 = (slot.1 - lz).exp();
+            }
+            self.spans[span_base + u.index()] = (start, succ.len());
+        }
+        self.count += 1;
+    }
+}
+
+/// A borrowed view of one destination's split table inside a
+/// [`SplitTableSet`]; mirrors the accessor surface of [`SplitTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitTableRef<'a> {
+    spans: &'a [(usize, usize)],
+    entries: &'a [(EdgeId, f64)],
+    log_z: &'a [f64],
+}
+
+impl<'a> SplitTableRef<'a> {
+    /// The `(edge, fraction)` next-hop entries of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn next_hops(&self, u: NodeId) -> &'a [(EdgeId, f64)] {
+        let (start, len) = self.spans[u.index()];
+        &self.entries[start..start + len]
+    }
+
+    /// `log Σ_k e^(−v^r_k)` from `u` to the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn log_path_sum(&self, u: NodeId) -> f64 {
+        self.log_z[u.index()]
+    }
+}
+
+/// Reusable scratch for the distribution kernel: the per-destination
+/// demand column and in-transit flow accumulator.
+#[derive(Debug, Default)]
+pub(crate) struct DistScratch {
+    demands: Vec<f64>,
+    incoming: Vec<f64>,
 }
 
 /// The flows produced by a traffic distribution: per-destination edge flows
@@ -224,6 +398,34 @@ impl Flows {
         }
     }
 
+    /// An empty flow set, ready to be shaped by [`Flows::reset`] — the
+    /// starting point for reusable distribution buffers.
+    pub(crate) fn empty() -> Flows {
+        Flows {
+            dests: Vec::new(),
+            per_dest: Vec::new(),
+            aggregate: Vec::new(),
+        }
+    }
+
+    /// Reshapes for `dests` over `m` edges and zeroes every vector,
+    /// reusing existing allocations where the shape already matches.
+    pub(crate) fn reset(&mut self, dests: &[NodeId], m: usize) {
+        if self.dests.as_slice() != dests {
+            self.dests.clear();
+            self.dests.extend_from_slice(dests);
+        }
+        if self.per_dest.len() != dests.len() {
+            self.per_dest.resize_with(dests.len(), Vec::new);
+        }
+        for f in &mut self.per_dest {
+            f.clear();
+            f.resize(m, 0.0);
+        }
+        self.aggregate.clear();
+        self.aggregate.resize(m, 0.0);
+    }
+
     /// In-place convex combination `self ← (1−α)·self + α·other`, the
     /// Frank–Wolfe update. Requires identical destination sets.
     pub(crate) fn blend_toward(&mut self, other: &Flows, alpha: f64) {
@@ -242,6 +444,13 @@ impl Flows {
 /// Builds the per-destination shortest-path DAGs `ON = {ON_t}` for the
 /// given first weights and Dijkstra tolerance.
 ///
+/// Since the batched-engine rework this routes through the CSR engine
+/// (validating the weights once and fanning destinations out in parallel
+/// for large batches) and materialises owned DAGs at the end; results are
+/// bit-identical to calling [`ShortestPathDag::build`] per destination.
+/// Iterating callers should prefer [`crate::RoutingEngine`], which also
+/// reuses the arenas across calls.
+///
 /// # Errors
 ///
 /// Propagates [`GraphError`] for invalid weights.
@@ -251,10 +460,22 @@ pub fn build_dags(
     destinations: &[NodeId],
     tolerance: f64,
 ) -> Result<Vec<ShortestPathDag>, GraphError> {
-    destinations
-        .iter()
-        .map(|&t| ShortestPathDag::build(graph, first_weights, t, tolerance))
-        .collect()
+    let in_csr = Csr::in_of(graph);
+    let mut ws = RoutingWorkspace::new();
+    let mut set = DagSet::new();
+    build_dag_set(
+        graph,
+        &in_csr,
+        first_weights,
+        destinations,
+        tolerance,
+        Parallelism::Auto,
+        &mut ws,
+        &mut set,
+    )?;
+    Ok((0..set.len())
+        .map(|i| set.to_shortest_path_dag(i, graph))
+        .collect())
 }
 
 /// Algorithm 3: computes the traffic distribution induced by hop-by-hop
@@ -275,7 +496,21 @@ pub fn traffic_distribution(
     traffic: &TrafficMatrix,
     rule: SplitRule<'_>,
 ) -> Result<Flows, SpefError> {
-    traffic_distribution_detailed(graph, dags, traffic, rule).map(|(flows, _)| flows)
+    let dests = traffic.destinations();
+    let mut tables = SplitTableSet::new();
+    let mut scratch = DistScratch::default();
+    let mut flows = Flows::empty();
+    distribute_batch(
+        graph,
+        &dests,
+        dags.iter(),
+        traffic,
+        rule,
+        &mut tables,
+        &mut scratch,
+        &mut flows,
+    )?;
+    Ok(flows)
 }
 
 /// Like [`traffic_distribution`], but also returns the per-destination
@@ -292,6 +527,69 @@ pub fn traffic_distribution_detailed(
     rule: SplitRule<'_>,
 ) -> Result<(Flows, Vec<SplitTable>), SpefError> {
     let dests = traffic.destinations();
+    let mut tables = SplitTableSet::new();
+    let mut scratch = DistScratch::default();
+    let mut flows = Flows::empty();
+    distribute_batch(
+        graph,
+        &dests,
+        dags.iter(),
+        traffic,
+        rule,
+        &mut tables,
+        &mut scratch,
+        &mut flows,
+    )?;
+    let n = graph.node_count();
+    let owned = (0..tables.len())
+        .map(|i| SplitTable::from_ref(tables.table(i), n))
+        .collect();
+    Ok((flows, owned))
+}
+
+/// Validates an [`SplitRule::Exponential`] weight vector — once per batch
+/// rather than once per destination (identical errors to the per-table
+/// validation in [`SplitTable::build`]).
+pub(crate) fn validate_rule(graph: &Graph, rule: SplitRule<'_>) -> Result<(), SpefError> {
+    if let SplitRule::Exponential(v) = rule {
+        if v.len() != graph.edge_count() {
+            return Err(SpefError::InvalidInput(format!(
+                "second weight vector has length {}, expected {}",
+                v.len(),
+                graph.edge_count()
+            )));
+        }
+        if let Some((i, &w)) = v.iter().enumerate().find(|(_, &w)| w.is_nan() || w < 0.0) {
+            return Err(SpefError::InvalidInput(format!(
+                "second weight of edge e{i} is {w}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The shared distribution kernel behind both execution paths: builds the
+/// split table of every destination into `tables` and the flows into
+/// `out`, reusing all buffers. Generic over the DAG storage
+/// ([`ShortestPathDag`] references or arena-backed
+/// [`spef_graph::DagRef`]s); results are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn distribute_batch<D, I>(
+    graph: &Graph,
+    dests: &[NodeId],
+    dags: I,
+    traffic: &TrafficMatrix,
+    rule: SplitRule<'_>,
+    tables: &mut SplitTableSet,
+    scratch: &mut DistScratch,
+    out: &mut Flows,
+) -> Result<(), SpefError>
+where
+    D: DagAccess,
+    I: IntoIterator<Item = D>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let dags = dags.into_iter();
     if dests.len() != dags.len() {
         return Err(SpefError::InvalidInput(format!(
             "{} DAGs supplied for {} destinations",
@@ -299,58 +597,63 @@ pub fn traffic_distribution_detailed(
             dests.len()
         )));
     }
-    let mut per_dest = Vec::with_capacity(dests.len());
-    let mut tables = Vec::with_capacity(dests.len());
-    let mut aggregate = vec![0.0; graph.edge_count()];
-    for (dag, &t) in dags.iter().zip(&dests) {
-        if dag.target() != t {
+    validate_rule(graph, rule)?;
+    let n = graph.node_count();
+    out.reset(dests, graph.edge_count());
+    tables.reset(n);
+    scratch.incoming.resize(n, 0.0);
+
+    for (i, (dag, &t)) in dags.zip(dests).enumerate() {
+        if dag.dag_target() != t {
             return Err(SpefError::InvalidInput(format!(
                 "DAG target {} does not match destination {t}",
-                dag.target()
+                dag.dag_target()
             )));
         }
-        let table = SplitTable::build(graph, dag, rule)?;
-        let demands = traffic.demands_to(t);
-        let flows = distribute_one(graph, dag, &table, &demands)?;
-        for (agg, f) in aggregate.iter_mut().zip(&flows) {
+        tables.push_table(graph, &dag, rule);
+        traffic.demands_to_into(t, &mut scratch.demands);
+        let table = tables.table(i);
+        let flows = &mut out.per_dest[i];
+        distribute_one_into(
+            graph,
+            &dag,
+            table,
+            &scratch.demands,
+            &mut scratch.incoming,
+            flows,
+        )?;
+        for (agg, f) in out.aggregate.iter_mut().zip(flows.iter()) {
             *agg += f;
         }
-        per_dest.push(flows);
-        tables.push(table);
     }
-    Ok((
-        Flows {
-            dests,
-            per_dest,
-            aggregate,
-        },
-        tables,
-    ))
+    Ok(())
 }
 
-/// Distributes the demand vector `demands` (per source) toward one
-/// destination, processing sources in decreasing distance order.
-fn distribute_one(
+/// Distributes one destination's demand column into `flows`, processing
+/// sources in decreasing distance order (Algorithm 3's inner loop).
+fn distribute_one_into<D: DagAccess>(
     graph: &Graph,
-    dag: &ShortestPathDag,
-    table: &SplitTable,
+    dag: &D,
+    table: SplitTableRef<'_>,
     demands: &[f64],
-) -> Result<Vec<f64>, SpefError> {
-    let mut flows = vec![0.0; graph.edge_count()];
-    let mut incoming = vec![0.0; graph.node_count()];
+    incoming: &mut [f64],
+    flows: &mut [f64],
+) -> Result<(), SpefError> {
+    incoming.fill(0.0);
+    let target = dag.dag_target();
 
     // Demands from nodes that cannot reach the target at all.
     for (s, &d) in demands.iter().enumerate() {
-        if d > 0.0 && !dag.reaches_target(NodeId::new(s)) {
+        if d > 0.0 && !dag.dag_reaches_target(NodeId::new(s)) {
             return Err(SpefError::UnroutableDemand {
                 source: NodeId::new(s),
-                destination: dag.target(),
+                destination: target,
             });
         }
     }
 
-    for &u in dag.nodes_by_decreasing_distance() {
-        if u == dag.target() {
+    for &u in dag.dag_order_desc() {
+        if u == target {
             continue;
         }
         let total = demands[u.index()] + incoming[u.index()];
@@ -361,7 +664,7 @@ fn distribute_one(
         if hops.is_empty() {
             return Err(SpefError::UnroutableDemand {
                 source: u,
-                destination: dag.target(),
+                destination: target,
             });
         }
         for &(e, ratio) in hops {
@@ -370,7 +673,7 @@ fn distribute_one(
             incoming[graph.target(e).index()] += f;
         }
     }
-    Ok(flows)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,864 @@
+//! Batched all-destinations routing: CSR Dijkstra, DAG-set construction
+//! and reusable scratch arenas.
+//!
+//! Every solver in the SPEF workspace sits in a loop that rebuilds the
+//! per-destination shortest-path DAGs `ON_t` on each iteration. The legacy
+//! path ([`ShortestPathDag::build`]) allocates a fresh distance vector,
+//! heap, and two `Vec<Vec<EdgeId>>` adjacency structures per destination
+//! per iteration — an allocation storm that dominates the runtime of small
+//! and medium instances. This module provides the batched alternative:
+//!
+//! * [`Csr`] adjacency is built once per graph and traversed flat;
+//! * [`RoutingWorkspace`] owns every piece of per-destination scratch
+//!   (heap storage, settled flags, counting buffers) and is reused across
+//!   calls, so the sequential steady state performs **zero allocations**
+//!   (when the parallel fan-out engages, the only per-call allocations
+//!   left are the `O(dests)` task list and the shim's work cells — never
+//!   the `O(dests · (nodes + edges))` arena data);
+//! * [`DagSet`] holds the DAGs of *all* destinations in contiguous
+//!   offset-indexed arenas (`dist`, CSR successor lists, processing
+//!   orders, path counts) instead of per-destination heap objects;
+//! * destinations fan out across worker threads (through the `rayon`
+//!   shim) when the batch is large enough to amortise thread spawn-up —
+//!   each destination writes only its own arena slices, so results are
+//!   **bit-identical** to the sequential path regardless of schedule.
+//!
+//! Weight validation (`O(|J|)`) runs once per batch, not once per
+//! destination; the per-destination Dijkstra runs unchecked.
+//!
+//! The legacy single-destination entry points remain available (and are
+//! kept as an independent reference implementation — the property tests in
+//! `tests/batch_equivalence.rs` assert bit-identical agreement between the
+//! two paths).
+
+use std::collections::BinaryHeap;
+
+use rayon::prelude::*;
+
+use crate::csr::Csr;
+use crate::dijkstra::HeapEntry;
+use crate::error::validate_weights;
+use crate::{EdgeId, Graph, GraphError, NodeId, ShortestPathDag};
+
+/// When to fan destinations out across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Parallelise when the batch is large enough to amortise thread
+    /// startup (the default).
+    #[default]
+    Auto,
+    /// Always run sequentially.
+    Never,
+    /// Parallelise whenever there is more than one destination (used by
+    /// the schedule-independence tests).
+    Always,
+}
+
+/// Estimated per-destination work below which threading costs more than it
+/// saves (tuned for the std::thread-scope rayon shim, which has no
+/// persistent pool).
+const PAR_WORK_THRESHOLD: usize = 1 << 14;
+
+impl Parallelism {
+    fn decide(self, dests: usize, work_per_dest: usize) -> bool {
+        match self {
+            Parallelism::Never => false,
+            Parallelism::Always => dests > 1,
+            Parallelism::Auto => {
+                dests > 1
+                    && dests.saturating_mul(work_per_dest) >= PAR_WORK_THRESHOLD
+                    && rayon::current_num_threads() > 1
+            }
+        }
+    }
+}
+
+/// Per-destination-slot scratch: everything one Dijkstra + DAG build needs
+/// beyond its output slices.
+#[derive(Debug, Default)]
+struct SlotScratch {
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Doubles as the per-node successor counter and fill cursor during
+    /// CSR construction.
+    cursor: Vec<usize>,
+}
+
+impl SlotScratch {
+    fn ensure(&mut self, n: usize) {
+        self.settled.resize(n, false);
+        self.cursor.resize(n, 0);
+    }
+}
+
+/// Reusable scratch arena for batched routing computations.
+///
+/// One slot per destination; slots persist across calls so the steady
+/// state of a solver loop (`build_dag_set` every iteration) performs no
+/// heap allocation. A workspace is tied to no particular graph — it grows
+/// to fit whatever it is handed.
+#[derive(Debug, Default)]
+pub struct RoutingWorkspace {
+    slots: Vec<SlotScratch>,
+}
+
+impl RoutingWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> RoutingWorkspace {
+        RoutingWorkspace::default()
+    }
+
+    fn ensure(&mut self, dests: usize, n: usize) {
+        if self.slots.len() < dests {
+            self.slots.resize_with(dests, SlotScratch::default);
+        }
+        for slot in &mut self.slots[..dests] {
+            slot.ensure(n);
+        }
+    }
+}
+
+/// Shortest-path DAGs for a whole destination set, stored as flat arenas.
+///
+/// The batched analogue of `Vec<ShortestPathDag>`: per-destination data
+/// lives in contiguous blocks of shared vectors rather than per-DAG heap
+/// objects, and the buffers are reused across [`build_dag_set`] calls.
+/// Access per-destination views through [`DagSet::dag`].
+#[derive(Debug, Clone, Default)]
+pub struct DagSet {
+    n: usize,
+    /// Successor-arena block stride: `max(edge_count, 1)` so zero-edge
+    /// graphs still chunk cleanly.
+    m_block: usize,
+    tol: f64,
+    dests: Vec<NodeId>,
+    /// `dist[i * n + u]`: distance from `u` to destination `i`.
+    dist: Vec<f64>,
+    /// `succ_off[i * (n + 1) + u]`: block-relative offsets into the
+    /// destination's successor block.
+    succ_off: Vec<usize>,
+    /// Successor edge ids, `m_block` slots per destination.
+    succ: Vec<EdgeId>,
+    /// DAG membership per edge, `m_block` slots per destination.
+    on_dag: Vec<bool>,
+    /// Reachable nodes by decreasing distance, `n` slots per destination
+    /// (only the first `order_len[i]` are meaningful).
+    order: Vec<NodeId>,
+    order_len: Vec<usize>,
+    /// Saturating shortest-path counts, `n` slots per destination.
+    path_counts: Vec<u64>,
+}
+
+impl DagSet {
+    /// Creates an empty set; arenas grow on first use.
+    pub fn new() -> DagSet {
+        DagSet::default()
+    }
+
+    /// Number of destinations covered.
+    pub fn len(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Returns `true` if the set covers no destinations.
+    pub fn is_empty(&self) -> bool {
+        self.dests.is_empty()
+    }
+
+    /// The destinations, in build order.
+    pub fn destinations(&self) -> &[NodeId] {
+        &self.dests
+    }
+
+    /// The equal-cost tolerance the set was built with.
+    pub fn tolerance(&self) -> f64 {
+        self.tol
+    }
+
+    /// A cheap view of destination `i`'s DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn dag(&self, i: usize) -> DagRef<'_> {
+        assert!(i < self.dests.len(), "destination index {i} out of range");
+        let n = self.n;
+        DagRef {
+            target: self.dests[i],
+            tol: self.tol,
+            dist: &self.dist[i * n..(i + 1) * n],
+            succ_off: &self.succ_off[i * (n + 1)..(i + 1) * (n + 1)],
+            succ: &self.succ[i * self.m_block..(i + 1) * self.m_block],
+            on_dag: &self.on_dag[i * self.m_block..(i + 1) * self.m_block],
+            order: &self.order[i * n..i * n + self.order_len[i]],
+            path_counts: &self.path_counts[i * n..(i + 1) * n],
+        }
+    }
+
+    /// Iterates over all per-destination DAG views in build order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = DagRef<'_>> + '_ {
+        (0..self.len()).map(|i| self.dag(i))
+    }
+
+    /// Materialises destination `i` as an owned [`ShortestPathDag`]
+    /// (allocating), for callers that store DAGs beyond the engine's
+    /// lifetime. Predecessor lists are reconstructed from `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` or `graph` does not match the graph the
+    /// set was built from.
+    pub fn to_shortest_path_dag(&self, i: usize, graph: &Graph) -> ShortestPathDag {
+        let view = self.dag(i);
+        let n = self.n;
+        let mut succ = Vec::with_capacity(n);
+        let mut pred = vec![Vec::new(); n];
+        for u in 0..n {
+            let s = view.successors(NodeId::new(u));
+            succ.push(s.to_vec());
+            for &e in s {
+                pred[graph.target(e).index()].push(e);
+            }
+        }
+        // Predecessor lists must come out in edge-id order (the legacy
+        // path pushes while scanning edges by id).
+        for p in &mut pred {
+            p.sort_unstable();
+        }
+        ShortestPathDag::from_parts(
+            view.target,
+            self.tol,
+            view.dist.to_vec(),
+            succ,
+            pred,
+            view.on_dag[..graph.edge_count()].to_vec(),
+            view.order.to_vec(),
+            view.path_counts.to_vec(),
+        )
+    }
+
+    fn prepare(&mut self, dests: &[NodeId], n: usize, m: usize, tol: f64) {
+        let d = dests.len();
+        let m_block = m.max(1);
+        self.n = n;
+        self.m_block = m_block;
+        self.tol = tol;
+        self.dests.clear();
+        self.dests.extend_from_slice(dests);
+        self.dist.resize(d * n, 0.0);
+        self.succ_off.resize(d * (n + 1), 0);
+        self.succ.resize(d * m_block, EdgeId::new(0));
+        self.on_dag.resize(d * m_block, false);
+        self.order.resize(d * n, NodeId::new(0));
+        self.order_len.resize(d, 0);
+        self.path_counts.resize(d * n, 0);
+    }
+}
+
+/// A borrowed view of one destination's DAG inside a [`DagSet`].
+///
+/// Mirrors the accessor surface of [`ShortestPathDag`]; both implement
+/// [`DagAccess`] so downstream algorithms are generic over the storage.
+#[derive(Debug, Clone, Copy)]
+pub struct DagRef<'a> {
+    target: NodeId,
+    tol: f64,
+    dist: &'a [f64],
+    succ_off: &'a [usize],
+    succ: &'a [EdgeId],
+    on_dag: &'a [bool],
+    order: &'a [NodeId],
+    path_counts: &'a [u64],
+}
+
+impl<'a> DagRef<'a> {
+    /// The destination this DAG routes toward.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// The equal-cost tolerance the DAG was built with.
+    pub fn tolerance(&self) -> f64 {
+        self.tol
+    }
+
+    /// Shortest distance from `u` to the target (`f64::INFINITY` if
+    /// unreachable).
+    pub fn distance(&self, u: NodeId) -> f64 {
+        self.dist[u.index()]
+    }
+
+    /// All per-node distances, indexed by node id.
+    pub fn distances(&self) -> &'a [f64] {
+        self.dist
+    }
+
+    /// DAG edges leaving `u`, in edge-id order.
+    pub fn successors(&self, u: NodeId) -> &'a [EdgeId] {
+        &self.succ[self.succ_off[u.index()]..self.succ_off[u.index() + 1]]
+    }
+
+    /// Returns `true` if edge `e` lies on some shortest path to the target.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.on_dag[e.index()]
+    }
+
+    /// Returns `true` if the target is reachable from `u`.
+    pub fn reaches_target(&self, u: NodeId) -> bool {
+        self.dist[u.index()].is_finite()
+    }
+
+    /// Reachable nodes in decreasing-distance order (target last).
+    pub fn nodes_by_decreasing_distance(&self) -> &'a [NodeId] {
+        self.order
+    }
+
+    /// Number of equal-cost shortest paths from `u`, saturating.
+    pub fn path_count(&self, u: NodeId) -> u64 {
+        self.path_counts[u.index()]
+    }
+}
+
+/// Storage-agnostic read access to a per-destination shortest-path DAG.
+///
+/// Implemented by the legacy owned [`ShortestPathDag`], the arena-backed
+/// [`DagRef`], and references to either, so traffic-distribution code can
+/// run over both without conversion.
+pub trait DagAccess {
+    /// The destination this DAG routes toward.
+    fn dag_target(&self) -> NodeId;
+    /// All per-node distances to the target.
+    fn dag_distances(&self) -> &[f64];
+    /// DAG edges leaving `u`, in edge-id order.
+    fn dag_successors(&self, u: NodeId) -> &[EdgeId];
+    /// Reachable nodes in decreasing-distance order (target last).
+    fn dag_order_desc(&self) -> &[NodeId];
+
+    /// Distance from `u` to the target.
+    fn dag_distance(&self, u: NodeId) -> f64 {
+        self.dag_distances()[u.index()]
+    }
+
+    /// Whether the target is reachable from `u`.
+    fn dag_reaches_target(&self, u: NodeId) -> bool {
+        self.dag_distance(u).is_finite()
+    }
+}
+
+impl DagAccess for ShortestPathDag {
+    fn dag_target(&self) -> NodeId {
+        self.target()
+    }
+    fn dag_distances(&self) -> &[f64] {
+        self.distances()
+    }
+    fn dag_successors(&self, u: NodeId) -> &[EdgeId] {
+        self.successors(u)
+    }
+    fn dag_order_desc(&self) -> &[NodeId] {
+        self.nodes_by_decreasing_distance()
+    }
+}
+
+impl DagAccess for DagRef<'_> {
+    fn dag_target(&self) -> NodeId {
+        self.target()
+    }
+    fn dag_distances(&self) -> &[f64] {
+        self.distances()
+    }
+    fn dag_successors(&self, u: NodeId) -> &[EdgeId] {
+        self.successors(u)
+    }
+    fn dag_order_desc(&self) -> &[NodeId] {
+        self.nodes_by_decreasing_distance()
+    }
+}
+
+impl<T: DagAccess + ?Sized> DagAccess for &T {
+    fn dag_target(&self) -> NodeId {
+        (**self).dag_target()
+    }
+    fn dag_distances(&self) -> &[f64] {
+        (**self).dag_distances()
+    }
+    fn dag_successors(&self, u: NodeId) -> &[EdgeId] {
+        (**self).dag_successors(u)
+    }
+    fn dag_order_desc(&self) -> &[NodeId] {
+        (**self).dag_order_desc()
+    }
+}
+
+/// One destination's mutable arena slices plus its scratch slot — the unit
+/// of work handed to each (possibly parallel) DAG build.
+struct DagTask<'a> {
+    target: NodeId,
+    scratch: &'a mut SlotScratch,
+    dist: &'a mut [f64],
+    succ_off: &'a mut [usize],
+    succ: &'a mut [EdgeId],
+    on_dag: &'a mut [bool],
+    order: &'a mut [NodeId],
+    order_len: &'a mut usize,
+    path_counts: &'a mut [u64],
+}
+
+/// Builds the shortest-path DAGs of every destination in `dests` into
+/// `out`, reusing `ws` scratch and `in_csr` adjacency.
+///
+/// Semantically equivalent to calling [`ShortestPathDag::build`] per
+/// destination — the results are bit-identical, including tie-breaking —
+/// but weights are validated once, nothing is allocated in the steady
+/// state, and large batches fan out across worker threads.
+///
+/// `in_csr` must be [`Csr::in_of`] of `graph`.
+///
+/// # Errors
+///
+/// Same conditions as [`ShortestPathDag::build`]: invalid weights or
+/// tolerance, or a destination out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn build_dag_set(
+    graph: &Graph,
+    in_csr: &Csr,
+    weights: &[f64],
+    dests: &[NodeId],
+    tol: f64,
+    par: Parallelism,
+    ws: &mut RoutingWorkspace,
+    out: &mut DagSet,
+) -> Result<(), GraphError> {
+    if !tol.is_finite() || tol < 0.0 {
+        return Err(GraphError::InvalidWeight {
+            edge: EdgeId::new(usize::MAX),
+            weight: tol,
+        });
+    }
+    validate_weights(graph.edge_count(), weights)?;
+    let n = graph.node_count();
+    for &t in dests {
+        if t.index() >= n {
+            return Err(GraphError::NodeOutOfRange { node: t, nodes: n });
+        }
+    }
+
+    let m = graph.edge_count();
+    out.prepare(dests, n, m, tol);
+    ws.ensure(dests.len(), n);
+    let m_block = out.m_block;
+
+    let tasks = ws.slots[..dests.len()]
+        .iter_mut()
+        .zip(out.dist.chunks_mut(n))
+        .zip(out.succ_off.chunks_mut(n + 1))
+        .zip(out.succ.chunks_mut(m_block))
+        .zip(out.on_dag.chunks_mut(m_block))
+        .zip(out.order.chunks_mut(n))
+        .zip(out.order_len.iter_mut())
+        .zip(out.path_counts.chunks_mut(n))
+        .zip(dests.iter())
+        .map(
+            |((((((((scratch, dist), succ_off), succ), on_dag), order), order_len), pc), &t)| {
+                DagTask {
+                    target: t,
+                    scratch,
+                    dist,
+                    succ_off,
+                    succ,
+                    on_dag,
+                    order,
+                    order_len,
+                    path_counts: pc,
+                }
+            },
+        );
+
+    if par.decide(dests.len(), n + m) {
+        tasks
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|task| build_one_dag(graph, in_csr, weights, tol, task));
+    } else {
+        for task in tasks {
+            build_one_dag(graph, in_csr, weights, tol, task);
+        }
+    }
+    Ok(())
+}
+
+/// Per-destination DAG build into arena slices. Mirrors the legacy
+/// [`ShortestPathDag::build`] step by step so floating-point results and
+/// all orderings are identical.
+fn build_one_dag(graph: &Graph, in_csr: &Csr, weights: &[f64], tol: f64, task: DagTask<'_>) {
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let DagTask {
+        target,
+        scratch,
+        dist,
+        succ_off,
+        succ,
+        on_dag,
+        order,
+        order_len,
+        path_counts,
+    } = task;
+
+    dijkstra_csr(in_csr, weights, target, dist, scratch);
+
+    // Classify edges (in id order, exactly like the legacy path) and count
+    // successors per node.
+    on_dag[..m].fill(false);
+    scratch.cursor[..n].fill(0);
+    for (e, u, v) in graph.edges() {
+        let (du, dv) = (dist[u.index()], dist[v.index()]);
+        if !du.is_finite() || !dv.is_finite() {
+            continue;
+        }
+        let slack = weights[e.index()] + dv - du;
+        if slack <= tol && dv < du {
+            on_dag[e.index()] = true;
+            scratch.cursor[u.index()] += 1;
+        }
+    }
+    // Prefix sums -> block-relative CSR offsets; cursor becomes the fill
+    // position of each node.
+    succ_off[0] = 0;
+    for u in 0..n {
+        let count = scratch.cursor[u];
+        scratch.cursor[u] = succ_off[u];
+        succ_off[u + 1] = succ_off[u] + count;
+    }
+    for (e, u, _) in graph.edges() {
+        if on_dag[e.index()] {
+            succ[scratch.cursor[u.index()]] = e;
+            scratch.cursor[u.index()] += 1;
+        }
+    }
+
+    // Reachable nodes by decreasing distance (id-tiebroken, so the order is
+    // unique and schedule-independent).
+    let mut len = 0;
+    for (u, d) in dist.iter().enumerate() {
+        if d.is_finite() {
+            order[len] = NodeId::new(u);
+            len += 1;
+        }
+    }
+    *order_len = len;
+    let order = &mut order[..len];
+    order.sort_unstable_by(|a, b| {
+        dist[b.index()]
+            .total_cmp(&dist[a.index()])
+            .then_with(|| a.index().cmp(&b.index()))
+    });
+
+    // Path counts by increasing distance.
+    path_counts[..n].fill(0);
+    path_counts[target.index()] = 1;
+    for &u in order.iter().rev() {
+        if u == target {
+            continue;
+        }
+        let mut total = 0u64;
+        for &e in &succ[succ_off[u.index()]..succ_off[u.index() + 1]] {
+            total = total.saturating_add(path_counts[graph.target(e).index()]);
+        }
+        path_counts[u.index()] = total;
+    }
+}
+
+/// Dijkstra toward `origin` over the in-edge CSR, writing distances into
+/// `dist`. Weights are assumed pre-validated. Relaxation order matches the
+/// legacy [`crate::distances_to`] exactly.
+fn dijkstra_csr(
+    in_csr: &Csr,
+    weights: &[f64],
+    origin: NodeId,
+    dist: &mut [f64],
+    scratch: &mut SlotScratch,
+) {
+    dist.fill(f64::INFINITY);
+    scratch.settled.fill(false);
+    scratch.heap.clear();
+    dist[origin.index()] = 0.0;
+    scratch.heap.push(HeapEntry {
+        dist: 0.0,
+        node: origin,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = scratch.heap.pop() {
+        if scratch.settled[u.index()] {
+            continue;
+        }
+        scratch.settled[u.index()] = true;
+        for &(e, v) in in_csr.neighbors(u) {
+            let nd = d + weights[e.index()];
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                scratch.heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+}
+
+/// Distances from every node to each of a set of targets, stored as one
+/// flat `targets x nodes` arena.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceSet {
+    n: usize,
+    targets: Vec<NodeId>,
+    dist: Vec<f64>,
+}
+
+impl DistanceSet {
+    /// Creates an empty set; the arena grows on first use.
+    pub fn new() -> DistanceSet {
+        DistanceSet::default()
+    }
+
+    /// The targets, in build order.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Distances to target `i`, indexed by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.targets.len(), "target index {i} out of range");
+        &self.dist[i * self.n..(i + 1) * self.n]
+    }
+}
+
+/// Computes [`crate::distances_to`] for every target in one validated,
+/// workspace-reusing (and, for large batches, parallel) sweep.
+///
+/// `in_csr` must be [`Csr::in_of`] of `graph`.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::distances_to`].
+pub fn batch_distances_to(
+    graph: &Graph,
+    in_csr: &Csr,
+    weights: &[f64],
+    targets: &[NodeId],
+    par: Parallelism,
+    ws: &mut RoutingWorkspace,
+    out: &mut DistanceSet,
+) -> Result<(), GraphError> {
+    validate_weights(graph.edge_count(), weights)?;
+    let n = graph.node_count();
+    for &t in targets {
+        if t.index() >= n {
+            return Err(GraphError::NodeOutOfRange { node: t, nodes: n });
+        }
+    }
+    out.n = n;
+    out.targets.clear();
+    out.targets.extend_from_slice(targets);
+    out.dist.resize(targets.len() * n, 0.0);
+    ws.ensure(targets.len(), n);
+
+    let tasks = ws.slots[..targets.len()]
+        .iter_mut()
+        .zip(out.dist.chunks_mut(n))
+        .zip(targets.iter());
+    if par.decide(targets.len(), n + graph.edge_count()) {
+        tasks
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|((scratch, dist), &t)| dijkstra_csr(in_csr, weights, t, dist, scratch));
+    } else {
+        for ((scratch, dist), &t) in tasks {
+            dijkstra_csr(in_csr, weights, t, dist, scratch);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distances_to;
+
+    fn near_tie(eps: f64) -> (Graph, Vec<f64>) {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        (g, vec![1.0, 1.0 + eps, 1.0, 1.0])
+    }
+
+    fn build_all(g: &Graph, w: &[f64], dests: &[NodeId], tol: f64, par: Parallelism) -> DagSet {
+        let csr = Csr::in_of(g);
+        let mut ws = RoutingWorkspace::new();
+        let mut set = DagSet::new();
+        build_dag_set(g, &csr, w, dests, tol, par, &mut ws, &mut set).unwrap();
+        set
+    }
+
+    #[test]
+    fn matches_legacy_on_near_tie() {
+        let (g, w) = near_tie(0.1);
+        for tol in [0.0, 0.3] {
+            let dests: Vec<NodeId> = g.nodes().collect();
+            let set = build_all(&g, &w, &dests, tol, Parallelism::Never);
+            for (i, &t) in dests.iter().enumerate() {
+                let legacy = ShortestPathDag::build(&g, &w, t, tol).unwrap();
+                let view = set.dag(i);
+                assert_eq!(view.distances(), legacy.distances(), "dist to {t}");
+                for u in g.nodes() {
+                    assert_eq!(view.successors(u), legacy.successors(u), "succ {u} -> {t}");
+                    assert_eq!(view.path_count(u), legacy.path_count(u));
+                }
+                assert_eq!(
+                    view.nodes_by_decreasing_distance(),
+                    legacy.nodes_by_decreasing_distance()
+                );
+                for e in g.edge_ids() {
+                    assert_eq!(view.contains_edge(e), legacy.contains_edge(e));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_schedule_is_bit_identical() {
+        let (g, w) = near_tie(0.05);
+        let dests: Vec<NodeId> = g.nodes().collect();
+        let serial = build_all(&g, &w, &dests, 0.1, Parallelism::Never);
+        let parallel = build_all(&g, &w, &dests, 0.1, Parallelism::Always);
+        assert_eq!(serial.dist, parallel.dist);
+        assert_eq!(serial.succ_off, parallel.succ_off);
+        assert_eq!(serial.succ, parallel.succ);
+        assert_eq!(serial.order, parallel.order);
+        assert_eq!(serial.path_counts, parallel.path_counts);
+    }
+
+    #[test]
+    fn workspace_reuse_across_calls() {
+        let (g, w) = near_tie(0.0);
+        let csr = Csr::in_of(&g);
+        let mut ws = RoutingWorkspace::new();
+        let mut set = DagSet::new();
+        let dests: Vec<NodeId> = g.nodes().collect();
+        for _ in 0..3 {
+            build_dag_set(
+                &g,
+                &csr,
+                &w,
+                &dests,
+                0.0,
+                Parallelism::Auto,
+                &mut ws,
+                &mut set,
+            )
+            .unwrap();
+            assert_eq!(set.len(), 4);
+            assert_eq!(set.dag(3).distance(0.into()), 2.0);
+        }
+        // Shrinking the destination set reuses the same arenas.
+        build_dag_set(
+            &g,
+            &csr,
+            &w,
+            &dests[..1],
+            0.0,
+            Parallelism::Auto,
+            &mut ws,
+            &mut set,
+        )
+        .unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn materialised_dag_matches_legacy() {
+        let (g, w) = near_tie(0.1);
+        let set = build_all(&g, &w, &[NodeId::new(3)], 0.3, Parallelism::Never);
+        let owned = set.to_shortest_path_dag(0, &g);
+        let legacy = ShortestPathDag::build(&g, &w, 3.into(), 0.3).unwrap();
+        assert_eq!(owned.distances(), legacy.distances());
+        for u in g.nodes() {
+            assert_eq!(owned.successors(u), legacy.successors(u));
+            assert_eq!(owned.predecessors(u), legacy.predecessors(u));
+            assert_eq!(owned.path_count(u), legacy.path_count(u));
+        }
+        assert_eq!(
+            owned.nodes_by_decreasing_distance(),
+            legacy.nodes_by_decreasing_distance()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs_like_legacy() {
+        let (g, w) = near_tie(0.0);
+        let csr = Csr::in_of(&g);
+        let mut ws = RoutingWorkspace::new();
+        let mut set = DagSet::new();
+        let run = |w: &[f64], dests: &[NodeId], tol: f64| {
+            let mut ws2 = RoutingWorkspace::new();
+            let mut set2 = DagSet::new();
+            build_dag_set(
+                &g,
+                &csr,
+                w,
+                dests,
+                tol,
+                Parallelism::Auto,
+                &mut ws2,
+                &mut set2,
+            )
+        };
+        assert!(matches!(
+            run(&w[..2], &[NodeId::new(0)], 0.0),
+            Err(GraphError::WeightCount { .. })
+        ));
+        assert!(matches!(
+            run(&[1.0, -2.0, 1.0, 1.0], &[NodeId::new(0)], 0.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            run(&w, &[NodeId::new(17)], 0.0),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            run(&w, &[NodeId::new(0)], -0.5),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        // Empty destination set is fine.
+        build_dag_set(&g, &csr, &w, &[], 0.0, Parallelism::Auto, &mut ws, &mut set).unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn batch_distances_match_single_calls() {
+        let (g, w) = near_tie(0.2);
+        let csr = Csr::in_of(&g);
+        let mut ws = RoutingWorkspace::new();
+        let mut set = DistanceSet::new();
+        let targets: Vec<NodeId> = g.nodes().collect();
+        for par in [Parallelism::Never, Parallelism::Always] {
+            batch_distances_to(&g, &csr, &w, &targets, par, &mut ws, &mut set).unwrap();
+            for (i, &t) in targets.iter().enumerate() {
+                assert_eq!(set.row(i), distances_to(&g, &w, t).unwrap(), "target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_is_handled() {
+        let g = Graph::with_nodes(3);
+        let set = build_all(&g, &[], &[NodeId::new(1)], 0.0, Parallelism::Never);
+        let view = set.dag(0);
+        assert_eq!(view.distance(1.into()), 0.0);
+        assert!(!view.reaches_target(0.into()));
+        assert_eq!(view.nodes_by_decreasing_distance(), &[NodeId::new(1)]);
+        assert_eq!(view.path_count(1.into()), 1);
+    }
+}

@@ -141,6 +141,32 @@ impl ShortestPathDag {
         })
     }
 
+    /// Assembles a DAG from pre-computed parts — used by the batched
+    /// engine ([`crate::batch::DagSet`]) to materialise owned DAGs without
+    /// re-running the legacy single-destination path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        target: NodeId,
+        tol: f64,
+        dist: Vec<f64>,
+        succ: Vec<Vec<EdgeId>>,
+        pred: Vec<Vec<EdgeId>>,
+        on_dag: Vec<bool>,
+        order_desc: Vec<NodeId>,
+        path_counts: Vec<u64>,
+    ) -> ShortestPathDag {
+        ShortestPathDag {
+            target,
+            tol,
+            dist,
+            succ,
+            pred,
+            on_dag,
+            order_desc,
+            path_counts,
+        }
+    }
+
     /// The destination this DAG routes toward.
     pub fn target(&self) -> NodeId {
         self.target

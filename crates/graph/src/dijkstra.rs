@@ -12,10 +12,13 @@ use crate::error::validate_weights;
 use crate::{Graph, GraphError, NodeId};
 
 /// A `(distance, node)` heap entry ordered as a min-heap by distance.
+///
+/// Shared with the batched engine in [`crate::batch`] so both paths pop
+/// nodes in exactly the same order (distance, then node id).
 #[derive(Debug, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) node: NodeId,
 }
 
 impl Eq for HeapEntry {}

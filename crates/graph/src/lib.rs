@@ -16,7 +16,12 @@
 //! * [`bellman_ford`] — shortest paths under possibly negative weights, used
 //!   to initialise node potentials in the min-cost-flow solver of `spef-lp`,
 //! * [`traversal`] — reachability and connectivity checks used to validate
-//!   topologies.
+//!   topologies,
+//! * [`csr`] / [`batch`] — the **batched routing engine**: flat CSR
+//!   adjacency, reusable scratch arenas ([`RoutingWorkspace`]) and
+//!   all-destinations DAG construction ([`DagSet`], with parallel fan-out
+//!   over destinations) producing results bit-identical to the
+//!   per-destination path above.
 //!
 //! # Example
 //!
@@ -47,7 +52,9 @@
 mod error;
 mod graph;
 
+pub mod batch;
 pub mod bellman_ford;
+pub mod csr;
 pub mod dag;
 pub mod dijkstra;
 pub mod traversal;
@@ -55,5 +62,10 @@ pub mod traversal;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, NodeId};
 
+pub use batch::{
+    batch_distances_to, build_dag_set, DagAccess, DagRef, DagSet, DistanceSet, Parallelism,
+    RoutingWorkspace,
+};
+pub use csr::Csr;
 pub use dag::ShortestPathDag;
 pub use dijkstra::{distances_from, distances_to};

@@ -94,15 +94,27 @@ impl TrafficMatrix {
     ///
     /// Panics if `t` is out of range.
     pub fn demands_to(&self, t: NodeId) -> Vec<f64> {
-        (0..self.n)
-            .map(|s| {
-                if s == t.index() {
-                    0.0
-                } else {
-                    self.demands[s * self.n + t.index()]
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.demands_to_into(t, &mut out);
+        out
+    }
+
+    /// Writes the per-source demand vector `d^t` into `out` (resized to
+    /// `node_count`), the allocation-free variant solver loops use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn demands_to_into(&self, t: NodeId, out: &mut Vec<f64>) {
+        assert!(t.index() < self.n, "destination {t} out of range");
+        out.resize(self.n, 0.0);
+        for (s, slot) in out.iter_mut().enumerate() {
+            *slot = if s == t.index() {
+                0.0
+            } else {
+                self.demands[s * self.n + t.index()]
+            };
+        }
     }
 
     /// Sum of all demands.
