@@ -13,7 +13,7 @@
 //! MLU 0.9), which min-max / (q, β → ∞) load balance then refines.
 
 use spef_core::{Flows, SpefError};
-use spef_lp::simplex::{LinearProgram, Relation, SimplexError};
+use spef_lp::simplex::{LinearProgram, Relation, SimplexError, SimplexWorkspace};
 use spef_topology::{Network, TrafficMatrix};
 
 /// An optimal solution of the min-MLU LP.
@@ -44,6 +44,23 @@ impl MluSolution {
     /// * [`SpefError::InvalidInput`] on size mismatches or an empty
     ///   traffic matrix.
     pub fn solve(network: &Network, traffic: &TrafficMatrix) -> Result<MluSolution, SpefError> {
+        MluSolution::solve_in(network, traffic, &mut SimplexWorkspace::new())
+    }
+
+    /// Like [`solve`](MluSolution::solve), but reuses `workspace` across
+    /// calls: the simplex tableau arena and basis bookkeeping are recycled,
+    /// and structurally identical re-solves (same topology and destination
+    /// set, different demands/capacities — the per-scenario MLU LPs of a
+    /// sweep) warm-start from the previous optimal basis.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](MluSolution::solve).
+    pub fn solve_in(
+        network: &Network,
+        traffic: &TrafficMatrix,
+        workspace: &mut SimplexWorkspace,
+    ) -> Result<MluSolution, SpefError> {
         if traffic.node_count() != network.node_count() {
             return Err(SpefError::InvalidInput(format!(
                 "traffic matrix covers {} nodes, network has {}",
@@ -88,7 +105,7 @@ impl MluSolution {
             }
         }
 
-        let sol = match lp.solve() {
+        let sol = match lp.resolve(workspace) {
             Ok(sol) => sol,
             Err(SimplexError::Infeasible) => return Err(SpefError::Infeasible),
             Err(e) => return Err(SpefError::InvalidInput(format!("min-MLU LP failed: {e}"))),
@@ -172,6 +189,32 @@ mod tests {
     fn empty_matrix_rejected() {
         let net = standard::fig1();
         assert!(MluSolution::solve(&net, &TrafficMatrix::new(4)).is_err());
+    }
+
+    #[test]
+    fn workspace_reuse_warm_starts_across_demand_scales() {
+        // The per-scenario pattern: same topology, demands move. A shared
+        // workspace must reproduce the cold MLU at every scale.
+        let net = standard::fig1();
+        let tm = standard::fig1_demands();
+        let mut ws = spef_lp::SimplexWorkspace::new();
+        for scale in [1.0, 0.5, 0.25, 0.75, 1.0] {
+            let scaled = tm.scaled(scale);
+            let warm = MluSolution::solve_in(&net, &scaled, &mut ws).unwrap();
+            let cold = MluSolution::solve(&net, &scaled).unwrap();
+            assert!(
+                (warm.mlu - cold.mlu).abs() < 1e-9,
+                "scale {scale}: warm {} vs cold {}",
+                warm.mlu,
+                cold.mlu
+            );
+            // The warm vertex may differ on the degenerate optimal face,
+            // but it must still be a feasible flow achieving the same MLU.
+            assert!(
+                (metrics::max_link_utilization(&net, warm.flows.aggregate()) - warm.mlu).abs()
+                    < 1e-7
+            );
+        }
     }
 
     #[test]

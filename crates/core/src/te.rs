@@ -129,6 +129,9 @@ fn solve_beta_zero(
             lp.add_constraint(&row, Relation::Eq, demands[node.index()]);
         }
     }
+    // The LP is built fresh and solved once per call, so there is no
+    // warm-start opportunity here; `solve` already runs the flat-arena
+    // engine on a fresh workspace.
     let sol = match lp.solve() {
         Ok(sol) => sol,
         Err(SimplexError::Infeasible) => return Err(SpefError::Infeasible),

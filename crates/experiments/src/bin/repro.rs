@@ -12,6 +12,8 @@
 //! repro sweep --topologies abilene,cernet2 --seeds 1,2,3 \
 //!     --loads 0.15,0.3 --betas 0.5,1.0,2.0 --solvers fw \
 //!     --json BENCH_sweep.json
+//!
+//! repro diff BENCH_a.json BENCH_b.json   # fail on any scenario-result drift
 //! ```
 
 use std::path::PathBuf;
@@ -196,11 +198,63 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     }
 }
 
+/// Parses and runs `repro diff BASELINE.json CANDIDATE.json`: compares the
+/// deterministic scenario results of two sweep reports and fails on any
+/// drift. Wall-clock fields are ignored. The regression gate for perf PRs.
+fn run_diff(mut argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let usage = "usage: repro diff BASELINE.json CANDIDATE.json";
+    let baseline_path = argv.next().ok_or(usage)?;
+    let candidate_path = argv.next().ok_or(usage)?;
+    if let Some(extra) = argv.next() {
+        return Err(format!("unexpected diff argument {extra:?}\n{usage}"));
+    }
+    let load = |path: &str| -> Result<spef_experiments::harness::BatchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        spef_experiments::harness::BatchReport::from_json(&text)
+            .map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let baseline = load(&baseline_path)?;
+    let candidate = load(&candidate_path)?;
+    let drift = baseline.result_drift(&candidate);
+    if drift.is_empty() {
+        println!(
+            "diff: {} scenario(s) bit-identical ({} vs {}); wall {:.1} ms -> {:.1} ms",
+            baseline.results.len(),
+            baseline_path,
+            candidate_path,
+            baseline.total_wall_ms,
+            candidate.total_wall_ms,
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "diff: {} drift(s) between {} and {}:",
+            drift.len(),
+            baseline_path,
+            candidate_path
+        );
+        for line in &drift {
+            eprintln!("  {line}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("sweep") {
         argv.next();
         return match run_sweep(argv) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.peek().map(String::as_str) == Some("diff") {
+        argv.next();
+        return match run_diff(argv) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

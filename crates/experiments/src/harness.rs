@@ -109,6 +109,76 @@ impl BatchReport {
         std::fs::write(path, self.to_json())
     }
 
+    /// Lists every *deterministic* difference between `self` (the baseline)
+    /// and `other` (a candidate run): scenario set and order, per-scenario
+    /// MLU / utility / iterations / NEM convergence, and failures. Wall-clock
+    /// fields (`wall_ms`, `total_wall_ms`) and `threads` are ignored — they
+    /// are the only fields that legitimately vary run to run.
+    ///
+    /// Numeric fields are compared for **bit-identical** equality: the sweep
+    /// pipeline is deterministic, so any drift — however small — means an
+    /// algorithmic change and must be triaged, not tolerated.
+    pub fn result_drift(&self, other: &BatchReport) -> Vec<String> {
+        let mut drift = Vec::new();
+        if self.schema_version != other.schema_version {
+            drift.push(format!(
+                "schema version: {} vs {}",
+                self.schema_version, other.schema_version
+            ));
+        }
+        if self.results.len() != other.results.len() {
+            drift.push(format!(
+                "result count: {} vs {}",
+                self.results.len(),
+                other.results.len()
+            ));
+        }
+        for (a, b) in self.results.iter().zip(&other.results) {
+            if a.scenario.id != b.scenario.id {
+                drift.push(format!(
+                    "scenario order: {:?} vs {:?}",
+                    a.scenario.id, b.scenario.id
+                ));
+                continue;
+            }
+            let id = &a.scenario.id;
+            if a.mlu.to_bits() != b.mlu.to_bits() {
+                drift.push(format!("{id}: mlu {} vs {}", a.mlu, b.mlu));
+            }
+            if a.utility.to_bits() != b.utility.to_bits() {
+                drift.push(format!("{id}: utility {} vs {}", a.utility, b.utility));
+            }
+            if a.iterations != b.iterations {
+                drift.push(format!(
+                    "{id}: iterations {} vs {}",
+                    a.iterations, b.iterations
+                ));
+            }
+            if a.nem_converged != b.nem_converged {
+                drift.push(format!(
+                    "{id}: nem_converged {} vs {}",
+                    a.nem_converged, b.nem_converged
+                ));
+            }
+        }
+        if self.failures.len() != other.failures.len() {
+            drift.push(format!(
+                "failure count: {} vs {}",
+                self.failures.len(),
+                other.failures.len()
+            ));
+        }
+        for (a, b) in self.failures.iter().zip(&other.failures) {
+            if a.scenario.id != b.scenario.id || a.error != b.error {
+                drift.push(format!(
+                    "failure {:?} ({}) vs {:?} ({})",
+                    a.scenario.id, a.error, b.scenario.id, b.error
+                ));
+            }
+        }
+        drift
+    }
+
     /// A terminal summary table of the batch.
     pub fn summary_table(&self) -> crate::report::TextTable {
         let mut table = crate::report::TextTable::new(
@@ -259,6 +329,32 @@ mod tests {
         let report = run_batch(vec![scenario], &BatchOptions::default());
         assert!(report.results.is_empty());
         assert_eq!(report.failures.len(), 1);
+    }
+
+    #[test]
+    fn result_drift_ignores_wall_clock_but_catches_everything_else() {
+        let scenarios = ScenarioGrid::new()
+            .topologies([TopologySpec::Fig1])
+            .seeds([1, 2])
+            .loads([0.15])
+            .build();
+        let base = run_batch(scenarios.clone(), &BatchOptions::default());
+        let mut other = run_batch(scenarios, &BatchOptions { serial: true });
+        // Same deterministic results, different wall clock/threads: clean.
+        assert!(
+            base.result_drift(&other).is_empty(),
+            "{:?}",
+            base.result_drift(&other)
+        );
+
+        // Any result field flip is drift.
+        other.results[0].mlu += 1e-15;
+        assert_eq!(base.result_drift(&other).len(), 1);
+        other.results[0].mlu = base.results[0].mlu;
+        other.results[1].iterations += 1;
+        assert_eq!(base.result_drift(&other).len(), 1);
+        other.results.pop();
+        assert!(!base.result_drift(&other).is_empty());
     }
 
     #[test]

@@ -15,9 +15,12 @@
 //! No sufficiently capable LP crate is available offline, so this crate
 //! implements the substrate from scratch:
 //!
-//! * [`simplex`] — a two-phase dense-tableau simplex for general LPs
-//!   `min/max c'x  s.t.  Ax {≤,=,≥} b, x ≥ 0`, with **dual extraction**
-//!   (strong duality and complementary slackness are verified in tests),
+//! * [`simplex`] — a two-phase simplex on a flat single-allocation tableau
+//!   arena for general LPs `min/max c'x  s.t.  Ax {≤,=,≥} b, x ≥ 0`, with
+//!   **dual extraction** (strong duality and complementary slackness are
+//!   verified in tests) and a reusable [`SimplexWorkspace`] with a
+//!   warm-start [`resolve`](LinearProgram::resolve) path for repeated
+//!   solves,
 //! * [`mincost_flow`] — successive shortest paths with Johnson potentials,
 //! * [`maxflow`] — Dinic's algorithm, used for feasibility checks when
 //!   scaling traffic matrices.
@@ -49,4 +52,4 @@ pub mod simplex;
 
 pub use maxflow::max_flow;
 pub use mincost_flow::{MinCostFlow, MinCostFlowError};
-pub use simplex::{LinearProgram, Relation, SimplexError, Solution};
+pub use simplex::{LinearProgram, Relation, SimplexError, SimplexWorkspace, Solution};

@@ -60,33 +60,43 @@ pub fn max_flow(
         resid[2 * e] = capacities[e];
     }
 
-    let arcs_from = |u: usize| -> Vec<usize> {
-        let u = NodeId::new(u);
-        graph
-            .out_edges(u)
-            .iter()
-            .map(|&e| 2 * e.index())
-            .chain(graph.in_edges(u).iter().map(|&e| 2 * e.index() + 1))
-            .collect()
-    };
-    let head = |arc: usize| -> usize {
-        let e = EdgeId::new(arc / 2);
-        if arc.is_multiple_of(2) {
-            graph.target(e).index()
-        } else {
-            graph.source(e).index()
-        }
-    };
+    // Flat residual adjacency, built once and shared by every BFS/DFS
+    // round: node `u`'s arcs are `adj[start[u]..start[u + 1]]` (forward
+    // arcs of out-edges, then backward arcs of in-edges), with arc heads
+    // precomputed. The legacy implementation materialised a fresh arc
+    // vector per node visit.
+    let mut start = vec![0usize; n + 1];
+    for u in 0..n {
+        let u_node = NodeId::new(u);
+        start[u + 1] = start[u] + graph.out_edges(u_node).len() + graph.in_edges(u_node).len();
+    }
+    let mut adj = Vec::with_capacity(start[n]);
+    for u in 0..n {
+        let u_node = NodeId::new(u);
+        adj.extend(graph.out_edges(u_node).iter().map(|&e| 2 * e.index()));
+        adj.extend(graph.in_edges(u_node).iter().map(|&e| 2 * e.index() + 1));
+    }
+    let mut head_of = vec![0usize; 2 * e_count];
+    for e in 0..e_count {
+        head_of[2 * e] = graph.target(EdgeId::new(e)).index();
+        head_of[2 * e + 1] = graph.source(EdgeId::new(e)).index();
+    }
 
+    let mut level = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    // DFS arc cursors: count down from the end of each node's arc slice,
+    // matching the legacy `last()`/`pop()` traversal order exactly.
+    let mut cursor = vec![0usize; n];
     let mut total = 0.0;
     loop {
         // BFS level graph.
-        let mut level = vec![usize::MAX; n];
+        level.fill(usize::MAX);
         level[source.index()] = 0;
-        let mut queue = std::collections::VecDeque::from([source.index()]);
+        queue.clear();
+        queue.push_back(source.index());
         while let Some(u) = queue.pop_front() {
-            for arc in arcs_from(u) {
-                let v = head(arc);
+            for &arc in &adj[start[u]..start[u + 1]] {
+                let v = head_of[arc];
                 if resid[arc] > EPS && level[v] == usize::MAX {
                     level[v] = level[u] + 1;
                     queue.push_back(v);
@@ -97,7 +107,7 @@ pub fn max_flow(
             break;
         }
         // DFS blocking flow.
-        let mut iter_state: Vec<Vec<usize>> = (0..n).map(&arcs_from).collect();
+        cursor.copy_from_slice(&start[1..]);
         loop {
             let pushed = dfs_push(
                 source.index(),
@@ -105,8 +115,10 @@ pub fn max_flow(
                 f64::INFINITY,
                 &mut resid,
                 &level,
-                &mut iter_state,
-                &head,
+                &adj,
+                &start,
+                &mut cursor,
+                &head_of,
             );
             if pushed <= EPS {
                 break;
@@ -126,14 +138,17 @@ fn dfs_push(
     limit: f64,
     resid: &mut [f64],
     level: &[usize],
-    iter_state: &mut [Vec<usize>],
-    head: &dyn Fn(usize) -> usize,
+    adj: &[usize],
+    start: &[usize],
+    cursor: &mut [usize],
+    head_of: &[usize],
 ) -> f64 {
     if u == sink {
         return limit;
     }
-    while let Some(&arc) = iter_state[u].last() {
-        let v = head(arc);
+    while cursor[u] > start[u] {
+        let arc = adj[cursor[u] - 1];
+        let v = head_of[arc];
         if resid[arc] > EPS && level[v] == level[u] + 1 {
             let pushed = dfs_push(
                 v,
@@ -141,8 +156,10 @@ fn dfs_push(
                 limit.min(resid[arc]),
                 resid,
                 level,
-                iter_state,
-                head,
+                adj,
+                start,
+                cursor,
+                head_of,
             );
             if pushed > EPS {
                 resid[arc] -= pushed;
@@ -150,7 +167,7 @@ fn dfs_push(
                 return pushed;
             }
         }
-        iter_state[u].pop();
+        cursor[u] -= 1;
     }
     0.0
 }

@@ -178,10 +178,14 @@ impl<'g> MinCostFlow<'g> {
         let _ = bellman_ford::distances_from; // (kept for general-cost variants)
 
         let mut remaining: Vec<f64> = supply.to_vec();
+        // Dijkstra scratch, hoisted out of the augmentation loop so each
+        // shortest-path computation reuses the same buffers.
+        let mut scratch = DijkstraScratch::new(n);
         // Pick any node with positive remaining supply until none is left.
         while let Some(src) = (0..n).find(|&i| remaining[i] > EPS) {
             // Dijkstra over the residual graph with reduced costs.
-            let (dist, parent) = self.residual_dijkstra(src, &resid, &pi);
+            self.residual_dijkstra(src, &resid, &pi, &mut scratch);
+            let DijkstraScratch { dist, parent, .. } = &scratch;
             // Find the nearest reachable node with deficit.
             let sink = (0..n)
                 .filter(|&i| remaining[i] < -EPS && dist[i].is_finite())
@@ -257,22 +261,27 @@ impl<'g> MinCostFlow<'g> {
     }
 
     /// Dijkstra on the residual graph with reduced costs
-    /// `c(u,v) + π(u) − π(v) ≥ 0`. Returns distances and the incoming arc of
-    /// each node on the shortest path tree.
+    /// `c(u,v) + π(u) − π(v) ≥ 0`. Fills `scratch` with distances and the
+    /// incoming arc of each node on the shortest path tree.
     fn residual_dijkstra(
         &self,
         src: usize,
         resid: &[f64],
         pi: &[f64],
-    ) -> (Vec<f64>, Vec<Option<usize>>) {
+        scratch: &mut DijkstraScratch,
+    ) {
         use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
 
-        let n = self.graph.node_count();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut parent: Vec<Option<usize>> = vec![None; n];
-        let mut done = vec![false; n];
-        let mut heap: BinaryHeap<(Reverse<OrdF64>, usize)> = BinaryHeap::new();
+        let DijkstraScratch {
+            dist,
+            parent,
+            done,
+            heap,
+        } = scratch;
+        dist.fill(f64::INFINITY);
+        parent.fill(None);
+        done.fill(false);
+        heap.clear();
         dist[src] = 0.0;
         heap.push((Reverse(OrdF64(0.0)), src));
         while let Some((Reverse(OrdF64(d)), u)) = heap.pop() {
@@ -305,7 +314,25 @@ impl<'g> MinCostFlow<'g> {
                 }
             }
         }
-        (dist, parent)
+    }
+}
+
+/// Reusable buffers for [`MinCostFlow::solve`]'s repeated Dijkstra runs.
+struct DijkstraScratch {
+    dist: Vec<f64>,
+    parent: Vec<Option<usize>>,
+    done: Vec<bool>,
+    heap: std::collections::BinaryHeap<(std::cmp::Reverse<OrdF64>, usize)>,
+}
+
+impl DijkstraScratch {
+    fn new(n: usize) -> Self {
+        DijkstraScratch {
+            dist: vec![f64::INFINITY; n],
+            parent: vec![None; n],
+            done: vec![false; n],
+            heap: std::collections::BinaryHeap::new(),
+        }
     }
 }
 

@@ -1,4 +1,5 @@
-//! Two-phase dense-tableau simplex with dual extraction.
+//! Two-phase simplex on a flat, single-allocation tableau arena, with dual
+//! extraction and a reusable workspace / warm-start API.
 //!
 //! Solves `min/max c'x` subject to `Ax {≤, =, ≥} b`, `x ≥ 0`.
 //!
@@ -22,8 +23,37 @@
 //!
 //! Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
 //! after a stall threshold, which guarantees termination.
+//!
+//! # Engine layout
+//!
+//! All solver state lives in a [`SimplexWorkspace`]:
+//!
+//! * the tableau is one row-major `Vec<f64>` arena of `(m + 1) × stride`
+//!   entries (`stride = cols + 1`); the trailing entry of each row is the
+//!   rhs and the last row is the reduced-cost (objective) row;
+//! * a pivot borrows the pivot row against the other rows with
+//!   `split_at_mut` and caches the entering column in a scratch buffer, so
+//!   the steady-state pivot path performs **zero heap allocations** (the
+//!   legacy engine cloned a full row per pivot);
+//! * structural columns that are identically zero in every constraint are
+//!   **pruned** before the arena is built (a zero column can never enter
+//!   the basis; if its minimisation cost is negative the program is
+//!   unbounded, otherwise its optimal value is 0), which shrinks the
+//!   per-pivot row stride on sparse models;
+//! * [`LinearProgram::solve_with`] reuses a workspace's allocations across
+//!   solves, and [`LinearProgram::resolve`] additionally **warm-starts**
+//!   from the previous optimal basis when the constraint structure is
+//!   unchanged (same rows/relations/sparsity; coefficients, rhs magnitudes
+//!   and costs may differ), falling back to a cold two-phase solve whenever
+//!   the old basis is unusable.
+//!
+//! `solve` and `solve_with` run the exact cold pivot sequence of the legacy
+//! dense engine, so their solutions are bit-identical to it; `resolve` may
+//! return a different vertex of a degenerate optimal face (same objective
+//! value, duals still certify optimality).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Relation of a linear constraint row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,12 +104,35 @@ struct Row {
     rhs: f64,
 }
 
+impl Row {
+    /// The relation after rhs-sign normalisation (rows with a negative rhs
+    /// are negated so every tableau rhs is non-negative).
+    fn normalized_relation(&self) -> Relation {
+        if self.rhs < 0.0 {
+            match self.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            }
+        } else {
+            self.relation
+        }
+    }
+}
+
+/// Monotone source of program identity tokens; lets a [`Solution`] detect
+/// a [`ConstraintId`] minted by a different program.
+static NEXT_PROGRAM_TOKEN: AtomicU64 = AtomicU64::new(1);
+
 /// A linear program over non-negative variables.
 ///
 /// Build with [`LinearProgram::minimize`] or [`LinearProgram::maximize`],
-/// set objective coefficients, add constraint rows, then [`solve`].
+/// set objective coefficients, add constraint rows, then [`solve`]
+/// (or [`solve_with`] / [`resolve`] to reuse a [`SimplexWorkspace`]).
 ///
 /// [`solve`]: LinearProgram::solve
+/// [`solve_with`]: LinearProgram::solve_with
+/// [`resolve`]: LinearProgram::resolve
 ///
 /// # Example
 ///
@@ -105,18 +158,37 @@ pub struct LinearProgram {
     num_vars: usize,
     objective: Vec<f64>,
     rows: Vec<Row>,
+    token: u64,
 }
 
 /// Identifier of a constraint row, used to query duals from a [`Solution`].
+///
+/// An id is tagged with the identity of the program that minted it, so
+/// handing it to a [`Solution`] of a *different* program is a deterministic
+/// panic instead of a silently wrong answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ConstraintId(usize);
+pub struct ConstraintId {
+    index: usize,
+    program: u64,
+}
 
 /// An optimal solution of a [`LinearProgram`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Solution {
     objective: f64,
     x: Vec<f64>,
     duals: Vec<f64>,
+    program: u64,
+}
+
+/// Value equality over the numeric solution (objective, `x`, duals). The
+/// owning-program tag is deliberately excluded so that numerically
+/// identical solutions of independently built but identical programs still
+/// compare equal.
+impl PartialEq for Solution {
+    fn eq(&self, other: &Self) -> bool {
+        self.objective == other.objective && self.x == other.x && self.duals == other.duals
+    }
 }
 
 impl Solution {
@@ -145,9 +217,15 @@ impl Solution {
     ///
     /// # Panics
     ///
-    /// Panics if `c` refers to a constraint of a different program.
+    /// Panics if `c` refers to a constraint of a different program (the id
+    /// carries its owning program's identity), or if `c` was added after
+    /// this solution was computed.
     pub fn dual(&self, c: ConstraintId) -> f64 {
-        self.duals[c.0]
+        assert_eq!(
+            c.program, self.program,
+            "ConstraintId belongs to a different LinearProgram"
+        );
+        self.duals[c.index]
     }
 
     /// All constraint duals, in order of `add_constraint` calls.
@@ -160,26 +238,26 @@ const EPS: f64 = 1e-9;
 const PIVOT_EPS: f64 = 1e-7;
 
 impl LinearProgram {
-    /// Creates a minimisation problem over `num_vars` non-negative
-    /// variables, all objective coefficients initially zero.
-    pub fn minimize(num_vars: usize) -> Self {
+    fn new(sense: Sense, num_vars: usize) -> Self {
         LinearProgram {
-            sense: Sense::Minimize,
+            sense,
             num_vars,
             objective: vec![0.0; num_vars],
             rows: Vec::new(),
+            token: NEXT_PROGRAM_TOKEN.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// Creates a minimisation problem over `num_vars` non-negative
+    /// variables, all objective coefficients initially zero.
+    pub fn minimize(num_vars: usize) -> Self {
+        LinearProgram::new(Sense::Minimize, num_vars)
     }
 
     /// Creates a maximisation problem over `num_vars` non-negative
     /// variables, all objective coefficients initially zero.
     pub fn maximize(num_vars: usize) -> Self {
-        LinearProgram {
-            sense: Sense::Maximize,
-            num_vars,
-            objective: vec![0.0; num_vars],
-            rows: Vec::new(),
-        }
+        LinearProgram::new(Sense::Maximize, num_vars)
     }
 
     /// Number of variables.
@@ -190,6 +268,28 @@ impl LinearProgram {
     /// Number of constraints added so far.
     pub fn num_constraints(&self) -> usize {
         self.rows.len()
+    }
+
+    /// `true` for programs built with [`LinearProgram::maximize`].
+    pub fn is_maximize(&self) -> bool {
+        self.sense == Sense::Maximize
+    }
+
+    /// The objective coefficient of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn objective_coeff(&self, var: usize) -> f64 {
+        self.objective[var]
+    }
+
+    /// Iterates the constraint rows as `(coeffs, relation, rhs)`, in order
+    /// of `add_constraint` calls.
+    pub fn constraint_rows(&self) -> impl Iterator<Item = (&[(usize, f64)], Relation, f64)> + '_ {
+        self.rows
+            .iter()
+            .map(|r| (r.coeffs.as_slice(), r.relation, r.rhs))
     }
 
     /// Sets the objective coefficient of `var`.
@@ -209,7 +309,10 @@ impl LinearProgram {
         relation: Relation,
         rhs: f64,
     ) -> ConstraintId {
-        let id = ConstraintId(self.rows.len());
+        let id = ConstraintId {
+            index: self.rows.len(),
+            program: self.token,
+        };
         self.rows.push(Row {
             coeffs: coeffs.to_vec(),
             relation,
@@ -250,7 +353,7 @@ impl LinearProgram {
         Ok(())
     }
 
-    /// Solves the program.
+    /// Solves the program with a fresh workspace.
     ///
     /// # Errors
     ///
@@ -259,22 +362,92 @@ impl LinearProgram {
     /// * [`SimplexError::InvalidModel`] for NaN/infinite input or variable
     ///   indices out of range.
     pub fn solve(&self) -> Result<Solution, SimplexError> {
+        self.solve_with(&mut SimplexWorkspace::new())
+    }
+
+    /// Solves the program cold, reusing `ws`'s allocations.
+    ///
+    /// The pivot sequence (and hence the solution) is identical to
+    /// [`solve`](LinearProgram::solve); the only difference is that the
+    /// tableau arena and all bookkeeping buffers are recycled, so repeated
+    /// solves allocate nothing beyond the returned [`Solution`] once the
+    /// workspace has grown to the largest problem size seen.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](LinearProgram::solve).
+    pub fn solve_with(&self, ws: &mut SimplexWorkspace) -> Result<Solution, SimplexError> {
         self.validate()?;
-        let mut tab = Tableau::build(self);
-        tab.phase1()?;
-        tab.phase2()?;
-        Ok(tab.extract(self))
+        ws.warm_ready = false;
+        ws.prepare(self);
+        ws.cold_solve(self)
+    }
+
+    /// Re-solves the program, warm-starting from the optimal basis `ws`
+    /// kept from its previous successful solve.
+    ///
+    /// The warm path applies when the constraint *structure* matches what
+    /// the workspace last solved: same number of variables and rows, same
+    /// relations, same rhs signs, and the same sparsity pattern. Objective
+    /// coefficients, matrix coefficient values, and rhs magnitudes may all
+    /// differ — that is the intended use: repeated solves of one model
+    /// family (per-scenario MLU LPs, per-destination flow blocks) where
+    /// only the numbers move. When the old basis cannot be reinstated
+    /// (structure changed, basis numerically singular, or primal-infeasible
+    /// for the new rhs) this falls back to a cold solve automatically.
+    ///
+    /// Unlike the cold path, a warm solve on a *degenerate* optimal face
+    /// may return a different optimal vertex than [`solve`]
+    /// (LinearProgram::solve); the objective value and dual certificates
+    /// agree to numerical tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](LinearProgram::solve).
+    pub fn resolve(&self, ws: &mut SimplexWorkspace) -> Result<Solution, SimplexError> {
+        self.validate()?;
+        ws.prepare(self);
+        if ws.warm_ready && ws.saved_fingerprint == ws.fingerprint(self) {
+            ws.warm_ready = false;
+            if ws.try_restore_basis() {
+                if ws.pruned_negative_cost {
+                    return Err(SimplexError::Unbounded);
+                }
+                match ws.phase2() {
+                    Ok(()) => {
+                        let sol = ws.extract(self);
+                        ws.save_basis(self);
+                        return Ok(sol);
+                    }
+                    Err(SimplexError::Unbounded) => return Err(SimplexError::Unbounded),
+                    // Numerical trouble on the warm path: rebuild and run
+                    // the full two-phase solve instead.
+                    Err(_) => {}
+                }
+            }
+            // The failed restore attempt dirtied the arena.
+            ws.prepare(self);
+        } else {
+            ws.warm_ready = false;
+        }
+        ws.cold_solve(self)
     }
 }
 
-/// Dense simplex tableau.
+/// Reusable scratch state of the flat-arena simplex engine.
 ///
-/// Column layout: `[structural 0..n) | slack/surplus | artificial]`, with an
-/// extra rhs column and an objective row appended after the constraint rows.
-struct Tableau {
-    /// `rows × (cols + 1)`; last column is the rhs. The last row is the
-    /// objective (reduced-cost) row.
-    t: Vec<Vec<f64>>,
+/// Owns every allocation the solver needs: the row-major tableau arena, the
+/// basis bookkeeping, the cached entering-column buffer, and the saved basis
+/// used by [`LinearProgram::resolve`]. See the module docs for the layout.
+///
+/// A workspace may be reused freely across programs of different shapes;
+/// buffers grow to the largest problem seen and are then recycled.
+#[derive(Debug, Clone, Default)]
+pub struct SimplexWorkspace {
+    /// `(m + 1) × stride` row-major arena; entry `[i * stride + cols]` is
+    /// row `i`'s rhs and row `m` is the reduced-cost (objective) row.
+    t: Vec<f64>,
+    stride: usize,
     m: usize,
     cols: usize,
     /// Basic column of each constraint row.
@@ -286,102 +459,261 @@ struct Tableau {
     row_active: Vec<bool>,
     /// First artificial column (all columns ≥ this are artificial).
     art_start: usize,
-    /// Minimisation costs of the structural columns (post sense-normalisation).
+    /// Minimisation costs of the active structural columns.
     costs: Vec<f64>,
-    n_struct: usize,
+    /// Number of structural columns kept after zero-column pruning.
+    n_active: usize,
+    /// Variable → arena column (`usize::MAX` for pruned columns).
+    col_of_var: Vec<usize>,
+    /// Arena structural column → variable.
+    var_of_col: Vec<usize>,
+    /// Cached entering column: per-row factors of the current pivot.
+    col_buf: Vec<f64>,
+    /// Whether each variable has a nonzero coefficient anywhere.
+    col_used: Vec<bool>,
+    /// A pruned column has a negative minimisation cost (⇒ unbounded once
+    /// feasibility is established).
+    pruned_negative_cost: bool,
+    /// Saved optimal basis for [`LinearProgram::resolve`].
+    saved_basis: Vec<usize>,
+    /// Scratch column permutation used while restoring the saved basis.
+    restore_scratch: Vec<usize>,
+    saved_fingerprint: u64,
+    warm_ready: bool,
 }
 
-impl Tableau {
-    fn build(lp: &LinearProgram) -> Tableau {
+impl SimplexWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        SimplexWorkspace::default()
+    }
+
+    /// Builds the initial tableau for `lp` into the arena, recycling every
+    /// buffer: zero-column pruning, rhs-sign normalisation, slack/surplus
+    /// and artificial columns, and the initial basis.
+    fn prepare(&mut self, lp: &LinearProgram) {
         let m = lp.rows.len();
         let n = lp.num_vars;
+        self.m = m;
 
-        // Normalised rows: rhs >= 0.
-        let mut rel = Vec::with_capacity(m);
-        let mut rhs = Vec::with_capacity(m);
-        let mut flip = Vec::with_capacity(m);
+        // Pass 1: which structural columns carry any nonzero coefficient.
+        // (A column whose entries cancel *exactly* within every row is kept:
+        // it accumulates to all-zero in the arena and — like in the legacy
+        // dense engine — can never be pivoted on, so keeping it only costs
+        // one column of width.)
+        self.col_used.clear();
+        self.col_used.resize(n, false);
         for row in &lp.rows {
-            if row.rhs < 0.0 {
-                flip.push(true);
-                rhs.push(-row.rhs);
-                rel.push(match row.relation {
-                    Relation::Le => Relation::Ge,
-                    Relation::Ge => Relation::Le,
-                    Relation::Eq => Relation::Eq,
-                });
-            } else {
-                flip.push(false);
-                rhs.push(row.rhs);
-                rel.push(row.relation);
+            for &(v, a) in &row.coeffs {
+                if a != 0.0 {
+                    self.col_used[v] = true;
+                }
             }
         }
 
-        let n_slack = rel
-            .iter()
-            .filter(|r| matches!(r, Relation::Le | Relation::Ge))
-            .count();
-        let n_art = rel
-            .iter()
-            .filter(|r| matches!(r, Relation::Ge | Relation::Eq))
-            .count();
-        let cols = n + n_slack + n_art;
-        let art_start = n + n_slack;
+        // Column compaction: pruned columns get no arena slot.
+        self.col_of_var.clear();
+        self.col_of_var.resize(n, usize::MAX);
+        self.var_of_col.clear();
+        for v in 0..n {
+            if self.col_used[v] {
+                self.col_of_var[v] = self.var_of_col.len();
+                self.var_of_col.push(v);
+            }
+        }
+        let n_active = self.var_of_col.len();
+        self.n_active = n_active;
 
-        let mut t = vec![vec![0.0; cols + 1]; m + 1];
-        let mut basis = vec![usize::MAX; m];
-        let mut dual_col = vec![(usize::MAX, 1.0); m];
+        // Minimisation costs of the active columns; a pruned column with a
+        // negative cost makes a feasible program unbounded (the variable
+        // can grow without touching any constraint).
+        self.costs.clear();
+        match lp.sense {
+            Sense::Minimize => self
+                .costs
+                .extend(self.var_of_col.iter().map(|&v| lp.objective[v])),
+            Sense::Maximize => self
+                .costs
+                .extend(self.var_of_col.iter().map(|&v| -lp.objective[v])),
+        }
+        let sense_sign = if lp.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
+        self.pruned_negative_cost = (0..n)
+            .filter(|&v| !self.col_used[v])
+            .any(|v| sense_sign * lp.objective[v] < -EPS);
+
+        let n_slack = lp
+            .rows
+            .iter()
+            .filter(|r| matches!(r.relation, Relation::Le | Relation::Ge))
+            .count();
+        let n_art = lp
+            .rows
+            .iter()
+            .filter(|r| matches!(r.normalized_relation(), Relation::Ge | Relation::Eq))
+            .count();
+        let cols = n_active + n_slack + n_art;
+        self.cols = cols;
+        self.art_start = n_active + n_slack;
+        self.stride = cols + 1;
+
+        self.t.clear();
+        self.t.resize((m + 1) * self.stride, 0.0);
+        self.basis.clear();
+        self.basis.resize(m, usize::MAX);
+        self.dual_col.clear();
+        self.dual_col.resize(m, (usize::MAX, 1.0));
+        self.row_active.clear();
+        self.row_active.resize(m, true);
+        self.col_buf.clear();
+        self.col_buf.resize(m + 1, 0.0);
 
         for (i, row) in lp.rows.iter().enumerate() {
-            let sign = if flip[i] { -1.0 } else { 1.0 };
+            let flip = row.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            let base = i * self.stride;
             for &(v, a) in &row.coeffs {
-                t[i][v] += sign * a;
+                let c = self.col_of_var[v];
+                if c != usize::MAX {
+                    self.t[base + c] += sign * a;
+                }
             }
-            t[i][cols] = rhs[i];
+            self.t[base + cols] = if flip { -row.rhs } else { row.rhs };
         }
 
-        let mut next_slack = n;
-        let mut next_art = art_start;
-        for i in 0..m {
-            match rel[i] {
+        let mut next_slack = n_active;
+        let mut next_art = self.art_start;
+        for (i, row) in lp.rows.iter().enumerate() {
+            let base = i * self.stride;
+            match row.normalized_relation() {
                 Relation::Le => {
-                    t[i][next_slack] = 1.0;
-                    basis[i] = next_slack;
-                    dual_col[i] = (next_slack, 1.0);
+                    self.t[base + next_slack] = 1.0;
+                    self.basis[i] = next_slack;
+                    self.dual_col[i] = (next_slack, 1.0);
                     next_slack += 1;
                 }
                 Relation::Ge => {
-                    t[i][next_slack] = -1.0;
-                    dual_col[i] = (next_art, 1.0);
+                    self.t[base + next_slack] = -1.0;
+                    self.dual_col[i] = (next_art, 1.0);
                     next_slack += 1;
-                    t[i][next_art] = 1.0;
-                    basis[i] = next_art;
+                    self.t[base + next_art] = 1.0;
+                    self.basis[i] = next_art;
                     next_art += 1;
                 }
                 Relation::Eq => {
-                    t[i][next_art] = 1.0;
-                    basis[i] = next_art;
-                    dual_col[i] = (next_art, 1.0);
+                    self.t[base + next_art] = 1.0;
+                    self.basis[i] = next_art;
+                    self.dual_col[i] = (next_art, 1.0);
                     next_art += 1;
                 }
             }
         }
+    }
 
-        let costs: Vec<f64> = match lp.sense {
-            Sense::Minimize => lp.objective.clone(),
-            Sense::Maximize => lp.objective.iter().map(|c| -c).collect(),
-        };
-
-        Tableau {
-            t,
-            m,
-            cols,
-            basis,
-            dual_col,
-            row_active: vec![true; m],
-            art_start,
-            costs,
-            n_struct: n,
+    /// The full two-phase solve over a prepared arena.
+    fn cold_solve(&mut self, lp: &LinearProgram) -> Result<Solution, SimplexError> {
+        self.phase1()?;
+        if self.pruned_negative_cost {
+            return Err(SimplexError::Unbounded);
         }
+        self.phase2()?;
+        let sol = self.extract(lp);
+        self.save_basis(lp);
+        Ok(sol)
+    }
+
+    /// Structural fingerprint of `lp` under the current column mapping;
+    /// [`LinearProgram::resolve`] warm-starts only on a match. Hashes the
+    /// row relations, rhs signs and the pruned-column mapping — everything
+    /// that determines the tableau's *column layout* — in O(n + m). It
+    /// deliberately excludes coefficient values and per-row sparsity: a
+    /// layout match guarantees the saved basis names only structural/slack
+    /// columns of the new tableau (never artificials), and the numeric
+    /// restore checks (nonsingularity, rhs feasibility) catch any deeper
+    /// mismatch by falling back to a cold solve. A stale warm start can
+    /// therefore cost time, never correctness.
+    fn fingerprint(&self, lp: &LinearProgram) -> u64 {
+        // FNV-1a.
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        eat(lp.num_vars as u64);
+        eat(lp.rows.len() as u64);
+        for row in &lp.rows {
+            eat(match row.relation {
+                Relation::Le => 1,
+                Relation::Eq => 2,
+                Relation::Ge => 3,
+            });
+            eat(u64::from(row.rhs < 0.0));
+        }
+        for &v in &self.var_of_col {
+            eat(v as u64);
+        }
+        h
+    }
+
+    /// Records the final basis for future warm starts. Only clean optima
+    /// qualify: every row active and no artificial column left basic.
+    fn save_basis(&mut self, lp: &LinearProgram) {
+        self.warm_ready =
+            self.row_active.iter().all(|&a| a) && self.basis.iter().all(|&b| b < self.art_start);
+        if self.warm_ready {
+            self.saved_basis.clear();
+            self.saved_basis.extend_from_slice(&self.basis);
+            self.saved_fingerprint = self.fingerprint(lp);
+        }
+    }
+
+    /// Reinstates the saved basis on a freshly prepared arena by Gaussian
+    /// elimination: each row pivots on the remaining saved column with the
+    /// largest magnitude (column partial pivoting cannot break down on a
+    /// nonsingular basis matrix). Returns `false` — leaving the arena dirty,
+    /// the caller re-prepares — when the basis is numerically singular or
+    /// not primal-feasible for the new rhs.
+    fn try_restore_basis(&mut self) -> bool {
+        if self.saved_basis.len() != self.m {
+            return false;
+        }
+        self.restore_scratch.clear();
+        self.restore_scratch.extend_from_slice(&self.saved_basis);
+        let stride = self.stride;
+        for i in 0..self.m {
+            let base = i * stride;
+            let mut best = usize::MAX;
+            let mut best_mag = PIVOT_EPS;
+            for (k, &c) in self.restore_scratch[i..].iter().enumerate() {
+                let mag = self.t[base + c].abs();
+                if mag > best_mag {
+                    best_mag = mag;
+                    best = i + k;
+                }
+            }
+            if best == usize::MAX {
+                return false;
+            }
+            self.restore_scratch.swap(i, best);
+            let c = self.restore_scratch[i];
+            self.pivot(i, c);
+        }
+        // The restored basis must be primal-feasible for the new rhs; tiny
+        // negative values are degenerate noise and clamp to the invariant
+        // rhs ≥ 0 the ratio test relies on.
+        for i in 0..self.m {
+            let rhs = self.t[i * stride + self.cols];
+            if rhs < -PIVOT_EPS {
+                return false;
+            }
+            if rhs < 0.0 {
+                self.t[i * stride + self.cols] = 0.0;
+            }
+        }
+        true
     }
 
     /// Phase 1: minimise the sum of artificial variables.
@@ -392,30 +724,33 @@ impl Tableau {
         // Objective row: sum of artificial rows, negated into reduced costs.
         // cost of artificial = 1, others 0. Reduced cost row r_j = c_j - sum
         // of rows where the basic variable is artificial.
-        let obj = self.m;
-        for j in 0..=self.cols {
-            self.t[obj][j] = 0.0;
+        let stride = self.stride;
+        let obj_base = self.m * stride;
+        for j in 0..stride {
+            self.t[obj_base + j] = 0.0;
         }
         for j in self.art_start..self.cols {
-            self.t[obj][j] = 1.0;
+            self.t[obj_base + j] = 1.0;
         }
         for i in 0..self.m {
             if self.basis[i] >= self.art_start {
-                let row = self.t[i].clone();
-                for (dst, src) in self.t[obj].iter_mut().zip(&row).take(self.cols + 1) {
-                    *dst -= *src;
+                let (rows, obj) = self.t.split_at_mut(obj_base);
+                let src = &rows[i * stride..(i + 1) * stride];
+                for (dst, s) in obj.iter_mut().zip(src) {
+                    *dst -= *s;
                 }
             }
         }
         self.iterate(self.cols)?;
-        let infeas = -self.t[obj][self.cols];
+        let infeas = -self.t[obj_base + self.cols];
         if infeas > 1e-7 {
             return Err(SimplexError::Infeasible);
         }
         // Drive remaining basic artificials out of the basis.
         for i in 0..self.m {
             if self.basis[i] >= self.art_start {
-                let pivot_col = (0..self.art_start).find(|&j| self.t[i][j].abs() > PIVOT_EPS);
+                let base = i * stride;
+                let pivot_col = (0..self.art_start).find(|&j| self.t[base + j].abs() > PIVOT_EPS);
                 match pivot_col {
                     Some(j) => self.pivot(i, j),
                     None => {
@@ -430,12 +765,13 @@ impl Tableau {
 
     /// Phase 2: minimise the true costs, artificial columns barred.
     fn phase2(&mut self) -> Result<(), SimplexError> {
-        let obj = self.m;
-        for j in 0..=self.cols {
-            self.t[obj][j] = 0.0;
+        let stride = self.stride;
+        let obj_base = self.m * stride;
+        for j in 0..stride {
+            self.t[obj_base + j] = 0.0;
         }
         for (j, &c) in self.costs.iter().enumerate() {
-            self.t[obj][j] = c;
+            self.t[obj_base + j] = c;
         }
         // Zero out reduced costs of basic columns.
         for i in 0..self.m {
@@ -443,15 +779,16 @@ impl Tableau {
                 continue;
             }
             let b = self.basis[i];
-            let cb = if b < self.n_struct {
+            let cb = if b < self.n_active {
                 self.costs[b]
             } else {
                 0.0
             };
             if cb != 0.0 {
-                let row = self.t[i].clone();
-                for (dst, src) in self.t[obj].iter_mut().zip(&row).take(self.cols + 1) {
-                    *dst -= cb * *src;
+                let (rows, obj) = self.t.split_at_mut(obj_base);
+                let src = &rows[i * stride..(i + 1) * stride];
+                for (dst, s) in obj.iter_mut().zip(src) {
+                    *dst -= cb * *s;
                 }
             }
         }
@@ -460,20 +797,21 @@ impl Tableau {
 
     /// Runs simplex iterations over columns `0..allowed_cols`.
     fn iterate(&mut self, allowed_cols: usize) -> Result<(), SimplexError> {
-        let obj = self.m;
+        let stride = self.stride;
+        let obj_base = self.m * stride;
         // Dantzig's rule, with Bland's rule after a stall threshold to
         // guarantee termination under degeneracy.
         let bland_after = 50 * (self.m + self.cols) + 1000;
         let hard_cap = 400 * (self.m + self.cols) + 20_000;
         for iter in 0..hard_cap {
             let bland = iter >= bland_after;
+            let obj = &self.t[obj_base..obj_base + allowed_cols];
             let entering = if bland {
-                (0..allowed_cols).find(|&j| self.t[obj][j] < -EPS)
+                obj.iter().position(|&r| r < -EPS)
             } else {
                 let mut best = None;
                 let mut best_val = -EPS;
-                for j in 0..allowed_cols {
-                    let r = self.t[obj][j];
+                for (j, &r) in obj.iter().enumerate() {
                     if r < best_val {
                         best_val = r;
                         best = Some(j);
@@ -492,9 +830,10 @@ impl Tableau {
                 if !self.row_active[i] {
                     continue;
                 }
-                let a = self.t[i][j];
+                let base = i * stride;
+                let a = self.t[base + j];
                 if a > PIVOT_EPS {
-                    let ratio = self.t[i][self.cols] / a;
+                    let ratio = self.t[base + self.cols] / a;
                     let better = match leave {
                         None => true,
                         Some(li) => {
@@ -522,48 +861,66 @@ impl Tableau {
         ))
     }
 
+    /// Allocation-free pivot: caches the entering column, scales the pivot
+    /// row in place, and eliminates it from every other row (including the
+    /// objective row) through a `split_at_mut` borrow.
     fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
-        let piv = self.t[pivot_row][pivot_col];
+        let stride = self.stride;
+        let piv = self.t[pivot_row * stride + pivot_col];
         debug_assert!(piv.abs() > 0.0, "zero pivot");
         let inv = 1.0 / piv;
-        for j in 0..=self.cols {
-            self.t[pivot_row][j] *= inv;
-        }
-        self.t[pivot_row][pivot_col] = 1.0;
-        let prow = self.t[pivot_row].clone();
+        // Cache the entering column once: the factors survive the in-place
+        // row updates and the strided reads happen in a single pass, keeping
+        // the elimination loops purely sequential.
         for i in 0..=self.m {
-            if i == pivot_row {
-                continue;
-            }
-            let factor = self.t[i][pivot_col];
+            self.col_buf[i] = self.t[i * stride + pivot_col];
+        }
+        let (head, rest) = self.t.split_at_mut(pivot_row * stride);
+        let (prow, tail) = rest.split_at_mut(stride);
+        for x in prow.iter_mut() {
+            *x *= inv;
+        }
+        prow[pivot_col] = 1.0;
+        for (i, row) in head.chunks_exact_mut(stride).enumerate() {
+            let factor = self.col_buf[i];
             if factor.abs() > 0.0 {
-                for (dst, src) in self.t[i].iter_mut().zip(&prow).take(self.cols + 1) {
+                for (dst, src) in row.iter_mut().zip(prow.iter()) {
                     *dst -= factor * *src;
                 }
-                self.t[i][pivot_col] = 0.0;
+                row[pivot_col] = 0.0;
+            }
+        }
+        for (k, row) in tail.chunks_exact_mut(stride).enumerate() {
+            let factor = self.col_buf[pivot_row + 1 + k];
+            if factor.abs() > 0.0 {
+                for (dst, src) in row.iter_mut().zip(prow.iter()) {
+                    *dst -= factor * *src;
+                }
+                row[pivot_col] = 0.0;
             }
         }
         self.basis[pivot_row] = pivot_col;
     }
 
     fn extract(&self, lp: &LinearProgram) -> Solution {
+        let stride = self.stride;
         let mut x = vec![0.0; lp.num_vars];
         for i in 0..self.m {
-            if self.row_active[i] && self.basis[i] < lp.num_vars {
-                x[self.basis[i]] = self.t[i][self.cols];
+            if self.row_active[i] && self.basis[i] < self.n_active {
+                x[self.var_of_col[self.basis[i]]] = self.t[i * stride + self.cols];
             }
         }
         let mut objective: f64 = x.iter().zip(&lp.objective).map(|(xi, ci)| xi * ci).sum();
         // Duals from the reduced costs of the per-row added columns:
         // r_added = c_added − y_i · coeff = −y_i · coeff (added costs are 0).
-        let obj_row = &self.t[self.m];
+        let obj_base = self.m * stride;
         let mut duals = vec![0.0; self.m];
         for (i, dual) in duals.iter_mut().enumerate() {
             if !self.row_active[i] {
                 continue;
             }
             let (col, coeff) = self.dual_col[i];
-            let mut y = -obj_row[col] / coeff;
+            let mut y = -self.t[obj_base + col] / coeff;
             // Rows whose rhs was negated have flipped duals.
             if lp.rows[i].rhs < 0.0 {
                 y = -y;
@@ -588,6 +945,7 @@ impl Tableau {
             objective,
             x,
             duals,
+            program: lp.token,
         }
     }
 }
@@ -780,5 +1138,161 @@ mod tests {
         // Capacity shadow price: relaxing the cap by 1 saves cost 2
         // (min convention: y <= 0).
         assert_close(sol.dual(cap), -2.0);
+    }
+
+    #[test]
+    fn workspace_reuse_is_equivalent_across_shapes() {
+        // One workspace solves programs of different shapes back to back;
+        // each result must match a fresh-workspace solve exactly.
+        let mut ws = SimplexWorkspace::new();
+
+        let mut a = LinearProgram::maximize(2);
+        a.set_objective(0, 3.0);
+        a.set_objective(1, 5.0);
+        a.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        a.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        a.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+
+        let mut b = LinearProgram::minimize(3);
+        b.set_objective(0, 2.0);
+        b.set_objective(1, 3.0);
+        b.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Ge, 4.0);
+        b.add_constraint(&[(0, 1.0), (1, 3.0)], Relation::Eq, 6.0);
+
+        for lp in [&a, &b, &a, &b] {
+            let shared = lp.solve_with(&mut ws).unwrap();
+            let fresh = lp.solve().unwrap();
+            assert_eq!(shared, fresh);
+        }
+    }
+
+    #[test]
+    fn zero_columns_are_pruned_not_mispriced() {
+        // x1 and x3 never appear in a constraint (pruned); x2 has entries
+        // that cancel exactly within one row (kept as an all-zero column
+        // that can never be pivoted on). All must come back 0 with the
+        // constrained optimum unchanged.
+        let mut lp = LinearProgram::minimize(4);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 2.0);
+        lp.set_objective(2, 0.5);
+        lp.set_objective(3, 0.0);
+        let c = lp.add_constraint(&[(0, 1.0), (2, 1.0), (2, -1.0)], Relation::Ge, 3.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 3.0);
+        assert_close(sol.value(0), 3.0);
+        assert_close(sol.value(1), 0.0);
+        assert_close(sol.value(2), 0.0);
+        assert_close(sol.value(3), 0.0);
+        assert_close(sol.dual(c), 1.0);
+    }
+
+    #[test]
+    fn pruned_negative_cost_is_unbounded_only_when_feasible() {
+        // A free negative-cost variable makes a feasible min unbounded...
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, -1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve(), Err(SimplexError::Unbounded));
+
+        // ...but infeasibility still takes precedence.
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(1, -1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve(), Err(SimplexError::Infeasible));
+    }
+
+    #[test]
+    fn resolve_warm_start_tracks_rhs_changes() {
+        // Solve a transportation-shaped LP, then sweep the rhs; resolve()
+        // must agree with a cold solve at every step.
+        let build = |supply: f64, cap: f64| {
+            let mut lp = LinearProgram::minimize(2);
+            lp.set_objective(0, 1.0);
+            lp.set_objective(1, 3.0);
+            lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, supply);
+            lp.add_constraint(&[(0, 1.0)], Relation::Le, cap);
+            lp
+        };
+        let mut ws = SimplexWorkspace::new();
+        build(1.0, 0.4).resolve(&mut ws).unwrap();
+        for (supply, cap) in [(2.0, 0.4), (1.5, 1.0), (0.3, 0.4), (1.0, 0.0)] {
+            let lp = build(supply, cap);
+            let warm = lp.resolve(&mut ws).unwrap();
+            let cold = lp.solve().unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs() < 1e-9,
+                "objective diverged at ({supply}, {cap}): {} vs {}",
+                warm.objective(),
+                cold.objective()
+            );
+            for v in 0..2 {
+                assert!((warm.value(v) - cold.value(v)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_falls_back_on_structure_change() {
+        let mut a = LinearProgram::minimize(2);
+        a.set_objective(0, 1.0);
+        a.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 2.0);
+        let mut ws = SimplexWorkspace::new();
+        a.resolve(&mut ws).unwrap();
+
+        // Different row structure: must cold-solve, not reuse the basis.
+        let mut b = LinearProgram::minimize(2);
+        b.set_objective(0, 2.0);
+        b.set_objective(1, 1.0);
+        b.add_constraint(&[(0, 1.0)], Relation::Le, 5.0);
+        b.add_constraint(&[(1, 1.0)], Relation::Ge, 3.0);
+        let warm = b.resolve(&mut ws).unwrap();
+        assert_eq!(warm, b.solve().unwrap());
+    }
+
+    #[test]
+    fn resolve_reports_infeasible_and_recovers() {
+        let build = |rhs: f64| {
+            let mut lp = LinearProgram::minimize(1);
+            lp.set_objective(0, 1.0);
+            lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+            lp.add_constraint(&[(0, 1.0)], Relation::Ge, rhs);
+            lp
+        };
+        let mut ws = SimplexWorkspace::new();
+        build(0.5).resolve(&mut ws).unwrap();
+        assert_eq!(build(2.0).resolve(&mut ws), Err(SimplexError::Infeasible));
+        // And a feasible follow-up still solves.
+        let sol = build(0.25).resolve(&mut ws).unwrap();
+        assert_close(sol.objective(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "different LinearProgram")]
+    fn foreign_constraint_id_panics() {
+        let mut small = LinearProgram::minimize(1);
+        small.set_objective(0, 1.0);
+        let foreign = small.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0);
+
+        let mut big = LinearProgram::minimize(2);
+        big.set_objective(0, 1.0);
+        big.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0);
+        big.add_constraint(&[(1, 1.0)], Relation::Ge, 1.0);
+        let sol = big.solve().unwrap();
+        // `foreign.index` is in range for `big`, so without the program tag
+        // this would silently return `big`'s first dual.
+        let _ = sol.dual(foreign);
+    }
+
+    #[test]
+    fn clones_share_program_identity() {
+        let mut lp = LinearProgram::minimize(1);
+        lp.set_objective(0, 1.0);
+        let c = lp.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        let clone = lp.clone();
+        let sol = clone.solve().unwrap();
+        assert_close(sol.dual(c), 1.0);
     }
 }

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use spef_graph::{Graph, NodeId};
-use spef_lp::simplex::{LinearProgram, Relation};
+use spef_lp::simplex::{LinearProgram, Relation, SimplexWorkspace};
 use spef_lp::{max_flow, MinCostFlow, MinCostFlowError};
 
 /// Random strongly connected digraph (backbone cycle + chords) with random
@@ -41,7 +41,8 @@ fn random_instance() -> impl Strategy<Value = (Graph, Vec<f64>, Vec<f64>, usize,
     })
 }
 
-/// Solves the same min-cost flow with the simplex.
+/// Solves the same min-cost flow with the simplex, recycling `ws`'s tableau
+/// arena across calls (the flat engine's intended usage pattern).
 fn mincost_by_simplex(
     g: &Graph,
     caps: &[f64],
@@ -49,6 +50,7 @@ fn mincost_by_simplex(
     s: usize,
     t: usize,
     demand: f64,
+    ws: &mut SimplexWorkspace,
 ) -> Option<f64> {
     let m = g.edge_count();
     let mut lp = LinearProgram::minimize(m);
@@ -73,7 +75,7 @@ fn mincost_by_simplex(
         };
         lp.add_constraint(&row, Relation::Eq, rhs);
     }
-    lp.solve().ok().map(|sol| sol.objective())
+    lp.solve_with(ws).ok().map(|sol| sol.objective())
 }
 
 proptest! {
@@ -86,7 +88,12 @@ proptest! {
         supply[s] = demand;
         supply[t] = -demand;
         let combinatorial = mcf.solve(&supply);
-        let lp = mincost_by_simplex(&g, &caps, &costs, s, t, demand);
+        let mut ws = SimplexWorkspace::new();
+        let lp = mincost_by_simplex(&g, &caps, &costs, s, t, demand, &mut ws);
+        // A workspace that just solved a different instance must not leak
+        // state into the next solve.
+        let lp_reused = mincost_by_simplex(&g, &caps, &costs, s, t, demand, &mut ws);
+        prop_assert_eq!(lp, lp_reused, "workspace reuse changed the solution");
         match (combinatorial, lp) {
             (Ok(sol), Some(obj)) => {
                 prop_assert!((sol.cost() - obj).abs() < 1e-6,

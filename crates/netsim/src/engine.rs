@@ -90,18 +90,24 @@ pub struct SimReport {
     /// Mean end-to-end delay of delivered packets, seconds.
     pub mean_delay: f64,
     /// 99th-percentile end-to-end delay, seconds (0 when nothing was
-    /// delivered).
+    /// delivered). Reported at the simulator's 1 µs delay resolution:
+    /// the value is within 1 µs above the exact order statistic.
     pub p99_delay: f64,
     /// Number of links that carried any traffic.
     pub links_used: usize,
+    /// High-water mark of simultaneously live packets (allocated packet
+    /// slots). Bounded by buffer occupancy and in-flight packets, not by
+    /// run length — the witness that packet storage is recycled.
+    pub peak_packet_slots: u64,
 }
 
 impl SimReport {
-    /// Mean link load expressed back in [`Network`] capacity units.
+    /// Mean link load expressed back in [`Network`] capacity units
+    /// (bits/s divided by [`SimConfig::capacity_to_bps`]).
     pub fn mean_link_load_units(&self, config: &SimConfig) -> Vec<f64> {
         self.mean_link_load_bps
             .iter()
-            .map(|l| l / config.demand_to_bps)
+            .map(|l| l / config.capacity_to_bps)
             .collect()
     }
 }
@@ -134,6 +140,112 @@ struct LinkState {
     busy: bool,
     /// Bits whose transmission *completed* inside the measurement window.
     measured_bits: f64,
+}
+
+/// Packet storage with slot recycling: delivered/dropped packets return
+/// their slot to a free list, so memory is bounded by the number of
+/// simultaneously *live* packets instead of every packet ever generated.
+struct PacketArena {
+    slots: Vec<Packet>,
+    free: Vec<PacketId>,
+}
+
+impl PacketArena {
+    fn new() -> Self {
+        PacketArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, packet: Packet) -> PacketId {
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id] = packet;
+                id
+            }
+            None => {
+                self.slots.push(packet);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn get(&self, id: PacketId) -> Packet {
+        self.slots[id]
+    }
+
+    /// Returns `id`'s slot to the free list. The caller must ensure no
+    /// event or queue still references it.
+    fn release(&mut self, id: PacketId) {
+        self.free.push(id);
+    }
+
+    fn peak_slots(&self) -> u64 {
+        self.slots.len() as u64
+    }
+}
+
+/// Resolution of the end-to-end delay histogram.
+const DELAY_BUCKET_NS: u64 = 1_000;
+
+/// Fixed-resolution (1 µs) delay accumulator.
+///
+/// Replaces the per-packet delay log: memory is bounded by the largest
+/// observed delay (one counter per microsecond of range), not by the number
+/// of delivered packets. The mean is exact — delays are summed at full
+/// nanosecond precision in 128-bit — and quantiles are exact to the bucket
+/// width: the reported p99 is the upper edge of the bucket holding the
+/// order statistic, at most 1 µs above the exact value.
+struct DelayHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+}
+
+impl DelayHistogram {
+    fn new() -> Self {
+        DelayHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+
+    fn record(&mut self, delay_ns: Nanos) {
+        let idx = (delay_ns / DELAY_BUCKET_NS) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(delay_ns);
+    }
+
+    fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / NANOS_PER_SEC
+        }
+    }
+
+    /// Upper edge of the bucket holding the same order statistic the sorted
+    /// per-packet log used (`delays[min(len − 1, len·99/100)]`).
+    fn p99_seconds(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (self.count - 1).min(self.count / 100 * 99 + self.count % 100 * 99 / 100);
+        let mut cumulative = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative > rank {
+                return ((b as u64 + 1) * DELAY_BUCKET_NS) as f64 / NANOS_PER_SEC;
+            }
+        }
+        unreachable!("rank {rank} below recorded count {}", self.count)
+    }
 }
 
 /// Runs the simulation.
@@ -193,7 +305,7 @@ pub fn simulate(
         push(&mut heap, dt, &mut seq, Event::SourceArrival { pair: i });
     }
 
-    let mut packets: Vec<Packet> = Vec::new();
+    let mut packets = PacketArena::new();
     let mut links: Vec<LinkState> = (0..m)
         .map(|_| LinkState {
             queue: VecDeque::new(),
@@ -205,7 +317,7 @@ pub fn simulate(
     let mut generated = 0u64;
     let mut delivered = 0u64;
     let mut dropped = 0u64;
-    let mut delays_ns: Vec<Nanos> = Vec::new();
+    let mut delays = DelayHistogram::new();
 
     while let Some(Reverse((now, _, EventBox(event)))) = heap.pop() {
         if now > duration_ns {
@@ -214,8 +326,7 @@ pub fn simulate(
         match event {
             Event::SourceArrival { pair } => {
                 let (src, dst, _) = pairs[pair];
-                let id = packets.len();
-                packets.push(Packet {
+                let id = packets.insert(Packet {
                     destination: dst,
                     created_at: now,
                 });
@@ -236,12 +347,14 @@ pub fn simulate(
                 }
             }
             Event::NodeArrival { node, packet } => {
-                let dst = packets[packet].destination;
+                let info = packets.get(packet);
+                let dst = info.destination;
                 if node == dst {
                     delivered += 1;
                     if now >= warmup_ns {
-                        delays_ns.push(now - packets[packet].created_at);
+                        delays.record(now - info.created_at);
                     }
+                    packets.release(packet);
                     continue;
                 }
                 let hops = fib.next_hops(node, dst).filter(|h| !h.is_empty()).ok_or(
@@ -254,6 +367,7 @@ pub fn simulate(
                 let link = &mut links[edge.index()];
                 if link.queue.len() >= config.buffer_packets {
                     dropped += 1;
+                    packets.release(packet);
                     continue;
                 }
                 link.queue.push_back(packet);
@@ -301,17 +415,6 @@ pub fn simulate(
 
     let window = (duration_ns - warmup_ns) as f64 / NANOS_PER_SEC;
     let mean_link_load_bps: Vec<f64> = links.iter().map(|l| l.measured_bits / window).collect();
-    delays_ns.sort_unstable();
-    let mean_delay = if delays_ns.is_empty() {
-        0.0
-    } else {
-        delays_ns.iter().map(|&d| d as f64).sum::<f64>() / delays_ns.len() as f64 / NANOS_PER_SEC
-    };
-    let p99_delay = if delays_ns.is_empty() {
-        0.0
-    } else {
-        delays_ns[(delays_ns.len() - 1).min(delays_ns.len() * 99 / 100)] as f64 / NANOS_PER_SEC
-    };
     let links_used = mean_link_load_bps.iter().filter(|&&l| l > 0.0).count();
 
     Ok(SimReport {
@@ -319,9 +422,10 @@ pub fn simulate(
         generated_packets: generated,
         delivered_packets: delivered,
         dropped_packets: dropped,
-        mean_delay,
-        p99_delay,
+        mean_delay: delays.mean_seconds(),
+        p99_delay: delays.p99_seconds(),
         links_used,
+        peak_packet_slots: packets.peak_slots(),
     })
 }
 
@@ -453,6 +557,120 @@ mod tests {
         assert!(report.mean_delay > 0.0);
         assert!(report.p99_delay >= report.mean_delay);
         assert_eq!(report.links_used, 2);
+    }
+
+    #[test]
+    fn load_units_use_capacity_conversion() {
+        // Regression: `mean_link_load_units` documents *capacity* units but
+        // divided by `demand_to_bps`. With asymmetric conversions the two
+        // answers differ by 2×.
+        let (net, tm, fib) = chain_setup();
+        let cfg = SimConfig {
+            duration: 30.0,
+            warmup: 2.0,
+            capacity_to_bps: 2e6, // capacity 10 units = 20 Mb/s links
+            demand_to_bps: 1e6,   // demand 2 units = 2 Mb/s offered
+            seed: 9,
+            ..SimConfig::default()
+        };
+        let report = simulate(&net, &tm, &fib, &cfg).unwrap();
+        // ~2 Mb/s measured on the first hop = 1.0 capacity units (2e6/2e6);
+        // dividing by demand_to_bps would report ~2.0.
+        let units = report.mean_link_load_units(&cfg);
+        assert!(
+            (units[0] - 1.0).abs() < 0.1,
+            "first hop in capacity units: {}",
+            units[0]
+        );
+        assert!(
+            (units[0] - report.mean_link_load_bps[0] / cfg.capacity_to_bps).abs() < 1e-12,
+            "units must be bps over capacity_to_bps"
+        );
+    }
+
+    #[test]
+    fn packet_slots_bounded_by_live_packets_not_duration() {
+        // Memory regression: packet slots are recycled, so a 10×-longer run
+        // must not use ~10× the slots (the old Vec grew per generated
+        // packet, i.e. linearly in duration).
+        let (net, tm, fib) = chain_setup();
+        let run = |duration: f64| {
+            let cfg = SimConfig {
+                duration,
+                seed: 11,
+                ..SimConfig::default()
+            };
+            simulate(&net, &tm, &fib, &cfg).unwrap()
+        };
+        let short = run(4.0);
+        let long = run(40.0);
+        assert!(long.generated_packets > 8 * short.generated_packets);
+        assert!(
+            long.peak_packet_slots < long.generated_packets / 20,
+            "slots {} vs generated {}: packet storage is not being recycled",
+            long.peak_packet_slots,
+            long.generated_packets
+        );
+        // Peak live packets is a stationary property of the load, not of
+        // the horizon; allow generous slack for the longer run's extremes.
+        assert!(
+            long.peak_packet_slots <= 4 * short.peak_packet_slots.max(4),
+            "peak slots grew with duration: {} -> {}",
+            short.peak_packet_slots,
+            long.peak_packet_slots
+        );
+    }
+
+    #[test]
+    fn delay_histogram_mean_exact_and_p99_within_1us() {
+        // Pin the histogram against the exact sorted-vector reference on a
+        // pseudo-random sample with a heavy tail.
+        let mut hist = DelayHistogram::new();
+        let mut reference: Vec<Nanos> = Vec::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..10_000 {
+            // xorshift* samples, mixed scales from sub-µs to ~50 ms.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545F4914F6CDD1D);
+            let d = match r % 10 {
+                0..=5 => r % 2_000_000,           // 0–2 ms bulk
+                6..=8 => r % 10_000_000,          // 0–10 ms middle
+                _ => 10_000_000 + r % 40_000_000, // tail to 50 ms
+            };
+            hist.record(d);
+            reference.push(d);
+        }
+        reference.sort_unstable();
+        let exact_mean = reference.iter().map(|&d| d as f64).sum::<f64>() / reference.len() as f64;
+        assert!(
+            (hist.mean_seconds() * NANOS_PER_SEC - exact_mean).abs() < 1e-3,
+            "mean must be exact: {} vs {}",
+            hist.mean_seconds() * NANOS_PER_SEC,
+            exact_mean
+        );
+        let rank = (reference.len() - 1).min(reference.len() * 99 / 100);
+        let exact_p99 = reference[rank] as f64;
+        let got = hist.p99_seconds() * NANOS_PER_SEC;
+        assert!(
+            got >= exact_p99 && got <= exact_p99 + DELAY_BUCKET_NS as f64,
+            "p99 {got} not within 1 µs above exact {exact_p99}"
+        );
+    }
+
+    #[test]
+    fn delay_histogram_empty_and_tiny_counts() {
+        let hist = DelayHistogram::new();
+        assert_eq!(hist.mean_seconds(), 0.0);
+        assert_eq!(hist.p99_seconds(), 0.0);
+
+        let mut hist = DelayHistogram::new();
+        hist.record(1_500);
+        assert!((hist.mean_seconds() - 1_500e-9).abs() < 1e-15);
+        // Single sample: p99 is the sample's bucket upper edge.
+        assert!((hist.p99_seconds() - 2_000e-9).abs() < 1e-15);
+        assert!(hist.p99_seconds() >= hist.mean_seconds());
     }
 
     #[test]
