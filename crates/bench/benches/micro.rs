@@ -10,7 +10,7 @@ use spef_graph::{
     build_dag_set, Csr, DagSet, NodeId, Parallelism, RoutingWorkspace, ShortestPathDag,
 };
 use spef_lp::simplex::{LinearProgram, Relation, SimplexWorkspace};
-use spef_netsim::{simulate, SimConfig};
+use spef_netsim::{simulate, simulate_with, SchedulerKind, SimConfig, SimWorkspace};
 use spef_topology::{gen, standard, Network, TrafficMatrix};
 
 fn bench_dijkstra_dag(c: &mut Criterion) {
@@ -514,8 +514,55 @@ fn bench_simulator(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("simulator");
     group.sample_size(10);
+    // Historical lane: default scheduler, fresh workspace per run.
     group.bench_function("netsim_5s_fig4", |b| {
         b.iter(|| simulate(&net, &tm, routing.forwarding_table(), &cfg).expect("sim"))
+    });
+
+    // The PR 4 before/after pair: identical workload, heap vs calendar,
+    // both on a warm workspace so the scheduler is the only difference.
+    // The reports are bit-identical by construction (asserted below); only
+    // the wall time may move.
+    let heap_cfg = SimConfig {
+        scheduler: SchedulerKind::BinaryHeap,
+        ..cfg.clone()
+    };
+    let mut ws = SimWorkspace::new();
+    let reference = simulate_with(&net, &tm, routing.forwarding_table(), &cfg, &mut ws)
+        .expect("calendar reference");
+    let heap_report = simulate_with(&net, &tm, routing.forwarding_table(), &heap_cfg, &mut ws)
+        .expect("heap reference");
+    assert_eq!(reference, heap_report, "schedulers must agree bit for bit");
+    group.bench_function("sim_fig4_heap", |b| {
+        b.iter(|| {
+            simulate_with(&net, &tm, routing.forwarding_table(), &heap_cfg, &mut ws).expect("sim")
+        })
+    });
+    group.bench_function("sim_fig4_calendar", |b| {
+        b.iter(|| simulate_with(&net, &tm, routing.forwarding_table(), &cfg, &mut ws).expect("sim"))
+    });
+
+    // CERNET2 panel of Fig. 11 (TABLE IV demands at the documented 0.5
+    // scale), the larger sim workload of the sweep family.
+    let net2 = standard::cernet2();
+    let tm2 = standard::table4_cernet2_demands().scaled(0.5);
+    let obj2 = Objective::proportional(net2.link_count());
+    let cfg2 = spef_core::SpefConfig {
+        solver: spef_core::TeSolver::FrankWolfe(FrankWolfeConfig::fast()),
+        ..spef_core::SpefConfig::default()
+    };
+    let routing2 = spef_core::SpefRouting::build(&net2, &tm2, &obj2, &cfg2).expect("routing");
+    let sim_cfg2 = SimConfig {
+        duration: 5.0,
+        capacity_to_bps: 1e6, // Gb/s units driven at Mb/s scale: same event
+        demand_to_bps: 1e6,   // counts, bench-friendly wall time
+        ..SimConfig::default()
+    };
+    group.bench_function("sim_cernet2_calendar", |b| {
+        b.iter(|| {
+            simulate_with(&net2, &tm2, routing2.forwarding_table(), &sim_cfg2, &mut ws)
+                .expect("sim")
+        })
     });
     group.finish();
 }

@@ -13,6 +13,10 @@
 //!     --loads 0.15,0.3 --betas 0.5,1.0,2.0 --solvers fw \
 //!     --json BENCH_sweep.json
 //!
+//! repro sweep --family sim     # packet-level sim grid (fig4/abilene/cernet2)
+//! repro sweep --family sim --sim-scheduler heap   # same grid, heap scheduler:
+//!                                                 # results must not move a bit
+//!
 //! repro diff BENCH_a.json BENCH_b.json   # fail on any scenario-result drift
 //! ```
 
@@ -24,6 +28,7 @@ use spef_experiments::{
     run_experiment, Quality, ScenarioGrid, SolverSpec, TopologySpec, TrafficModel, ALL_EXPERIMENTS,
     EXTRA_EXPERIMENTS,
 };
+use spef_netsim::SchedulerKind;
 
 struct Args {
     experiments: Vec<String>,
@@ -92,9 +97,30 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     };
 
     let mut argv = argv.peekable();
+    let mut grid_customised = false;
     while let Some(arg) = argv.next() {
         let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
+        if arg.starts_with("--")
+            && !matches!(
+                arg.as_str(),
+                "--family" | "--json" | "--serial" | "--sim-scheduler" | "--help" | "-h"
+            )
+        {
+            grid_customised = true;
+        }
         match arg.as_str() {
+            "--family" => {
+                if grid_customised {
+                    return Err(
+                        "--family replaces the whole grid; pass it before any grid flags".into(),
+                    );
+                }
+                let val = value("--family")?;
+                grid = match val.as_str() {
+                    "sim" => ScenarioGrid::sim_family(),
+                    other => return Err(format!("--family: unknown family {other:?}; known: sim")),
+                };
+            }
             "--topologies" => {
                 let names = value("--topologies")?;
                 grid = grid.topologies(
@@ -154,14 +180,46 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
                         .map_err(|e| format!("--base-seed: invalid value {val:?}: {e}"))?,
                 );
             }
+            "--sim-durations" => {
+                let val = value("--sim-durations")?;
+                grid = grid.sim_durations(parse_f64s("--sim-durations", &val)?);
+            }
+            "--sim-warmup-frac" => {
+                let val = value("--sim-warmup-frac")?;
+                grid = grid.sim_warmup_frac(
+                    val.parse::<f64>()
+                        .map_err(|e| format!("--sim-warmup-frac: invalid value {val:?}: {e}"))?,
+                );
+            }
+            "--sim-unit" => {
+                let val = value("--sim-unit")?;
+                grid = grid.sim_unit_bps(
+                    val.parse::<f64>()
+                        .map_err(|e| format!("--sim-unit: invalid value {val:?}: {e}"))?,
+                );
+            }
+            "--sim-seed" => {
+                let val = value("--sim-seed")?;
+                grid = grid.sim_seed(
+                    val.parse::<u64>()
+                        .map_err(|e| format!("--sim-seed: invalid value {val:?}: {e}"))?,
+                );
+            }
+            "--sim-scheduler" => {
+                let val = value("--sim-scheduler")?;
+                options.sim_scheduler =
+                    SchedulerKind::parse(&val).map_err(|e| format!("--sim-scheduler: {e}"))?;
+            }
             "--json" => json_path = PathBuf::from(value("--json")?),
             "--serial" => options.serial = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro sweep [--topologies a,b,...] [--seeds 1,2,...] \
-                     [--loads 0.15,...] [--betas 1.0,...] [--q 1.0] \
+                    "usage: repro sweep [--family sim] [--topologies a,b,...] \
+                     [--seeds 1,2,...] [--loads 0.15,...] [--betas 1.0,...] [--q 1.0] \
                      [--solvers fw|fw-fast|dd] [--traffic ft|gravity] \
-                     [--base-seed N] [--json FILE] [--serial]"
+                     [--base-seed N] [--sim-durations 2,5] [--sim-warmup-frac 0.1] \
+                     [--sim-unit 1e6] [--sim-seed N] [--sim-scheduler calendar|heap] \
+                     [--json FILE] [--serial]"
                 );
                 return Ok(ExitCode::SUCCESS);
             }

@@ -20,7 +20,7 @@
 
 use spef_baselines::peft::PeftRouting;
 use spef_core::{Objective, SpefError, SpefRouting};
-use spef_netsim::{simulate, SimConfig};
+use spef_netsim::{simulate_with, SimConfig, SimWorkspace};
 use spef_topology::{standard, Network, TrafficMatrix};
 
 use crate::report::{fmt_val, CsvFile, ExperimentResult, TextTable};
@@ -82,6 +82,9 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let mut tables = Vec::new();
     let mut csvs = Vec::new();
 
+    // One simulator workspace across all four runs (2 panels × SPEF/PEFT):
+    // after the first, event queue, arenas and histogram are recycled.
+    let mut sim_ws = SimWorkspace::new();
     for spec in panels() {
         let obj = Objective::proportional(spec.net.link_count());
         let spef = SpefRouting::build(&spec.net, &spec.tm, &obj, &quality.spef_config())?;
@@ -97,10 +100,22 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
             seed: 0x5117,
             ..SimConfig::default()
         };
-        let spef_report = simulate(&spec.net, &spec.tm, spef.forwarding_table(), &cfg)
-            .map_err(|e| SpefError::InvalidInput(format!("SPEF sim failed: {e}")))?;
-        let peft_report = simulate(&spec.net, &spec.tm, peft.forwarding_table(), &cfg)
-            .map_err(|e| SpefError::InvalidInput(format!("PEFT sim failed: {e}")))?;
+        let spef_report = simulate_with(
+            &spec.net,
+            &spec.tm,
+            spef.forwarding_table(),
+            &cfg,
+            &mut sim_ws,
+        )
+        .map_err(|e| SpefError::InvalidInput(format!("SPEF sim failed: {e}")))?;
+        let peft_report = simulate_with(
+            &spec.net,
+            &spec.tm,
+            peft.forwarding_table(),
+            &cfg,
+            &mut sim_ws,
+        )
+        .map_err(|e| SpefError::InvalidInput(format!("PEFT sim failed: {e}")))?;
 
         // The display unit of Fig. 11: kbps for the simple network, Mbps
         // for CERNET2.

@@ -27,7 +27,9 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use serde::{Error as SerdeError, Value};
 use spef_core::SpefRouting;
+use spef_netsim::{simulate_with, SchedulerKind, SimWorkspace};
 
 use crate::scenario::Scenario;
 
@@ -35,8 +37,34 @@ use crate::scenario::Scenario;
 /// layout changes incompatibly.
 pub const BATCH_SCHEMA_VERSION: u64 = 1;
 
-/// Measurements of one successfully solved scenario.
+/// Deterministic measurements of a scenario's packet-level simulation
+/// stage. Every field is a pure function of the scenario (the simulator is
+/// seeded), so `repro diff` compares them bit-identically — across runs,
+/// machines, *and scheduler kinds* (heap vs calendar).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimScenarioResult {
+    /// Packets handed to the network by all sources.
+    pub generated_packets: u64,
+    /// Packets that reached their destination.
+    pub delivered_packets: u64,
+    /// Packets dropped at full buffers.
+    pub dropped_packets: u64,
+    /// Mean end-to-end delay of delivered packets, seconds.
+    pub mean_delay: f64,
+    /// 99th-percentile end-to-end delay, seconds.
+    pub p99_delay: f64,
+    /// Links that carried any traffic.
+    pub links_used: u64,
+    /// Busiest link's mean load in bits/s.
+    pub max_link_load_bps: f64,
+    /// Sum of all links' mean loads in bits/s (total carried traffic).
+    pub total_link_load_bps: f64,
+    /// High-water mark of live packet slots (memory witness).
+    pub peak_packet_slots: u64,
+}
+
+/// Measurements of one successfully solved scenario.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
     /// The scenario that produced this result (embedded so a report is
     /// self-describing).
@@ -50,9 +78,54 @@ pub struct ScenarioResult {
     pub iterations: u64,
     /// Whether the NEM second-weight solver converged.
     pub nem_converged: bool,
+    /// Packet-level simulation measurements (present iff the scenario has
+    /// a [`SimSpec`](crate::scenario::SimSpec) stage).
+    pub sim: Option<SimScenarioResult>,
     /// Wall-clock milliseconds for the full pipeline (the only
     /// non-deterministic field).
     pub wall_ms: f64,
+}
+
+// Hand-written so the optional `sim` field is omitted when absent: sim-less
+// results serialize byte-identically to the committed pre-PR 4 baselines,
+// and those baselines parse back without a `sim` key.
+impl Serialize for ScenarioResult {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("mlu".to_string(), self.mlu.to_value()),
+            ("utility".to_string(), self.utility.to_value()),
+            ("iterations".to_string(), self.iterations.to_value()),
+            ("nem_converged".to_string(), self.nem_converged.to_value()),
+        ];
+        if let Some(sim) = &self.sim {
+            fields.push(("sim".to_string(), sim.to_value()));
+        }
+        fields.push(("wall_ms".to_string(), self.wall_ms.to_value()));
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ScenarioResult {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let field = |key: &str| -> Result<&Value, SerdeError> {
+            value.get_field(key).ok_or_else(|| {
+                SerdeError::custom(format!("missing field `{key}` in ScenarioResult"))
+            })
+        };
+        Ok(ScenarioResult {
+            scenario: Scenario::from_value(field("scenario")?)?,
+            mlu: f64::from_value(field("mlu")?)?,
+            utility: f64::from_value(field("utility")?)?,
+            iterations: u64::from_value(field("iterations")?)?,
+            nem_converged: bool::from_value(field("nem_converged")?)?,
+            sim: match value.get_field("sim") {
+                None => None,
+                Some(v) => Option::<SimScenarioResult>::from_value(v)?,
+            },
+            wall_ms: f64::from_value(field("wall_ms")?)?,
+        })
+    }
 }
 
 /// A scenario the pipeline could not solve (e.g. demands infeasible at the
@@ -160,6 +233,15 @@ impl BatchReport {
                     a.nem_converged, b.nem_converged
                 ));
             }
+            match (&a.sim, &b.sim) {
+                (None, None) => {}
+                (Some(sa), Some(sb)) => drift_sim(&mut drift, id, sa, sb),
+                (a, b) => drift.push(format!(
+                    "{id}: sim stage present {} vs {}",
+                    a.is_some(),
+                    b.is_some()
+                )),
+            }
         }
         if self.failures.len() != other.failures.len() {
             drift.push(format!(
@@ -183,21 +265,37 @@ impl BatchReport {
     pub fn summary_table(&self) -> crate::report::TextTable {
         let mut table = crate::report::TextTable::new(
             "scenario sweep",
-            &["scenario", "MLU", "utility", "iters", "NEM", "wall ms"],
+            &[
+                "scenario", "MLU", "utility", "iters", "NEM", "sim pkts", "loss %", "wall ms",
+            ],
         );
         for r in &self.results {
+            let (pkts, loss) = match &r.sim {
+                None => ("-".to_string(), "-".to_string()),
+                Some(sim) => (
+                    sim.generated_packets.to_string(),
+                    format!(
+                        "{:.2}",
+                        100.0 * sim.dropped_packets as f64 / sim.generated_packets.max(1) as f64
+                    ),
+                ),
+            };
             table.push_row(vec![
                 r.scenario.id.clone(),
                 format!("{:.4}", r.mlu),
                 format!("{:.4}", r.utility),
                 r.iterations.to_string(),
                 if r.nem_converged { "conv" } else { "MAX" }.to_string(),
+                pkts,
+                loss,
                 format!("{:.1}", r.wall_ms),
             ]);
         }
         for f in &self.failures {
             table.push_row(vec![
                 f.scenario.id.clone(),
+                "-".into(),
+                "-".into(),
                 "-".into(),
                 "-".into(),
                 "-".into(),
@@ -209,21 +307,86 @@ impl BatchReport {
     }
 }
 
+/// Appends per-field drift lines for a sim-stage pair (bit-identical float
+/// comparison, like the top-level result fields).
+fn drift_sim(drift: &mut Vec<String>, id: &str, a: &SimScenarioResult, b: &SimScenarioResult) {
+    let mut num = |name: &str, x: u64, y: u64| {
+        if x != y {
+            drift.push(format!("{id}: sim {name} {x} vs {y}"));
+        }
+    };
+    num(
+        "generated_packets",
+        a.generated_packets,
+        b.generated_packets,
+    );
+    num(
+        "delivered_packets",
+        a.delivered_packets,
+        b.delivered_packets,
+    );
+    num("dropped_packets", a.dropped_packets, b.dropped_packets);
+    num("links_used", a.links_used, b.links_used);
+    num(
+        "peak_packet_slots",
+        a.peak_packet_slots,
+        b.peak_packet_slots,
+    );
+    for (name, x, y) in [
+        ("mean_delay", a.mean_delay, b.mean_delay),
+        ("p99_delay", a.p99_delay, b.p99_delay),
+        (
+            "max_link_load_bps",
+            a.max_link_load_bps,
+            b.max_link_load_bps,
+        ),
+        (
+            "total_link_load_bps",
+            a.total_link_load_bps,
+            b.total_link_load_bps,
+        ),
+    ] {
+        if x.to_bits() != y.to_bits() {
+            drift.push(format!("{id}: sim {name} {x} vs {y}"));
+        }
+    }
+}
+
 /// Batch execution options.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
     /// Run scenarios one at a time on the calling thread instead of fanning
     /// out over rayon (useful for profiling a single scenario's cost).
     pub serial: bool,
+    /// Event scheduler driving the sim stages (default: calendar). Results
+    /// are bit-identical either way — the flag exists so the regression
+    /// gate and benchmarks can prove exactly that.
+    pub sim_scheduler: SchedulerKind,
 }
 
-/// Runs one scenario end to end: materialize → solve → measure.
+/// Runs one scenario end to end with the default (calendar) sim scheduler:
+/// materialize → solve → (optionally) simulate → measure.
 ///
 /// # Errors
 ///
 /// Returns the stringified solver error (e.g. infeasible demands at the
-/// requested load).
+/// requested load) or simulator error.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, String> {
+    run_scenario_in(scenario, SchedulerKind::Calendar, &mut SimWorkspace::new())
+}
+
+/// [`run_scenario`] with an explicit sim scheduler and a caller-provided
+/// simulator workspace (reused allocation-free across scenarios on the
+/// serial path).
+///
+/// # Errors
+///
+/// Same contract as [`run_scenario`].
+pub fn run_scenario_in(
+    scenario: &Scenario,
+    sim_scheduler: SchedulerKind,
+    sim_ws: &mut SimWorkspace,
+) -> Result<ScenarioResult, String> {
     let started = Instant::now();
     let network = scenario.topology.build();
     let traffic = scenario.traffic.build(&network);
@@ -231,12 +394,38 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, String> {
     let config = scenario.solver.build();
     let routing =
         SpefRouting::build(&network, &traffic, &objective, &config).map_err(|e| e.to_string())?;
+    let sim = match &scenario.sim {
+        None => None,
+        Some(spec) => {
+            let mut cfg = spec.config();
+            cfg.scheduler = sim_scheduler;
+            let report =
+                simulate_with(&network, &traffic, routing.forwarding_table(), &cfg, sim_ws)
+                    .map_err(|e| format!("simulation failed: {e}"))?;
+            Some(SimScenarioResult {
+                generated_packets: report.generated_packets,
+                delivered_packets: report.delivered_packets,
+                dropped_packets: report.dropped_packets,
+                mean_delay: report.mean_delay,
+                p99_delay: report.p99_delay,
+                links_used: report.links_used as u64,
+                max_link_load_bps: report
+                    .mean_link_load_bps
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max),
+                total_link_load_bps: report.mean_link_load_bps.iter().sum(),
+                peak_packet_slots: report.peak_packet_slots,
+            })
+        }
+    };
     Ok(ScenarioResult {
         scenario: scenario.clone(),
         mlu: routing.max_link_utilization(&network),
         utility: routing.normalized_utility(&network),
         iterations: routing.te_solution().iterations as u64,
         nem_converged: routing.nem_converged(),
+        sim,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
     })
 }
@@ -256,10 +445,13 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
         rayon::current_num_threads() as u64
     };
     let outcomes: Vec<(Scenario, Result<ScenarioResult, String>)> = if options.serial {
+        // Serial lane: one simulator workspace amortised over the whole
+        // batch (allocation-free sim stages after the first).
+        let mut sim_ws = SimWorkspace::new();
         scenarios
             .into_iter()
             .map(|s| {
-                let outcome = run_scenario(&s);
+                let outcome = run_scenario_in(&s, options.sim_scheduler, &mut sim_ws);
                 (s, outcome)
             })
             .collect()
@@ -267,7 +459,7 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
         scenarios
             .into_par_iter()
             .map(|s| {
-                let outcome = run_scenario(&s);
+                let outcome = run_scenario_in(&s, options.sim_scheduler, &mut SimWorkspace::new());
                 (s, outcome)
             })
             .collect()
@@ -339,7 +531,13 @@ mod tests {
             .loads([0.15])
             .build();
         let base = run_batch(scenarios.clone(), &BatchOptions::default());
-        let mut other = run_batch(scenarios, &BatchOptions { serial: true });
+        let mut other = run_batch(
+            scenarios,
+            &BatchOptions {
+                serial: true,
+                ..BatchOptions::default()
+            },
+        );
         // Same deterministic results, different wall clock/threads: clean.
         assert!(
             base.result_drift(&other).is_empty(),
@@ -365,7 +563,13 @@ mod tests {
             .loads([0.15])
             .build();
         let par = run_batch(scenarios.clone(), &BatchOptions::default());
-        let ser = run_batch(scenarios, &BatchOptions { serial: true });
+        let ser = run_batch(
+            scenarios,
+            &BatchOptions {
+                serial: true,
+                ..BatchOptions::default()
+            },
+        );
         assert_eq!(par.results.len(), ser.results.len());
         for (a, b) in par.results.iter().zip(&ser.results) {
             assert_eq!(a.scenario.id, b.scenario.id, "order is preserved");

@@ -37,11 +37,13 @@ pub mod table3;
 pub mod table5;
 
 pub use harness::{
-    run_batch, run_scenario, BatchOptions, BatchReport, ScenarioFailure, ScenarioResult,
+    run_batch, run_scenario, run_scenario_in, BatchOptions, BatchReport, ScenarioFailure,
+    ScenarioResult, SimScenarioResult,
 };
 pub use report::{CsvFile, ExperimentResult, TextTable};
 pub use scenario::{
-    ObjectiveSpec, Scenario, ScenarioGrid, SolverSpec, TopologySpec, TrafficModel, TrafficSpec,
+    ObjectiveSpec, Scenario, ScenarioGrid, SimSpec, SolverSpec, TopologySpec, TrafficModel,
+    TrafficSpec,
 };
 
 /// Fidelity of an experiment run.

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 use serde::{Error as SerdeError, Value};
 use spef_core::{DualDecompConfig, FrankWolfeConfig, NemConfig, Objective, SpefConfig, TeSolver};
+use spef_netsim::SimConfig;
 use spef_topology::{gen, standard, Network, TrafficMatrix};
 
 /// Which evaluation network a scenario runs on.
@@ -328,10 +329,54 @@ impl SolverSpec {
     }
 }
 
-/// One fully pinned-down run of the SPEF pipeline.
+/// Packet-level simulation stage riding on a scenario: after the SPEF
+/// pipeline solves the routing, the resulting FIB is driven through the
+/// `spef-netsim` discrete-event simulator for `duration` simulated
+/// seconds — the §V.D (Fig. 11) workload as a sweepable scenario family.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSpec {
+    /// Simulated seconds.
+    pub duration: f64,
+    /// Simulated seconds excluded from load/delay statistics.
+    pub warmup: f64,
+    /// Converts both capacity and demand units to bits/s (the sweep keeps
+    /// the two symmetric; 1e6 = "one capacity unit is 1 Mb/s").
+    pub unit_bps: f64,
+    /// Simulator RNG seed (arrivals + forwarding choices).
+    pub seed: u64,
+}
+
+impl SimSpec {
+    /// Materializes the simulator configuration. The scheduler is *not*
+    /// part of the spec: heap and calendar produce bit-identical reports,
+    /// so the choice belongs to execution options
+    /// ([`BatchOptions::sim_scheduler`](crate::harness::BatchOptions)),
+    /// not to scenario identity.
+    pub fn config(&self) -> SimConfig {
+        SimConfig {
+            duration: self.duration,
+            warmup: self.warmup,
+            capacity_to_bps: self.unit_bps,
+            demand_to_bps: self.unit_bps,
+            seed: self.seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// A short stable identifier used in scenario ids.
+    pub fn id(&self) -> String {
+        format!(
+            "sim-d{}w{}u{}s{}",
+            self.duration, self.warmup, self.unit_bps, self.seed
+        )
+    }
+}
+
+/// One fully pinned-down run of the SPEF pipeline.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Stable human-readable id (topology + traffic + objective + solver).
+    /// Stable human-readable id (topology + traffic + objective + solver,
+    /// plus the sim stage when present).
     pub id: String,
     /// Network to route on.
     pub topology: TopologySpec,
@@ -341,10 +386,12 @@ pub struct Scenario {
     pub objective: ObjectiveSpec,
     /// Solver pipeline.
     pub solver: SolverSpec,
+    /// Optional packet-level simulation stage over the solved FIB.
+    pub sim: Option<SimSpec>,
 }
 
 impl Scenario {
-    /// Creates a scenario with its canonical id.
+    /// Creates a scenario with its canonical id (no simulation stage).
     pub fn new(
         topology: TopologySpec,
         traffic: TrafficSpec,
@@ -365,7 +412,57 @@ impl Scenario {
             traffic,
             objective,
             solver,
+            sim: None,
         }
+    }
+
+    /// Attaches a packet-level simulation stage, extending the id (ids
+    /// stay the unique join key of batch reports).
+    pub fn with_sim(mut self, sim: SimSpec) -> Scenario {
+        self.id = format!("{}+{}", self.id, sim.id());
+        self.sim = Some(sim);
+        self
+    }
+}
+
+// Hand-written (like `TopologySpec`) because the optional `sim` field must
+// be *omitted* when absent: pre-PR 4 baseline reports have no `sim` key and
+// must keep parsing, and sim-less scenarios must serialize byte-identically
+// to the committed PR 2/PR 3 baselines.
+impl Serialize for Scenario {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("topology".to_string(), self.topology.to_value()),
+            ("traffic".to_string(), self.traffic.to_value()),
+            ("objective".to_string(), self.objective.to_value()),
+            ("solver".to_string(), self.solver.to_value()),
+        ];
+        if let Some(sim) = &self.sim {
+            fields.push(("sim".to_string(), sim.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let field = |key: &str| -> Result<&Value, SerdeError> {
+            value
+                .get_field(key)
+                .ok_or_else(|| SerdeError::custom(format!("missing field `{key}` in Scenario")))
+        };
+        Ok(Scenario {
+            id: String::from_value(field("id")?)?,
+            topology: TopologySpec::from_value(field("topology")?)?,
+            traffic: TrafficSpec::from_value(field("traffic")?)?,
+            objective: ObjectiveSpec::from_value(field("objective")?)?,
+            solver: SolverSpec::from_value(field("solver")?)?,
+            sim: match value.get_field("sim") {
+                None => None,
+                Some(v) => Option::<SimSpec>::from_value(v)?,
+            },
+        })
     }
 }
 
@@ -399,6 +496,12 @@ pub struct ScenarioGrid {
     betas: Vec<f64>,
     solvers: Vec<SolverSpec>,
     base_seed: u64,
+    /// Simulated durations (seconds) of the packet-level stage; empty
+    /// means no simulation.
+    sim_durations: Vec<f64>,
+    sim_warmup_frac: f64,
+    sim_unit_bps: f64,
+    sim_seed: u64,
 }
 
 impl Default for ScenarioGrid {
@@ -418,15 +521,39 @@ impl Default for ScenarioGrid {
             betas: vec![1.0],
             solvers: vec![SolverSpec::FrankWolfeFast],
             base_seed: 0,
+            sim_durations: Vec::new(),
+            sim_warmup_frac: 0.1,
+            sim_unit_bps: 1e6,
+            sim_seed: 0x5117,
         }
     }
 }
 
 impl ScenarioGrid {
     /// Starts from the default smoke grid (fig1/fig4/abilene × 2 seeds ×
-    /// loads {0.1, 0.15} × β = 1 × fast Frank–Wolfe).
+    /// loads {0.1, 0.15} × β = 1 × fast Frank–Wolfe, no simulation).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The `sim` scenario family: the Fig. 11 networks (Fig. 4, Abilene,
+    /// CERNET2) × loads {0.04, 0.08} × simulated durations {5 s, 20 s}
+    /// under fast Frank–Wolfe — the packet-level workload as a sweepable,
+    /// regression-gated grid. Load 0.08 puts CERNET2 near MLU 1, so the
+    /// family spans clean delivery through near-saturation (the diverse
+    /// load regimes the TE-comparison literature insists on).
+    pub fn sim_family() -> Self {
+        ScenarioGrid::new()
+            .topologies([
+                TopologySpec::Fig4,
+                TopologySpec::Abilene,
+                TopologySpec::Cernet2,
+            ])
+            .seeds([1])
+            .loads([0.04, 0.08])
+            .betas([1.0])
+            .solvers([SolverSpec::FrankWolfeFast])
+            .sim_durations([5.0, 20.0])
     }
 
     /// Sets the topologies to sweep.
@@ -477,6 +604,32 @@ impl ScenarioGrid {
         self
     }
 
+    /// Attaches a packet-level simulation stage to every scenario, one per
+    /// duration (an extra grid dimension). An empty list removes the
+    /// stage.
+    pub fn sim_durations(mut self, durations: impl IntoIterator<Item = f64>) -> Self {
+        self.sim_durations = durations.into_iter().collect();
+        self
+    }
+
+    /// Sets the warmup fraction of each simulated duration (default 0.1).
+    pub fn sim_warmup_frac(mut self, frac: f64) -> Self {
+        self.sim_warmup_frac = frac;
+        self
+    }
+
+    /// Sets the unit→bits/s conversion of the sim stage (default 1e6).
+    pub fn sim_unit_bps(mut self, unit_bps: f64) -> Self {
+        self.sim_unit_bps = unit_bps;
+        self
+    }
+
+    /// Sets the simulator RNG seed (default 0x5117, the fig11 seed).
+    pub fn sim_seed(mut self, seed: u64) -> Self {
+        self.sim_seed = seed;
+        self
+    }
+
     /// Derives the per-scenario traffic seed from the base seed and the
     /// grid seed (SplitMix64 finalizer, so nearby seeds decorrelate).
     fn scenario_seed(&self, seed: u64) -> u64 {
@@ -492,7 +645,7 @@ impl ScenarioGrid {
     }
 
     /// Expands the grid into the full cartesian product, in deterministic
-    /// order (topology-major, solver-minor).
+    /// order (topology-major, sim-duration-minor).
     pub fn build(&self) -> Vec<Scenario> {
         let mut scenarios = Vec::new();
         for topology in &self.topologies {
@@ -500,7 +653,7 @@ impl ScenarioGrid {
                 for &load in &self.loads {
                     for &beta in &self.betas {
                         for &solver in &self.solvers {
-                            scenarios.push(Scenario::new(
+                            let base = Scenario::new(
                                 topology.clone(),
                                 TrafficSpec {
                                     model: self.traffic_model,
@@ -509,7 +662,19 @@ impl ScenarioGrid {
                                 },
                                 ObjectiveSpec { q: self.q, beta },
                                 solver,
-                            ));
+                            );
+                            if self.sim_durations.is_empty() {
+                                scenarios.push(base);
+                            } else {
+                                for &duration in &self.sim_durations {
+                                    scenarios.push(base.clone().with_sim(SimSpec {
+                                        duration,
+                                        warmup: duration * self.sim_warmup_frac,
+                                        unit_bps: self.sim_unit_bps,
+                                        seed: self.sim_seed,
+                                    }));
+                                }
+                            }
                         }
                     }
                 }
@@ -580,5 +745,85 @@ mod tests {
     fn named_topologies_materialize() {
         assert_eq!(TopologySpec::Fig4.build().node_count(), 7);
         assert_eq!(TopologySpec::Abilene.build().link_count(), 28);
+    }
+
+    #[test]
+    fn sim_durations_add_a_grid_dimension_with_unique_ids() {
+        let grid = ScenarioGrid::new()
+            .topologies([TopologySpec::Fig4])
+            .seeds([1])
+            .loads([0.1])
+            .sim_durations([5.0, 20.0]);
+        let scenarios = grid.build();
+        assert_eq!(scenarios.len(), 2);
+        assert!(scenarios.iter().all(|s| s.sim.is_some()));
+        assert_ne!(scenarios[0].id, scenarios[1].id);
+        assert!(scenarios[0].id.contains("+sim-d5"));
+        let sim = scenarios[1].sim.as_ref().unwrap();
+        assert_eq!(sim.duration, 20.0);
+        assert!((sim.warmup - 2.0).abs() < 1e-12, "default 10% warmup");
+
+        // Clearing the durations removes the stage again.
+        let plain = grid.sim_durations([]).build();
+        assert_eq!(plain.len(), 1);
+        assert!(plain[0].sim.is_none());
+    }
+
+    #[test]
+    fn sim_family_is_the_fig11_networks_under_diverse_loads() {
+        let scenarios = ScenarioGrid::sim_family().build();
+        // 3 topologies × 2 loads × 2 durations.
+        assert_eq!(scenarios.len(), 12);
+        assert!(scenarios.iter().all(|s| s.sim.is_some()));
+        let mut ids: Vec<&str> = scenarios.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn scenario_with_sim_roundtrips_and_simless_json_stays_identical() {
+        let base = Scenario::new(
+            TopologySpec::Fig4,
+            TrafficSpec {
+                model: TrafficModel::FortzThorup,
+                seed: 1,
+                load: 0.1,
+            },
+            ObjectiveSpec { q: 1.0, beta: 1.0 },
+            SolverSpec::FrankWolfeFast,
+        );
+        // Sim-less scenarios serialize without a `sim` key at all — the
+        // committed pre-PR 4 baselines' byte format.
+        let v = base.to_value();
+        assert!(v.get_field("sim").is_none());
+        assert_eq!(Scenario::from_value(&v).unwrap(), base);
+
+        let simful = base.with_sim(SimSpec {
+            duration: 5.0,
+            warmup: 0.5,
+            unit_bps: 1e6,
+            seed: 0x5117,
+        });
+        let back = Scenario::from_value(&simful.to_value()).unwrap();
+        assert_eq!(back, simful);
+        assert!(back.id.ends_with("+sim-d5w0.5u1000000s20759"));
+    }
+
+    #[test]
+    fn sim_spec_config_maps_units_and_seed() {
+        let spec = SimSpec {
+            duration: 7.0,
+            warmup: 0.7,
+            unit_bps: 1e9,
+            seed: 42,
+        };
+        let cfg = spec.config();
+        assert_eq!(cfg.duration, 7.0);
+        assert_eq!(cfg.warmup, 0.7);
+        assert_eq!(cfg.capacity_to_bps, 1e9);
+        assert_eq!(cfg.demand_to_bps, 1e9);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.scheduler, spef_netsim::SchedulerKind::Calendar);
     }
 }

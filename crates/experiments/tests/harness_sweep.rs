@@ -1,10 +1,14 @@
 //! Integration tests of the scenario-sweep harness: determinism across
-//! runs and JSON round-tripping of the batch report.
+//! runs, JSON round-tripping of the batch report, and the packet-level
+//! `sim` scenario family (scheduler-independent results, old-baseline
+//! compatibility).
 
 use spef_experiments::harness::{run_batch, BatchOptions, BatchReport};
 use spef_experiments::scenario::{
-    ObjectiveSpec, Scenario, ScenarioGrid, SolverSpec, TopologySpec, TrafficModel, TrafficSpec,
+    ObjectiveSpec, Scenario, ScenarioGrid, SimSpec, SolverSpec, TopologySpec, TrafficModel,
+    TrafficSpec,
 };
+use spef_netsim::SchedulerKind;
 
 /// A 3-scenario sweep: fig1 at two seeds plus Abilene.
 fn three_scenarios() -> Vec<Scenario> {
@@ -72,6 +76,110 @@ fn batch_report_roundtrips_through_json() {
     // The id field stays the stable join key tooling can rely on.
     assert!(json.contains("\"fig1+ft-s1-l0.15+q1b1+fw-fast\""));
     assert!(json.contains("\"schema_version\": 1"));
+}
+
+/// A small sim-staged sweep: fig4 clean plus fig4 at a lossier point.
+fn sim_scenarios() -> Vec<Scenario> {
+    let spec = |load: f64, duration: f64| {
+        Scenario::new(
+            TopologySpec::Fig4,
+            TrafficSpec {
+                model: TrafficModel::FortzThorup,
+                seed: 1,
+                load,
+            },
+            ObjectiveSpec { q: 1.0, beta: 1.0 },
+            SolverSpec::FrankWolfeFast,
+        )
+        .with_sim(SimSpec {
+            duration,
+            warmup: duration * 0.1,
+            unit_bps: 1e6,
+            seed: 0x5117,
+        })
+    };
+    vec![spec(0.05, 2.0), spec(0.1, 2.0), spec(0.1, 4.0)]
+}
+
+#[test]
+fn sim_sweep_is_deterministic_and_scheduler_independent() {
+    // Parallel calendar, serial calendar, and parallel heap must produce
+    // bit-identical deterministic fields — the sweep-level widening of the
+    // netsim equivalence proptests, through the whole solve+simulate
+    // pipeline.
+    let calendar = run_batch(sim_scenarios(), &BatchOptions::default());
+    assert_eq!(calendar.results.len(), 3, "{:?}", calendar.failures);
+    for r in &calendar.results {
+        let sim = r.sim.as_ref().expect("sim stage ran");
+        assert!(sim.generated_packets > 0);
+        assert!(sim.delivered_packets > 0);
+        assert!(sim.max_link_load_bps > 0.0);
+        assert!(sim.total_link_load_bps >= sim.max_link_load_bps);
+        assert!(sim.peak_packet_slots > 0);
+    }
+    let serial = run_batch(
+        sim_scenarios(),
+        &BatchOptions {
+            serial: true,
+            ..BatchOptions::default()
+        },
+    );
+    let heap = run_batch(
+        sim_scenarios(),
+        &BatchOptions {
+            sim_scheduler: SchedulerKind::BinaryHeap,
+            ..BatchOptions::default()
+        },
+    );
+    assert!(
+        calendar.result_drift(&serial).is_empty(),
+        "serial drift: {:?}",
+        calendar.result_drift(&serial)
+    );
+    assert!(
+        calendar.result_drift(&heap).is_empty(),
+        "heap drift: {:?}",
+        calendar.result_drift(&heap)
+    );
+}
+
+#[test]
+fn sim_results_roundtrip_and_drift_catches_sim_fields() {
+    let report = run_batch(sim_scenarios(), &BatchOptions::default());
+    let back = BatchReport::from_json(&report.to_json()).expect("parses back");
+    assert_eq!(back, report);
+
+    // Any sim field flip is drift.
+    let mut other = back.clone();
+    other.results[0].sim.as_mut().unwrap().delivered_packets += 1;
+    assert_eq!(report.result_drift(&other).len(), 1);
+    other = back.clone();
+    other.results[1].sim.as_mut().unwrap().mean_delay += 1e-15;
+    assert_eq!(report.result_drift(&other).len(), 1);
+    // Dropping the stage entirely is drift too.
+    other = back;
+    other.results[2].sim = None;
+    assert_eq!(report.result_drift(&other).len(), 1);
+}
+
+#[test]
+fn pre_sim_reports_still_parse_and_sim_less_results_omit_the_field() {
+    // The committed PR 2/PR 3 baselines predate the sim stage; their
+    // `ScenarioResult` objects carry no `sim` key and must keep parsing
+    // (the CI regression gate reads them on every PR).
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../BENCH_post_pr2_batched_engine.json"),
+    )
+    .expect("committed baseline readable");
+    let baseline = BatchReport::from_json(&text).expect("pre-sim baseline parses");
+    assert!(baseline.results.iter().all(|r| r.sim.is_none()));
+
+    // And a sim-less run serializes without the key, so regenerating the
+    // old grid still byte-matches the old schema shape.
+    let report = run_batch(three_scenarios(), &BatchOptions::default());
+    let json = report.to_json();
+    assert!(!json.contains("\"sim\""));
 }
 
 #[test]

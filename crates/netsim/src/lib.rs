@@ -22,6 +22,14 @@
 //! are validated against the analytic flow solutions in the integration
 //! test-suite.
 //!
+//! Events are scheduled by an adaptive **calendar queue** (see the
+//! `sched` module) with payloads in free-list arenas; the legacy binary
+//! heap remains available via [`SimConfig::scheduler`] and produces
+//! bit-identical [`SimReport`]s. Batch callers should reuse a
+//! [`SimWorkspace`] through [`simulate_with`] — repeated runs are then
+//! allocation-free in steady state, and the workspace exposes
+//! [`SchedulerStats`] for the last run.
+//!
 //! # Example
 //!
 //! ```
@@ -51,5 +59,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod sched;
 
-pub use engine::{simulate, SimConfig, SimError, SimReport};
+pub use engine::{simulate, simulate_with, SimConfig, SimError, SimReport, SimWorkspace};
+pub use sched::{SchedulerKind, SchedulerStats};

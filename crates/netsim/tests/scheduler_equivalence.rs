@@ -1,0 +1,151 @@
+//! Property tests: the calendar-queue scheduler is **bit-identical** to
+//! the binary-heap scheduler.
+//!
+//! Both schedulers pop events in the same `(time, seq)` order, so the
+//! simulation consumes its RNG stream identically and every [`SimReport`]
+//! field — float link loads included — must agree exactly (`==`, not
+//! approximately) on random topologies, demand matrices, and operating
+//! points that cover clean delivery, multi-path splitting, and drop-tail
+//! loss.
+
+use proptest::prelude::*;
+use spef_core::ForwardingTable;
+use spef_graph::{NodeId, ShortestPathDag};
+use spef_netsim::{simulate, simulate_with, SchedulerKind, SimConfig, SimWorkspace};
+use spef_topology::{Network, TrafficMatrix};
+
+/// A strongly connected random network (directed ring backbone plus
+/// chords) with capacities in [4, 12], and a demand matrix over a random
+/// subset of pairs.
+fn random_scenario() -> impl Strategy<Value = (Network, TrafficMatrix)> {
+    (3usize..9).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..(2 * n)),
+            proptest::collection::vec(4.0f64..12.0, n + 2 * n),
+            proptest::collection::vec((0..n, 0..n, 0.2f64..3.0), 1..6),
+        )
+            .prop_map(|(n, chords, caps, demands)| {
+                let mut b = Network::builder("prop");
+                let nodes: Vec<NodeId> = (0..n)
+                    .map(|i| b.add_node(format!("n{i}"), (i as f64, 0.0)))
+                    .collect();
+                let mut next_cap = caps.into_iter();
+                for i in 0..n {
+                    b.add_link(nodes[i], nodes[(i + 1) % n], next_cap.next().unwrap());
+                }
+                for (u, v) in chords {
+                    if u != v {
+                        b.add_link(nodes[u], nodes[v], next_cap.next().unwrap());
+                    }
+                }
+                let net = b.build().unwrap();
+                let mut tm = TrafficMatrix::new(n);
+                for (s, t, d) in demands {
+                    if s != t {
+                        tm.set(NodeId::new(s), NodeId::new(t), d);
+                    }
+                }
+                (net, tm)
+            })
+    })
+}
+
+/// Builds a FIB from per-destination shortest-path DAGs (inverse-capacity
+/// weights) with uniform splits — cheap, deterministic, and multi-path
+/// whenever the DAG has equal-cost successors.
+fn uniform_split_fib(net: &Network, tm: &TrafficMatrix) -> ForwardingTable {
+    let g = net.graph();
+    let w: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
+    let dests = tm.destinations();
+    let tables: Vec<Vec<Vec<_>>> = dests
+        .iter()
+        .map(|&t| {
+            let dag = ShortestPathDag::build(g, &w, t, 0.0).unwrap();
+            (0..net.node_count())
+                .map(|u| {
+                    let succ = dag.successors(NodeId::new(u));
+                    let p = 1.0 / succ.len().max(1) as f64;
+                    succ.iter().map(|&e| (e, p)).collect()
+                })
+                .collect()
+        })
+        .collect();
+    ForwardingTable::new(net.node_count(), dests, tables)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Heap and calendar reports agree bit for bit on random scenarios,
+    /// across seeds, buffer regimes (including lossy ones), and
+    /// propagation delays — and workspace reuse changes nothing.
+    #[test]
+    fn heap_and_calendar_reports_agree_exactly(
+        (net, tm) in random_scenario(),
+        seed in 0u64..1_000,
+        buffer in prop_oneof![Just(3usize), Just(100usize)],
+        propagation in prop_oneof![Just(0.0f64), Just(1e-3)],
+    ) {
+        prop_assume!(tm.pair_count() > 0);
+        let fib = uniform_split_fib(&net, &tm);
+        let base = SimConfig {
+            duration: 3.0,
+            warmup: 0.5,
+            buffer_packets: buffer,
+            propagation_delay: propagation,
+            seed,
+            ..SimConfig::default()
+        };
+        let heap = simulate(&net, &tm, &fib, &SimConfig {
+            scheduler: SchedulerKind::BinaryHeap,
+            ..base.clone()
+        }).unwrap();
+        let calendar = simulate(&net, &tm, &fib, &SimConfig {
+            scheduler: SchedulerKind::Calendar,
+            ..base.clone()
+        }).unwrap();
+        prop_assert_eq!(&heap, &calendar);
+        // Float fields compare bit-for-bit, not just `==` (which would
+        // also accept -0.0 vs 0.0).
+        for (a, b) in heap.mean_link_load_bps.iter().zip(&calendar.mean_link_load_bps) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(heap.mean_delay.to_bits(), calendar.mean_delay.to_bits());
+        prop_assert_eq!(heap.p99_delay.to_bits(), calendar.p99_delay.to_bits());
+
+        // A warm workspace (previously used by a *different* scheduler)
+        // reproduces the same report.
+        let mut ws = SimWorkspace::new();
+        simulate_with(&net, &tm, &fib, &SimConfig {
+            scheduler: SchedulerKind::BinaryHeap,
+            ..base.clone()
+        }, &mut ws).unwrap();
+        let warm = simulate_with(&net, &tm, &fib, &base, &mut ws).unwrap();
+        prop_assert_eq!(&warm, &calendar);
+    }
+
+    /// Degenerate timing: zero propagation and tiny packets collapse many
+    /// events onto identical timestamps, stressing the seq tie-break.
+    #[test]
+    fn equal_timestamp_bursts_stay_identical(
+        (net, tm) in random_scenario(),
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(tm.pair_count() > 0);
+        let fib = uniform_split_fib(&net, &tm);
+        let base = SimConfig {
+            duration: 1.0,
+            packet_size_bits: 1_200, // 10× the event density
+            propagation_delay: 0.0,
+            seed,
+            ..SimConfig::default()
+        };
+        let heap = simulate(&net, &tm, &fib, &SimConfig {
+            scheduler: SchedulerKind::BinaryHeap,
+            ..base.clone()
+        }).unwrap();
+        let calendar = simulate(&net, &tm, &fib, &base).unwrap();
+        prop_assert_eq!(&heap, &calendar);
+    }
+}

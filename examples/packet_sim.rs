@@ -13,7 +13,7 @@
 use spef_baselines::ospf::OspfRouting;
 use spef_baselines::peft::PeftRouting;
 use spef_core::{weights, Objective, SpefConfig, SpefRouting};
-use spef_netsim::{simulate, SimConfig, SimReport};
+use spef_netsim::{simulate_with, SimConfig, SimReport, SimWorkspace};
 use spef_topology::standard;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,26 +44,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.duration
     );
     println!(
-        "{:<8} {:>12} {:>12} {:>10} {:>12} {:>12}",
-        "proto", "delivered", "dropped", "loss %", "mean delay", "p99 delay"
+        "{:<8} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "proto", "delivered", "dropped", "loss %", "mean delay", "p99 delay", "pkt slots"
     );
-    println!("{}", "-".repeat(70));
-    for (name, report) in [
-        (
-            "OSPF",
-            simulate(&network, &traffic, ospf.forwarding_table(), &cfg)?,
-        ),
-        (
-            "PEFT",
-            simulate(&network, &traffic, peft.forwarding_table(), &cfg)?,
-        ),
-        (
-            "SPEF",
-            simulate(&network, &traffic, spef.forwarding_table(), &cfg)?,
-        ),
+    println!("{}", "-".repeat(81));
+    // One workspace serves all three runs: after the first, the event
+    // queue, arenas and histogram are recycled allocation-free.
+    let mut ws = SimWorkspace::new();
+    for (name, fib) in [
+        ("OSPF", ospf.forwarding_table()),
+        ("PEFT", peft.forwarding_table()),
+        ("SPEF", spef.forwarding_table()),
     ] {
+        let report = simulate_with(&network, &traffic, fib, &cfg, &mut ws)?;
         print_row(name, &report);
     }
+
+    // Scheduler internals of the last run — the smoke check that the
+    // calendar queue is actually bucketing (and recycling event slots)
+    // rather than degenerating into one sorted list.
+    let stats = ws.scheduler_stats();
+    println!(
+        "\nscheduler: {} | {} buckets x {} ns | max bucket occupancy {} | \
+         peak events {} (slots {}) | resizes {} | peak overflow {}",
+        stats.kind.id(),
+        stats.bucket_count,
+        stats.bucket_width_ns,
+        stats.max_bucket_occupancy,
+        stats.peak_events,
+        stats.peak_event_slots,
+        stats.resizes,
+        stats.peak_overflow
+    );
 
     println!(
         "\nreading: OSPF funnels two demands over one 5 Mb/s link (offered\n\
@@ -78,12 +90,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 fn print_row(name: &str, r: &SimReport) {
     let loss = 100.0 * r.dropped_packets as f64 / r.generated_packets.max(1) as f64;
     println!(
-        "{:<8} {:>12} {:>12} {:>9.2}% {:>10.2}ms {:>10.2}ms",
+        "{:<8} {:>12} {:>12} {:>9.2}% {:>10.2}ms {:>10.2}ms {:>10}",
         name,
         r.delivered_packets,
         r.dropped_packets,
         loss,
         1e3 * r.mean_delay,
-        1e3 * r.p99_delay
+        1e3 * r.p99_delay,
+        r.peak_packet_slots
     );
 }
