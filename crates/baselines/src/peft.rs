@@ -23,7 +23,7 @@
 //! penalty concentrates traffic near the shortest paths while SPEF spreads
 //! it uniformly over an engineered equal-cost set.
 
-use spef_core::{metrics, Flows, ForwardingTable, SpefError};
+use spef_core::{metrics, FibSet, Flows, ForwardingTable, SpefError};
 use spef_graph::{
     batch_distances_to, Csr, DistanceSet, EdgeId, NodeId, Parallelism, RoutingWorkspace,
 };
@@ -79,7 +79,11 @@ impl PeftRouting {
         let m = g.edge_count();
         let mut per_dest = Vec::with_capacity(dests.len());
         let mut aggregate = vec![0.0; m];
-        let mut fib_rows = Vec::with_capacity(dests.len());
+        // The FIB is built destination by destination straight into the
+        // flat CSR arena; the per-node ratio rows below are scratch reused
+        // across destinations, never retained.
+        let mut fib = FibSet::new();
+        fib.begin(n);
 
         // All per-destination distances in one batched sweep: weights are
         // validated once and the Dijkstra scratch is shared (parallel for
@@ -97,6 +101,9 @@ impl PeftRouting {
             &mut dset,
         )?;
         let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut log_gamma = vec![f64::NEG_INFINITY; n];
+        let mut ratios: Vec<Vec<(EdgeId, f64)>> = vec![Vec::new(); n];
+        let mut incoming = vec![0.0f64; n];
 
         for (di, &t) in dests.iter().enumerate() {
             let dist = dset.row(di);
@@ -110,14 +117,16 @@ impl PeftRouting {
             });
 
             // Γ recursion in log space, increasing distance.
-            let mut log_gamma = vec![f64::NEG_INFINITY; n];
+            log_gamma.fill(f64::NEG_INFINITY);
             log_gamma[t.index()] = 0.0;
-            let mut ratios: Vec<Vec<(EdgeId, f64)>> = vec![Vec::new(); n];
+            for row in ratios.iter_mut() {
+                row.clear();
+            }
             for &u in order.iter().rev() {
                 if u == t {
                     continue;
                 }
-                let mut terms: Vec<(EdgeId, f64)> = Vec::new();
+                let terms = &mut ratios[u.index()];
                 for &e in g.out_edges(u) {
                     let v = g.target(e);
                     let (du, dv) = (dist[u.index()], dist[v.index()]);
@@ -140,16 +149,16 @@ impl PeftRouting {
                 let sum: f64 = terms.iter().map(|&(_, x)| (x - max_t).exp()).sum();
                 let lg = max_t + sum.ln();
                 log_gamma[u.index()] = lg;
-                ratios[u.index()] = terms
-                    .into_iter()
-                    .map(|(e, x)| (e, (x - lg).exp()))
-                    .collect();
+                for slot in terms.iter_mut() {
+                    slot.1 = (slot.1 - lg).exp();
+                }
             }
+            fib.push_destination(t, |u| ratios[u].as_slice());
 
             // Distribute demand in decreasing-distance order.
             let demands = traffic.demands_to(t);
             let mut flows = vec![0.0; m];
-            let mut incoming = vec![0.0; n];
+            incoming.fill(0.0);
             for (s, &d) in demands.iter().enumerate() {
                 if d > 0.0 && !dist[s].is_finite() {
                     return Err(SpefError::UnroutableDemand {
@@ -182,11 +191,10 @@ impl PeftRouting {
                 *agg += f;
             }
             per_dest.push(flows);
-            fib_rows.push(ratios);
         }
 
-        let flows = Flows::assemble(dests.clone(), per_dest, aggregate);
-        let fib = ForwardingTable::new(n, dests, fib_rows);
+        let flows = Flows::assemble(dests, per_dest, aggregate);
+        let fib = ForwardingTable::from(fib);
         Ok(PeftRouting {
             weights: weights.to_vec(),
             flows,

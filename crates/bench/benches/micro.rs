@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spef_core::{
-    build_dags, solve_te, traffic_distribution, FrankWolfeConfig, NemConfig, Objective,
-    RoutingEngine, SplitRule,
+    build_dags, solve_te, traffic_distribution, FibSet, ForwardingTable, FrankWolfeConfig,
+    NemConfig, Objective, RoutingEngine, SplitRule,
 };
 use spef_graph::{
     build_dag_set, Csr, DagSet, NodeId, Parallelism, RoutingWorkspace, ShortestPathDag,
@@ -93,6 +93,54 @@ fn bench_traffic_distribution(c: &mut Criterion) {
             engine
                 .distribute_into(&tm, SplitRule::Exponential(&v), &mut flows)
                 .expect("distribution")
+        })
+    });
+}
+
+fn bench_fib(c: &mut Criterion) {
+    // The forwarding-plane pair for the flat-FIB rework: CERNET2 split
+    // tables (every node a destination) flattened into a `FibSet`, then
+    // the netsim per-hop body — row fetch plus cum-prob selection — over
+    // every (destination, router) cell.
+    let net = standard::cernet2();
+    let tm = TrafficMatrix::gravity(&net, 1.0, 3).scaled_to_network_load(&net, 0.15);
+    let dests = tm.destinations();
+    let w: Vec<f64> = net.capacities().iter().map(|x| 1.0 / x).collect();
+    let v = vec![0.1; net.link_count()];
+    let mut engine = RoutingEngine::new(net.graph());
+    engine.build_dags(&w, &dests, 0.0).expect("dags");
+    engine
+        .build_split_tables(SplitRule::Exponential(&v))
+        .expect("tables");
+    let n = net.node_count();
+
+    // Steady-state flatten: refill a warmed arena from the engine's split
+    // tables (zero allocations once shaped — pinned by
+    // crates/core/tests/fib_alloc.rs).
+    let mut fib_ws = FibSet::new();
+    c.bench_function("fib_build_cernet2", |b| {
+        b.iter(|| {
+            fib_ws.rebuild_from_split_table_set(n, &dests, engine.split_tables());
+            fib_ws.entry_count()
+        })
+    });
+
+    let fib = ForwardingTable::from_split_table_set(n, &dests, engine.split_tables());
+    let set = fib.fib();
+    c.bench_function("fib_lookup_cernet2", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            let mut x = 0.05f64;
+            for (slot, _) in dests.iter().enumerate() {
+                for u in 0..n {
+                    let row = set.row(slot as u32, NodeId::new(u));
+                    if !row.is_empty() {
+                        acc += row.select(x).index();
+                        x = (x + 0.37) % 1.0;
+                    }
+                }
+            }
+            acc
         })
     });
 }
@@ -541,6 +589,13 @@ fn bench_simulator(c: &mut Criterion) {
     group.bench_function("sim_fig4_calendar", |b| {
         b.iter(|| simulate_with(&net, &tm, routing.forwarding_table(), &cfg, &mut ws).expect("sim"))
     });
+    // The PR 5 lane: identical workload to sim_fig4_calendar, named to
+    // mark the flat-FIB forwarding plane (slot-hoisted lookups + cum-prob
+    // binary-search sampling). Compare against the committed pre-PR5
+    // sim_fig4_calendar number to read the forwarding-plane speedup.
+    group.bench_function("sim_fig4_flatfib", |b| {
+        b.iter(|| simulate_with(&net, &tm, routing.forwarding_table(), &cfg, &mut ws).expect("sim"))
+    });
 
     // CERNET2 panel of Fig. 11 (TABLE IV demands at the documented 0.5
     // scale), the larger sim workload of the sweep family.
@@ -571,6 +626,7 @@ criterion_group!(
     micro,
     bench_dijkstra_dag,
     bench_traffic_distribution,
+    bench_fib,
     bench_frank_wolfe,
     bench_nem,
     bench_simplex,

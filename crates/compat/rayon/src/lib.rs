@@ -4,14 +4,17 @@
 //! `into_par_iter().map(f).collect()` pipeline plus the borrowed-slice and
 //! range entry points the batched routing engine needs (`par_iter`,
 //! `par_iter_mut`, ranges, `enumerate`, `for_each`) — with genuine
-//! parallelism on top of `std::thread::scope`. Work is distributed
-//! dynamically (an atomic work index, so uneven per-item costs balance
-//! across workers) and results are returned **in input order**, matching
-//! rayon's indexed-iterator semantics.
+//! parallelism on a **persistent worker pool** (see [`pool`]): worker
+//! threads are spawned lazily once, parked on a condvar, and dispatched
+//! borrowed job shares per parallel call, mirroring real rayon's global
+//! pool instead of paying `std::thread::scope` spawn-up on every call.
+//! Work is distributed dynamically (an atomic work index, so uneven
+//! per-item costs balance across workers) and results are returned **in
+//! input order**, matching rayon's indexed-iterator semantics.
 //!
 //! Thread count defaults to [`std::thread::available_parallelism`] and can be
 //! lowered with the `RAYON_NUM_THREADS` environment variable, mirroring
-//! upstream.
+//! upstream (read once, when the pool first spins up).
 //!
 //! ```
 //! use rayon::prelude::*;
@@ -24,11 +27,13 @@
 //! assert_eq!(squares.len(), 100);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+mod pool;
 
 /// The rayon-style glob-import module.
 pub mod prelude {
@@ -239,7 +244,8 @@ impl<T: Send, F> ParMap<T, F> {
 
 /// Order-preserving parallel map: the work queue is a shared atomic index,
 /// each worker claims the next unprocessed item, results land in their
-/// original slot.
+/// original slot. Executed on the persistent [`pool`] — no threads are
+/// spawned per call once the pool is warm.
 fn par_map_ordered<T: Send, U: Send>(items: Vec<T>, f: &(impl Fn(T) -> U + Sync)) -> Vec<U> {
     let n = items.len();
     let threads = current_num_threads().min(n.max(1));
@@ -253,23 +259,20 @@ fn par_map_ordered<T: Send, U: Send>(items: Vec<T>, f: &(impl Fn(T) -> U + Sync)
     let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = cells[i]
-                    .lock()
-                    .expect("poisoned work cell")
-                    .take()
-                    .expect("each cell is claimed exactly once");
-                let out = f(item);
-                *results[i].lock().expect("poisoned result cell") = Some(out);
-            });
+    let claim_loop = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
-    });
+        let item = cells[i]
+            .lock()
+            .expect("poisoned work cell")
+            .take()
+            .expect("each cell is claimed exactly once");
+        let out = f(item);
+        *results[i].lock().expect("poisoned result cell") = Some(out);
+    };
+    pool::run_batch(&claim_loop, threads);
 
     results
         .into_iter()
@@ -294,22 +297,19 @@ fn par_for_each<T: Send>(items: Vec<T>, f: &(impl Fn(T) + Sync)) {
     let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = cells[i]
-                    .lock()
-                    .expect("poisoned work cell")
-                    .take()
-                    .expect("each cell is claimed exactly once");
-                f(item);
-            });
+    let claim_loop = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
-    });
+        let item = cells[i]
+            .lock()
+            .expect("poisoned work cell")
+            .take()
+            .expect("each cell is claimed exactly once");
+        f(item);
+    };
+    pool::run_batch(&claim_loop, threads);
 }
 
 #[cfg(test)]
@@ -382,6 +382,92 @@ mod tests {
         for (i, &v) in slots.iter().enumerate() {
             assert_eq!(v, i * i);
         }
+    }
+
+    #[test]
+    fn pool_does_not_spawn_threads_per_call() {
+        // Force a multi-threaded pool even on single-core runners: the
+        // batches below ask for 4 shares regardless of the env knob.
+        let shares = 4usize;
+        let run_round = |round: usize| {
+            let hits = std::sync::atomic::AtomicUsize::new(0);
+            let n = 64;
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let claim = || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            };
+            super::pool::run_batch(&claim, shares);
+            assert_eq!(
+                hits.load(std::sync::atomic::Ordering::Relaxed),
+                n,
+                "round {round}: every item processed exactly once"
+            );
+        };
+        // Warm the pool: after one batch it holds at least `shares − 1`
+        // workers.
+        run_round(0);
+        let warmed = super::pool::spawned_workers();
+        assert!(warmed >= shares - 1, "pool under-provisioned: {warmed}");
+        for round in 1..9 {
+            run_round(round);
+        }
+        // Other tests running concurrently in this process may grow the
+        // shared pool toward the machine's parallelism, but the pool's cap
+        // is the largest `shares − 1` any call has requested — a per-call
+        // `thread::scope` implementation would instead mint
+        // 8 × (shares − 1) fresh threads for these rounds.
+        let cap = warmed.max(super::current_num_threads().saturating_sub(1));
+        let after = super::pool::spawned_workers();
+        assert!(
+            after <= cap,
+            "repeated batches grew the pool past its cap {cap}: {after}"
+        );
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // A dispatcher blocked on its batch must help drain the queue, so
+        // nested fan-outs terminate even when every worker is busy.
+        let outer: Vec<usize> = (0..8).collect();
+        let totals: Vec<usize> = outer
+            .into_par_iter()
+            .map(|k| {
+                let inner: Vec<usize> = (0..50usize)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|x| x * k)
+                    .collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        for (k, &total) in totals.iter().enumerate() {
+            assert_eq!(total, k * (49 * 50) / 2);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_dispatcher() {
+        let result = std::panic::catch_unwind(|| {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let claim = || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= 16 {
+                    break;
+                }
+                if i == 7 {
+                    panic!("boom at {i}");
+                }
+            };
+            super::pool::run_batch(&claim, 4);
+        });
+        let payload = result.expect_err("panic must cross the pool");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! The persistent worker pool behind every parallel call.
+//!
+//! Worker threads are spawned lazily (growing up to the requested
+//! parallelism minus the calling thread, which always executes one share
+//! itself), then parked on a condvar waiting for work — the per-call
+//! `std::thread::scope` spawn/join cost the pre-pool shim paid on every
+//! parallel section is gone.
+//!
+//! A parallel call dispatches one **job** — a `Fn() + Sync` closure whose
+//! body is a claim-next-index loop over the call's items — as `shares`
+//! identical entries on the pool queue. The dispatching thread runs one
+//! share inline, then helps drain the queue until its batch's counter hits
+//! zero. That help-while-waiting rule is what makes *nested* parallel
+//! calls (a scenario sweep whose scenarios fan destinations out again)
+//! deadlock-free even when every pool worker is busy: a dispatcher blocked
+//! on its batch executes queued shares — its own or other batches' —
+//! instead of sleeping, so some thread always makes progress.
+//!
+//! ## Safety
+//!
+//! This module contains the shim's only `unsafe` code: the dispatched job
+//! reference has its lifetime erased to `'static` so parked workers can
+//! hold it. Soundness rests on one invariant, enforced by
+//! [`run_batch`]: the dispatching frame never returns (or unwinds — the
+//! inline share is run under `catch_unwind`) before every queued share of
+//! its batch has finished executing, so the erased reference never
+//! outlives the closure it points to.
+
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One dispatched batch: how many shares are still running, the first
+/// captured panic payload, and the condvar its dispatcher waits on.
+struct Batch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A queued share: the lifetime-erased job plus its batch handle.
+struct Share {
+    job: &'static (dyn Fn() + Sync),
+    batch: Arc<Batch>,
+}
+
+struct PoolInner {
+    queue: VecDeque<Share>,
+    spawned: usize,
+}
+
+struct Pool {
+    inner: Mutex<PoolInner>,
+    work_ready: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn instance() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        inner: Mutex::new(PoolInner {
+            queue: VecDeque::new(),
+            spawned: 0,
+        }),
+        work_ready: Condvar::new(),
+    })
+}
+
+impl Pool {
+    /// Grows the pool to at least `target` parked workers (never shrinks;
+    /// threads are daemons that live for the process).
+    fn ensure_workers(&'static self, target: usize) {
+        let mut inner = self.inner.lock().expect("pool poisoned");
+        while inner.spawned < target {
+            let id = inner.spawned;
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-worker-{id}"))
+                .spawn(move || worker_loop(self))
+                .expect("failed to spawn pool worker");
+            inner.spawned += 1;
+        }
+    }
+}
+
+/// Total workers the pool has ever spawned (test instrumentation: the
+/// pool's cap is the largest `shares − 1` any call has requested, and it
+/// must never grow just because batches repeat).
+#[cfg(test)]
+pub(crate) fn spawned_workers() -> usize {
+    instance().inner.lock().expect("pool poisoned").spawned
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let share = {
+            let mut inner = pool.inner.lock().expect("pool poisoned");
+            loop {
+                if let Some(share) = inner.queue.pop_front() {
+                    break share;
+                }
+                inner = pool.work_ready.wait(inner).expect("pool poisoned");
+            }
+        };
+        execute(share);
+    }
+}
+
+/// Runs one share's job, capturing a panic into the batch (first wins) so
+/// the dispatcher can re-raise it; always decrements the batch counter.
+fn execute(share: Share) {
+    let result = catch_unwind(AssertUnwindSafe(|| (share.job)()));
+    if let Err(payload) = result {
+        let mut slot = share.batch.panic.lock().expect("batch poisoned");
+        slot.get_or_insert(payload);
+    }
+    let mut remaining = share.batch.remaining.lock().expect("batch poisoned");
+    *remaining -= 1;
+    if *remaining == 0 {
+        share.batch.done.notify_all();
+    }
+}
+
+/// Executes `work` from `shares` threads in total: `shares − 1` pool
+/// workers plus the calling thread. `work` must be a self-contained
+/// claim-loop (every invocation pulls items off a shared atomic index
+/// until none remain), so running it from fewer live threads than
+/// `shares` — or more than once per thread — is always correct.
+///
+/// Blocks until every share has finished; panics from any share are
+/// re-raised here after the batch has fully drained.
+pub(crate) fn run_batch(work: &(dyn Fn() + Sync), shares: usize) {
+    let extra = shares.saturating_sub(1);
+    if extra == 0 {
+        work();
+        return;
+    }
+    let pool = instance();
+    pool.ensure_workers(extra);
+
+    // SAFETY: `job` is `work` with its lifetime erased so parked workers
+    // can hold it. This frame does not return or unwind past the drain
+    // loop below until `remaining == 0`, i.e. until every queued share
+    // has finished executing — the reference cannot outlive the closure.
+    let job: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work) };
+    let batch = Arc::new(Batch {
+        remaining: Mutex::new(extra),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    {
+        let mut inner = pool.inner.lock().expect("pool poisoned");
+        for _ in 0..extra {
+            inner.queue.push_back(Share {
+                job,
+                batch: Arc::clone(&batch),
+            });
+        }
+    }
+    if extra == 1 {
+        pool.work_ready.notify_one();
+    } else {
+        pool.work_ready.notify_all();
+    }
+
+    // The dispatcher is a worker too: run one share inline (under
+    // catch_unwind so an early panic cannot unwind while queued shares
+    // still borrow `work`) …
+    let inline_result = catch_unwind(AssertUnwindSafe(work));
+
+    // … then help drain the queue until this batch is fully executed.
+    loop {
+        if *batch.remaining.lock().expect("batch poisoned") == 0 {
+            break;
+        }
+        let stolen = pool.inner.lock().expect("pool poisoned").queue.pop_front();
+        match stolen {
+            Some(share) => execute(share),
+            None => {
+                // Nothing left to steal: the outstanding shares are being
+                // executed right now; sleep until the last one signals.
+                let mut remaining = batch.remaining.lock().expect("batch poisoned");
+                while *remaining != 0 {
+                    remaining = batch.done.wait(remaining).expect("batch poisoned");
+                }
+                break;
+            }
+        }
+    }
+
+    if let Err(payload) = inline_result {
+        resume_unwind(payload);
+    }
+    let worker_panic = batch.panic.lock().expect("batch poisoned").take();
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}

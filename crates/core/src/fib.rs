@@ -1,0 +1,507 @@
+//! The SPEF forwarding plane: TABLE II as a flat CSR arena.
+//!
+//! A forwarding information base answers one question on every packet hop:
+//! *which next-hop links, with which split probabilities, does router `u`
+//! use toward destination `t`?* The legacy representation — a
+//! `Vec<Vec<Vec<(EdgeId, f64)>>>` indexed `[dest][node][entry]` plus a
+//! linear scan to find the destination's index — put three pointer chases
+//! and an `O(dests)` search on the per-packet hot path of the simulator.
+//!
+//! [`FibSet`] stores the same table as three flat arrays:
+//!
+//! ```text
+//! dest_index : node id      → dest slot   (u32, sentinel for non-dests)
+//! row_offsets: slot·n + u   → entry range (CSR prefix offsets, len+1)
+//! hops / cum : entry        → (EdgeId, ratio) and cumulative probability
+//! ```
+//!
+//! `next_hops(u, t)` is two index operations; sampling a next hop from a
+//! uniform draw is a `partition_point` binary search over the precomputed
+//! cumulative probabilities. The cumulative array is built with exactly the
+//! running sum the legacy per-draw accumulation performed (`cum[i] = r₀ +
+//! r₁ + … + rᵢ` in entry order), so for every draw `x ∈ [0, 1)` the
+//! selected edge is **bit-identical** to the old linear walk; the final
+//! cumulative of each non-empty row is pinned to exactly `1.0` after the
+//! build-time validation that the ratios sum to 1 within `1e-6`, so the
+//! search can never fall off the end of a row (the invariant the legacy
+//! walk silently papered over with a `hops.last()` fallback per draw).
+//!
+//! [`ForwardingTable`] — the public type the protocol, baselines and the
+//! simulator exchange — is a thin facade over a `FibSet` that keeps the
+//! pre-flat constructor and lookup API unchanged.
+
+use std::fmt;
+
+use spef_graph::{EdgeId, NodeId};
+
+use crate::traffic_dist::{SplitTable, SplitTableSet};
+
+/// Sentinel in `dest_index` marking a node that is not a destination.
+const NO_DEST: u32 = u32::MAX;
+
+/// The SPEF forwarding information base as a flat CSR arena: per
+/// `(destination, router)` the next-hop links, their split ratios, and the
+/// precomputed cumulative probabilities the simulator samples against —
+/// the operational reduction of the paper's TABLE II. See the [module
+/// docs](self) for the layout.
+///
+/// A `FibSet` is also a reusable workspace: the `rebuild_*` methods clear
+/// and refill the arenas without dropping their allocations, so repeated
+/// builds over same-shaped inputs are allocation-free.
+#[derive(Clone, PartialEq, Default)]
+pub struct FibSet {
+    node_count: usize,
+    dests: Vec<NodeId>,
+    /// `dest_index[t] = slot` for destinations, [`NO_DEST`] otherwise.
+    dest_index: Vec<u32>,
+    /// CSR prefix offsets over `(slot, node)` cells: the entries of cell
+    /// `slot·node_count + u` live at `hops[row_offsets[c]..row_offsets[c+1]]`.
+    row_offsets: Vec<u32>,
+    /// The `(edge, ratio)` entry arena, rows concatenated in cell order.
+    hops: Vec<(EdgeId, f64)>,
+    /// `cum[i]` = running ratio sum through entry `i` of its row; the last
+    /// entry of every non-empty row is exactly `1.0`.
+    cum: Vec<f64>,
+}
+
+impl FibSet {
+    /// Creates an empty set; arenas grow on first build.
+    pub fn new() -> FibSet {
+        FibSet::default()
+    }
+
+    /// Builds a `FibSet` from a batched [`SplitTableSet`] (the routing
+    /// engine's arena form) without materialising any owned rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables.len() != dests.len()`, a destination id is out of
+    /// range or duplicated, or a non-empty row's ratios do not sum to 1
+    /// within `1e-6`.
+    pub fn from_split_table_set(
+        node_count: usize,
+        dests: &[NodeId],
+        tables: &SplitTableSet,
+    ) -> FibSet {
+        let mut set = FibSet::new();
+        set.rebuild_from_split_table_set(node_count, dests, tables);
+        set
+    }
+
+    /// Like [`FibSet::from_split_table_set`], but refills `self` in place,
+    /// reusing the arenas — allocation-free once warmed on the shape.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FibSet::from_split_table_set`].
+    pub fn rebuild_from_split_table_set(
+        &mut self,
+        node_count: usize,
+        dests: &[NodeId],
+        tables: &SplitTableSet,
+    ) {
+        assert_eq!(tables.len(), dests.len(), "one table per destination");
+        self.begin(node_count);
+        for (i, &t) in dests.iter().enumerate() {
+            let table = tables.table(i);
+            self.push_destination(t, |u| table.next_hops(NodeId::new(u)));
+        }
+    }
+
+    /// Starts an incremental rebuild: clears the arenas (keeping their
+    /// allocations) and fixes the node count. Follow with one
+    /// [`push_destination`](Self::push_destination) call per destination.
+    pub fn begin(&mut self, node_count: usize) {
+        self.node_count = node_count;
+        self.dests.clear();
+        self.dest_index.clear();
+        self.dest_index.resize(node_count, NO_DEST);
+        self.row_offsets.clear();
+        self.row_offsets.push(0);
+        self.hops.clear();
+        self.cum.clear();
+    }
+
+    /// Appends one destination's rows: `row(u)` must yield node `u`'s
+    /// `(edge, ratio)` next-hop entries toward `dest` (empty for the
+    /// destination itself and for nodes that cannot reach it). Entries are
+    /// copied into the arena together with their running cumulative
+    /// probability; the row's final cumulative is pinned to exactly `1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range or already pushed, a ratio is
+    /// negative or NaN, or a non-empty row's ratios do not sum to 1 within
+    /// `1e-6`.
+    pub fn push_destination<'a, F>(&mut self, dest: NodeId, row: F)
+    where
+        F: Fn(usize) -> &'a [(EdgeId, f64)],
+    {
+        assert!(
+            dest.index() < self.node_count,
+            "destination {dest} outside the {}-node graph",
+            self.node_count
+        );
+        assert!(
+            self.dest_index[dest.index()] == NO_DEST,
+            "duplicate destination {dest}"
+        );
+        self.dest_index[dest.index()] = self.dests.len() as u32;
+        self.dests.push(dest);
+        for u in 0..self.node_count {
+            let hops = row(u);
+            if !hops.is_empty() {
+                // The cumulative is the exact running sum the legacy
+                // per-draw walk accumulated, term order preserved.
+                let mut acc = 0.0f64;
+                for &(e, r) in hops {
+                    assert!(r >= 0.0, "next-hop ratio {r} is negative or NaN");
+                    acc += r;
+                    self.hops.push((e, r));
+                    self.cum.push(acc);
+                }
+                assert!(
+                    (acc - 1.0).abs() < 1e-6,
+                    "next-hop ratios sum to {acc}, expected 1"
+                );
+                // Pin the row's sup to exactly 1.0: every draw in [0, 1)
+                // now lands strictly inside the row, by construction.
+                let last = self.cum.len() - 1;
+                self.cum[last] = 1.0;
+            }
+            self.row_offsets.push(self.hops.len() as u32);
+        }
+    }
+
+    /// Number of nodes (routers) each destination's table covers.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Destinations the FIB covers, in slot order.
+    pub fn destinations(&self) -> &[NodeId] {
+        &self.dests
+    }
+
+    /// Total `(edge, ratio)` entries across all `(destination, router)`
+    /// rows — the control-plane state size, in `O(1)`.
+    pub fn entry_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The dense slot of `dest`, or `None` if it is not a covered
+    /// destination — the `O(dests)` scan of the legacy table reduced to
+    /// one array load. Callers on a per-packet path should resolve the
+    /// slot once and use [`row`](Self::row) per hop.
+    #[inline]
+    pub fn dest_slot(&self, dest: NodeId) -> Option<u32> {
+        match self.dest_index.get(dest.index()) {
+            Some(&s) if s != NO_DEST => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The next-hop row of `node` toward the destination in `slot` (from
+    /// [`dest_slot`](Self::dest_slot)): two index operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a valid slot or `node` is out of range.
+    #[inline]
+    pub fn row(&self, slot: u32, node: NodeId) -> FibRow<'_> {
+        let cell = slot as usize * self.node_count + node.index();
+        let start = self.row_offsets[cell] as usize;
+        let end = self.row_offsets[cell + 1] as usize;
+        FibRow {
+            hops: &self.hops[start..end],
+            cum: &self.cum[start..end],
+        }
+    }
+
+    /// Next-hop `(edge, ratio)` entries of `node` toward `dest`, or `None`
+    /// if `dest` is not a covered destination. An empty slice means the
+    /// node is the destination itself or cannot reach it.
+    pub fn next_hops(&self, node: NodeId, dest: NodeId) -> Option<&[(EdgeId, f64)]> {
+        let slot = self.dest_slot(dest)?;
+        if node.index() >= self.node_count {
+            return None;
+        }
+        Some(self.row(slot, node).hops())
+    }
+
+    /// Iterates every `(destination, router, row)` cell in arena order.
+    pub fn rows(&self) -> impl Iterator<Item = (NodeId, NodeId, FibRow<'_>)> + '_ {
+        self.dests.iter().enumerate().flat_map(move |(slot, &t)| {
+            (0..self.node_count).map(move |u| {
+                let node = NodeId::new(u);
+                (t, node, self.row(slot as u32, node))
+            })
+        })
+    }
+}
+
+impl fmt::Debug for FibSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FibSet")
+            .field("node_count", &self.node_count)
+            .field("dests", &self.dests)
+            .field("entries", &self.hops.len())
+            .finish()
+    }
+}
+
+/// One `(destination, router)` row of a [`FibSet`]: the `(edge, ratio)`
+/// entries plus their cumulative probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct FibRow<'a> {
+    hops: &'a [(EdgeId, f64)],
+    cum: &'a [f64],
+}
+
+impl<'a> FibRow<'a> {
+    /// The `(edge, ratio)` next-hop entries.
+    #[inline]
+    pub fn hops(&self) -> &'a [(EdgeId, f64)] {
+        self.hops
+    }
+
+    /// `true` when the row has no next hops (the node is the destination
+    /// or cannot reach it).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Number of next-hop entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Selects the next-hop edge for a uniform draw `x ∈ [0, 1)`: the
+    /// first entry whose cumulative probability exceeds `x`, found by
+    /// binary search — the same edge the legacy linear accumulation
+    /// (`acc += ratio; if x < acc`) selected, for every representable `x`
+    /// (a negative `x` selects the first entry, exactly as the legacy
+    /// walk did; the contract is debug-asserted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is empty or `x ≥ 1` (the build-time cumulative
+    /// invariant pins every row's sup to exactly 1.0, so draws in
+    /// `[0, 1)` always land on an entry).
+    #[inline]
+    pub fn select(&self, x: f64) -> EdgeId {
+        debug_assert!((0.0..1.0).contains(&x), "draw {x} outside [0, 1)");
+        let i = self.cum.partition_point(|&c| c <= x);
+        self.hops[i].0
+    }
+
+    /// The cumulative probability through entry `i` (the last entry of a
+    /// non-empty row is exactly `1.0`).
+    #[inline]
+    pub fn cum_prob(&self, i: usize) -> f64 {
+        self.cum[i]
+    }
+}
+
+/// The SPEF forwarding tables exchanged between the protocol, the
+/// baselines and the simulator — a thin facade over [`FibSet`] that keeps
+/// the pre-flat constructor and lookup API. New code that sits on a
+/// per-packet path should fetch the backing set once via
+/// [`fib`](ForwardingTable::fib) and use slot-based lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardingTable {
+    set: FibSet,
+}
+
+impl ForwardingTable {
+    /// Builds a forwarding table from explicit per-destination next-hop
+    /// ratio rows. `tables[d][node]` lists `(edge, ratio)` entries; rows
+    /// must be empty or have ratios summing to ≈ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables.len() != dests.len()`, a destination is out of
+    /// range or duplicated, a per-node table does not have exactly
+    /// `node_count` rows, or some non-empty row's ratios do not sum to 1
+    /// within 1e-6.
+    pub fn new(
+        node_count: usize,
+        dests: Vec<NodeId>,
+        tables: Vec<Vec<Vec<(EdgeId, f64)>>>,
+    ) -> ForwardingTable {
+        assert_eq!(tables.len(), dests.len(), "one table per destination");
+        let mut set = FibSet::new();
+        set.begin(node_count);
+        for (per_node, &t) in tables.iter().zip(&dests) {
+            assert_eq!(per_node.len(), node_count, "one row per node");
+            set.push_destination(t, |u| per_node[u].as_slice());
+        }
+        ForwardingTable { set }
+    }
+
+    /// Builds the table from per-destination [`SplitTable`]s.
+    pub fn from_split_tables(
+        node_count: usize,
+        dests: &[NodeId],
+        tables: &[SplitTable],
+    ) -> ForwardingTable {
+        assert_eq!(tables.len(), dests.len(), "one table per destination");
+        let mut set = FibSet::new();
+        set.begin(node_count);
+        for (table, &t) in tables.iter().zip(dests) {
+            set.push_destination(t, |u| table.next_hops(NodeId::new(u)));
+        }
+        ForwardingTable { set }
+    }
+
+    /// Builds the table from a batched [`SplitTableSet`] (the engine's
+    /// arena form) — a zero-copy flattening, no owned rows materialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables.len() != dests.len()` or a non-empty row's ratios
+    /// do not sum to 1 within 1e-6.
+    pub fn from_split_table_set(
+        node_count: usize,
+        dests: &[NodeId],
+        tables: &SplitTableSet,
+    ) -> ForwardingTable {
+        ForwardingTable {
+            set: FibSet::from_split_table_set(node_count, dests, tables),
+        }
+    }
+
+    /// Destinations the table covers.
+    pub fn destinations(&self) -> &[NodeId] {
+        self.set.destinations()
+    }
+
+    /// Next-hop `(edge, ratio)` entries of `node` toward `dest`, or `None`
+    /// if `dest` is not a covered destination. An empty slice means the
+    /// node is the destination itself or cannot reach it.
+    pub fn next_hops(&self, node: NodeId, dest: NodeId) -> Option<&[(EdgeId, f64)]> {
+        self.set.next_hops(node, dest)
+    }
+
+    /// Total next-hop entries across all `(destination, router)` rows, in
+    /// `O(1)` — the control-plane state count the scaling ablation
+    /// reports.
+    pub fn entry_count(&self) -> usize {
+        self.set.entry_count()
+    }
+
+    /// The backing flat [`FibSet`] — what per-packet consumers (the
+    /// simulator) resolve destination slots against.
+    pub fn fib(&self) -> &FibSet {
+        &self.set
+    }
+}
+
+impl From<FibSet> for ForwardingTable {
+    fn from(set: FibSet) -> ForwardingTable {
+        ForwardingTable { set }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_table() -> ForwardingTable {
+        // One destination (node 3): node 0 splits 0.3/0.7, nodes 1 and 2
+        // forward deterministically.
+        ForwardingTable::new(
+            4,
+            vec![NodeId::new(3)],
+            vec![vec![
+                vec![(EdgeId::new(0), 0.3), (EdgeId::new(1), 0.7)],
+                vec![(EdgeId::new(2), 1.0)],
+                vec![(EdgeId::new(3), 1.0)],
+                vec![],
+            ]],
+        )
+    }
+
+    #[test]
+    fn lookup_matches_construction() {
+        let fib = diamond_table();
+        assert_eq!(fib.destinations(), &[NodeId::new(3)]);
+        assert_eq!(fib.entry_count(), 4);
+        let hops = fib.next_hops(NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(hops, &[(EdgeId::new(0), 0.3), (EdgeId::new(1), 0.7)]);
+        assert!(fib
+            .next_hops(NodeId::new(3), NodeId::new(3))
+            .unwrap()
+            .is_empty());
+        assert!(fib.next_hops(NodeId::new(0), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn slot_lookup_and_selection() {
+        let fib = diamond_table();
+        let set = fib.fib();
+        let slot = set.dest_slot(NodeId::new(3)).unwrap();
+        assert_eq!(set.dest_slot(NodeId::new(1)), None);
+        let row = set.row(slot, NodeId::new(0));
+        assert_eq!(row.len(), 2);
+        // Below 0.3 → edge 0; at/above → edge 1 (the legacy `x < acc`
+        // strictness: a draw equal to a boundary goes right).
+        assert_eq!(row.select(0.0), EdgeId::new(0));
+        assert_eq!(row.select(0.29999), EdgeId::new(0));
+        assert_eq!(row.select(0.3), EdgeId::new(1));
+        assert_eq!(row.select(0.999_999_999), EdgeId::new(1));
+        // The final cumulative is pinned to exactly 1.0.
+        assert_eq!(row.cum_prob(1), 1.0);
+    }
+
+    #[test]
+    fn rows_iterates_every_cell() {
+        let fib = diamond_table();
+        let cells: Vec<_> = fib.fib().rows().collect();
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|&(t, _, _)| t == NodeId::new(3)));
+        let total: usize = cells.iter().map(|(_, _, r)| r.len()).sum();
+        assert_eq!(total, fib.entry_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate destination")]
+    fn duplicate_destinations_rejected() {
+        let rows = vec![vec![], vec![]];
+        ForwardingTable::new(
+            2,
+            vec![NodeId::new(1), NodeId::new(1)],
+            vec![rows.clone(), rows],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_destination_rejected() {
+        ForwardingTable::new(2, vec![NodeId::new(5)], vec![vec![vec![], vec![]]]);
+    }
+
+    #[test]
+    fn warm_rebuild_reuses_and_matches() {
+        use crate::engine::RoutingEngine;
+        use crate::traffic_dist::SplitRule;
+        use spef_topology::standard;
+
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let dests = tm.destinations();
+        let w = vec![1.0; net.link_count()];
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        engine.build_split_tables(SplitRule::EvenEcmp).unwrap();
+
+        let fresh = FibSet::from_split_table_set(net.node_count(), &dests, engine.split_tables());
+        let mut warm = FibSet::new();
+        for _ in 0..3 {
+            warm.rebuild_from_split_table_set(net.node_count(), &dests, engine.split_tables());
+            assert!(warm == fresh, "warm rebuild must match a fresh build");
+        }
+    }
+}

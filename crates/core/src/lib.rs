@@ -29,6 +29,7 @@
 //! | [`traffic_dist`] | **Algorithm 3** — `TrafficDistribution(v)`, Eq. (22) |
 //! | [`nem`] | **Algorithm 2** — second weights, Fig. 12(b) |
 //! | [`weights`] | §V.G integer weights and Dijkstra tolerances |
+//! | [`fib`] | TABLE II as a flat CSR arena ([`FibSet`]) |
 //! | [`protocol`] | **Algorithm 4** — SPEF routing + TABLE II FIBs |
 //! | [`metrics`] | MLU, normalized utility, TABLE V path census |
 //!
@@ -58,6 +59,7 @@ mod objective;
 
 pub mod dual_decomp;
 pub mod engine;
+pub mod fib;
 pub mod frank_wolfe;
 pub mod metrics;
 pub mod nem;
@@ -71,6 +73,7 @@ pub use objective::Objective;
 
 pub use dual_decomp::{DualDecompConfig, DualDecompOutcome, StepRule};
 pub use engine::RoutingEngine;
+pub use fib::{FibRow, FibSet};
 pub use frank_wolfe::FrankWolfeConfig;
 pub use nem::{NemConfig, NemOutcome};
 pub use protocol::{ForwardingTable, SpefConfig, SpefRouting, TeSolver, WeightMode};

@@ -13,7 +13,7 @@
 //! exponential ratios of Eq. (22), computed locally from the second
 //! weights. *One more weight per link is enough.*
 
-use spef_graph::{EdgeId, NodeId, ShortestPathDag};
+use spef_graph::ShortestPathDag;
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::dual_decomp::{self, DualDecompConfig};
@@ -21,7 +21,7 @@ use crate::engine::RoutingEngine;
 use crate::frank_wolfe::FrankWolfeConfig;
 use crate::nem::{self, NemConfig};
 use crate::te::{solve_te, TeSolution};
-use crate::traffic_dist::{Flows, SplitTable, SplitTableSet};
+use crate::traffic_dist::Flows;
 use crate::weights::{
     integerize, scale_weights, INTEGER_DIJKSTRA_TOLERANCE, NONINTEGER_DIJKSTRA_TOLERANCE,
 };
@@ -307,104 +307,12 @@ pub fn support_slack_tolerance(
     Ok((1.1 * max_slack).max(1e-9 * max_w))
 }
 
-/// The SPEF forwarding information base: per (destination, router) the
-/// next-hop links and their split ratios — the operational reduction of the
-/// paper's TABLE II.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ForwardingTable {
-    dests: Vec<NodeId>,
-    /// `tables[dest_index][node]` lists `(out_edge, ratio)`.
-    tables: Vec<Vec<Vec<(EdgeId, f64)>>>,
-}
-
-impl ForwardingTable {
-    /// Builds a forwarding table from explicit per-destination next-hop
-    /// ratio rows. `tables[d][node]` lists `(edge, ratio)` entries; rows
-    /// must be empty or have ratios summing to ≈ 1.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tables.len() != dests.len()`, a row belongs to a node id
-    /// ≥ `node_count`, or some non-empty row's ratios do not sum to 1
-    /// within 1e-6.
-    pub fn new(
-        node_count: usize,
-        dests: Vec<NodeId>,
-        tables: Vec<Vec<Vec<(EdgeId, f64)>>>,
-    ) -> ForwardingTable {
-        assert_eq!(tables.len(), dests.len(), "one table per destination");
-        for per_node in &tables {
-            assert_eq!(per_node.len(), node_count, "one row per node");
-            for row in per_node {
-                if !row.is_empty() {
-                    let sum: f64 = row.iter().map(|&(_, r)| r).sum();
-                    assert!(
-                        (sum - 1.0).abs() < 1e-6,
-                        "next-hop ratios sum to {sum}, expected 1"
-                    );
-                }
-            }
-        }
-        ForwardingTable { dests, tables }
-    }
-
-    /// Builds the table from per-destination [`SplitTable`]s.
-    pub fn from_split_tables(
-        node_count: usize,
-        dests: &[NodeId],
-        tables: &[SplitTable],
-    ) -> ForwardingTable {
-        let rows = tables
-            .iter()
-            .map(|t| {
-                (0..node_count)
-                    .map(|u| t.next_hops(NodeId::new(u)).to_vec())
-                    .collect()
-            })
-            .collect();
-        ForwardingTable::new(node_count, dests.to_vec(), rows)
-    }
-
-    /// Builds the table from a batched [`SplitTableSet`] (the engine's
-    /// arena form), materialising owned rows.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tables.len() != dests.len()` or a non-empty row's ratios
-    /// do not sum to 1 within 1e-6.
-    pub fn from_split_table_set(
-        node_count: usize,
-        dests: &[NodeId],
-        tables: &SplitTableSet,
-    ) -> ForwardingTable {
-        let rows = (0..tables.len())
-            .map(|i| {
-                let t = tables.table(i);
-                (0..node_count)
-                    .map(|u| t.next_hops(NodeId::new(u)).to_vec())
-                    .collect()
-            })
-            .collect();
-        ForwardingTable::new(node_count, dests.to_vec(), rows)
-    }
-
-    /// Destinations the table covers.
-    pub fn destinations(&self) -> &[NodeId] {
-        &self.dests
-    }
-
-    /// Next-hop `(edge, ratio)` entries of `node` toward `dest`, or `None`
-    /// if `dest` is not a covered destination. An empty slice means the
-    /// node is the destination itself or cannot reach it.
-    pub fn next_hops(&self, node: NodeId, dest: NodeId) -> Option<&[(EdgeId, f64)]> {
-        let di = self.dests.iter().position(|&d| d == dest)?;
-        self.tables[di].get(node.index()).map(|v| v.as_slice())
-    }
-}
+pub use crate::fib::ForwardingTable;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spef_graph::{EdgeId, NodeId};
     use spef_topology::standard;
 
     fn build_fig1(mode: WeightMode) -> (Network, SpefRouting) {

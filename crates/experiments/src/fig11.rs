@@ -83,7 +83,10 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let mut csvs = Vec::new();
 
     // One simulator workspace across all four runs (2 panels × SPEF/PEFT):
-    // after the first, event queue, arenas and histogram are recycled.
+    // after the first, event queue, arenas and histogram are recycled. The
+    // forwarding tables handed to the simulator are flat CSR `FibSet`s —
+    // the per-hop lookup inside is two index ops plus a cum-prob binary
+    // search, with destination slots resolved once per run.
     let mut sim_ws = SimWorkspace::new();
     for spec in panels() {
         let obj = Objective::proportional(spec.net.link_count());

@@ -30,19 +30,6 @@ pub fn sizes(quality: Quality) -> Vec<usize> {
     }
 }
 
-/// Counts total next-hop entries across a forwarding table.
-fn fib_entries(fib: &spef_core::ForwardingTable, nodes: usize) -> usize {
-    let mut total = 0;
-    for &t in fib.destinations() {
-        for n in 0..nodes {
-            total += fib
-                .next_hops(spef_graph::NodeId::new(n), t)
-                .map_or(0, |h| h.len());
-        }
-    }
-    total
-}
-
 /// Runs the scaling ablation.
 ///
 /// # Errors
@@ -107,10 +94,13 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
         let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &quality.spef_config())?;
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let spef_entries = fib_entries(routing.forwarding_table(), n);
+        // Control-plane state straight off the flat FIB arena — O(1), not
+        // the old O(dests · nodes) re-lookup that rebuilt a NodeId and
+        // re-resolved the destination for every (node, dest) pair.
+        let spef_entries = routing.forwarding_table().entry_count();
         let ospf = OspfRouting::route(&net, &tm)
             .map_err(|e| SpefError::InvalidInput(format!("OSPF failed: {e}")))?;
-        let ospf_entries = fib_entries(ospf.forwarding_table(), n);
+        let ospf_entries = ospf.forwarding_table().entry_count();
 
         table.push_row(vec![
             n.to_string(),

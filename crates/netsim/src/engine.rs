@@ -3,7 +3,7 @@ use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spef_core::ForwardingTable;
+use spef_core::{FibSet, ForwardingTable};
 use spef_graph::{EdgeId, NodeId};
 use spef_topology::{Network, TrafficMatrix};
 
@@ -139,9 +139,18 @@ enum Event {
 
 type PacketId = u32;
 
+/// Sentinel destination slot for packets whose destination the FIB does
+/// not cover (detected the first time such a packet must be forwarded,
+/// matching the legacy per-hop lookup failure).
+const NO_SLOT: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy)]
 struct Packet {
     destination: NodeId,
+    /// The destination's dense [`FibSet`] slot, resolved once per demand
+    /// pair at setup — per-hop forwarding never touches the dest-index
+    /// table again.
+    dest_slot: u32,
     created_at: Nanos,
 }
 
@@ -317,6 +326,9 @@ pub struct SimWorkspace {
     packets: PacketArena,
     links: Vec<LinkState>,
     pairs: Vec<(NodeId, NodeId, f64)>,
+    /// Per-pair destination slot in the FIB ([`NO_SLOT`] when uncovered),
+    /// resolved once per run and stamped into each generated packet.
+    pair_slots: Vec<u32>,
     rates: Vec<f64>,
     tx_ns: Vec<Nanos>,
     delays: DelayHistogram,
@@ -332,6 +344,7 @@ impl SimWorkspace {
             packets: PacketArena::new(),
             links: Vec::new(),
             pairs: Vec::new(),
+            pair_slots: Vec::new(),
             rates: Vec::new(),
             tx_ns: Vec::new(),
             delays: DelayHistogram::new(),
@@ -391,10 +404,20 @@ pub fn simulate_with(
     validate(network, traffic, config)?;
     let g = network.graph();
     let m = g.edge_count();
+    // The flat forwarding plane: slot-based row lookups, cum-prob sampling.
+    let fib: &FibSet = fib.fib();
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     ws.pairs.clear();
     ws.pairs.extend(traffic.pairs());
+    // Resolve each pair's destination slot once; per-hop forwarding below
+    // goes straight from the packet's slot to its CSR row.
+    ws.pair_slots.clear();
+    ws.pair_slots.extend(
+        ws.pairs
+            .iter()
+            .map(|&(_, dst, _)| fib.dest_slot(dst).unwrap_or(NO_SLOT)),
+    );
     // Poisson rates in packets/s.
     ws.rates.clear();
     ws.rates.extend(
@@ -440,6 +463,7 @@ pub fn simulate_with(
         packets,
         links,
         pairs,
+        pair_slots,
         rates,
         tx_ns,
         delays,
@@ -466,6 +490,7 @@ pub fn simulate_with(
                 let (src, dst, _) = pairs[pair];
                 let id = packets.insert(Packet {
                     destination: dst,
+                    dest_slot: pair_slots[pair],
                     created_at: now,
                 });
                 generated += 1;
@@ -495,13 +520,21 @@ pub fn simulate_with(
                     packets.release(packet);
                     continue;
                 }
-                let hops = fib.next_hops(node, dst).filter(|h| !h.is_empty()).ok_or(
-                    SimError::MissingRoute {
+                // Two index ops into the CSR arena; an uncovered
+                // destination or an empty row strands the packet exactly
+                // like the legacy per-hop table miss.
+                let row = (info.dest_slot != NO_SLOT)
+                    .then(|| fib.row(info.dest_slot, node))
+                    .filter(|r| !r.is_empty())
+                    .ok_or(SimError::MissingRoute {
                         node,
                         destination: dst,
-                    },
-                )?;
-                let edge = sample_next_hop(hops, &mut rng);
+                    })?;
+                // Same uniform draw as the legacy accumulation walk; the
+                // precomputed cumulative probabilities make the selection a
+                // binary search with an identical result.
+                let x: f64 = rng.random_range(0.0..1.0);
+                let edge = row.select(x);
                 let link = &mut links[edge.index()];
                 if link.queue.len() >= config.buffer_packets {
                     dropped += 1;
@@ -628,19 +661,6 @@ fn exp_sample(rng: &mut StdRng, rate_per_sec: f64) -> Nanos {
     let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
     let secs = -u.ln() / rate_per_sec;
     (secs * NANOS_PER_SEC).ceil().max(1.0) as Nanos
-}
-
-/// Samples a next hop from `(edge, probability)` entries.
-fn sample_next_hop(hops: &[(EdgeId, f64)], rng: &mut StdRng) -> EdgeId {
-    let x: f64 = rng.random_range(0.0..1.0);
-    let mut acc = 0.0;
-    for &(e, p) in hops {
-        acc += p;
-        if x < acc {
-            return e;
-        }
-    }
-    hops.last().expect("non-empty next-hop list").0
 }
 
 #[cfg(test)]
