@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spef_core::{
-    build_dags, solve_te, traffic_distribution, FibSet, ForwardingTable, FrankWolfeConfig,
-    NemConfig, Objective, RoutingEngine, SplitRule,
+    build_dags, traffic_distribution, ConvergenceCriteria, FibSet, ForwardingTable,
+    FrankWolfeConfig, NemConfig, NemInstance, Objective, RoutingEngine, SplitRule, TeInstance,
+    TeSolver, TeWorkspace,
 };
 use spef_graph::{
     build_dag_set, Csr, DagSet, NodeId, Parallelism, RoutingWorkspace, ShortestPathDag,
@@ -150,14 +151,66 @@ fn bench_frank_wolfe(c: &mut Criterion) {
     let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.12);
     let obj = Objective::proportional(net.link_count());
     let cfg = FrankWolfeConfig {
-        max_iterations: 100,
-        relative_gap_tolerance: 0.0,
+        convergence: ConvergenceCriteria::with_tolerance(100, 0.0),
         ..FrankWolfeConfig::default()
     };
     let mut group = c.benchmark_group("solvers");
     group.sample_size(10);
     group.bench_function("frank_wolfe_100it_abilene", |b| {
-        b.iter(|| solve_te(&net, &tm, &obj, &cfg).expect("te"))
+        b.iter(|| cfg.solve(TeInstance::new(&net, &tm, &obj)).expect("te"))
+    });
+
+    // The PR 6 warm-vs-cold pair: the alternating-load steady state a
+    // dependency-aware sweep runs on one chain. The loads are proportional
+    // rescales of one Fortz-Thorup shape, so each warm solve restarts from
+    // its neighbour's rescaled solution and must reach the relative-gap
+    // tolerance in fewer iterations than a cold solve of the same load
+    // (asserted below, and the iteration counts are printed so the lane
+    // doubles as the warm-start witness).
+    let tm_hi = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.13);
+    // Tolerance-bound (generous cap) so the stopping point is the gap, not
+    // the budget — a capped run would hide the warm start's head start.
+    let fw = FrankWolfeConfig {
+        convergence: ConvergenceCriteria::with_tolerance(20_000, 1e-4),
+        ..FrankWolfeConfig::default()
+    };
+    let cold_lo = fw.solve(TeInstance::new(&net, &tm, &obj)).expect("te");
+    let cold_hi = fw.solve(TeInstance::new(&net, &tm_hi, &obj)).expect("te");
+    let mut ws = TeWorkspace::new();
+    fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+        .expect("te");
+    let warm_hi = fw
+        .solve_in(TeInstance::new(&net, &tm_hi, &obj), &mut ws)
+        .expect("te");
+    let warm_lo = fw
+        .solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+        .expect("te");
+    eprintln!(
+        "frank_wolfe_abilene cold vs warm iterations: \
+         load 0.12: {} -> {}, load 0.13: {} -> {}",
+        cold_lo.iterations, warm_lo.iterations, cold_hi.iterations, warm_hi.iterations
+    );
+    assert!(
+        warm_hi.iterations < cold_hi.iterations || warm_lo.iterations < cold_lo.iterations,
+        "warm start saved no iterations on either neighbouring load"
+    );
+    group.bench_function("frank_wolfe_abilene_cold", |b| {
+        b.iter(|| {
+            let lo = fw.solve(TeInstance::new(&net, &tm, &obj)).expect("te");
+            let hi = fw.solve(TeInstance::new(&net, &tm_hi, &obj)).expect("te");
+            lo.iterations + hi.iterations
+        })
+    });
+    group.bench_function("frank_wolfe_abilene_warm", |b| {
+        b.iter(|| {
+            let hi = fw
+                .solve_in(TeInstance::new(&net, &tm_hi, &obj), &mut ws)
+                .expect("te");
+            let lo = fw
+                .solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+                .expect("te");
+            lo.iterations + hi.iterations
+        })
     });
     group.finish();
 }
@@ -166,25 +219,25 @@ fn bench_nem(c: &mut Criterion) {
     let net = standard::abilene();
     let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.12);
     let obj = Objective::proportional(net.link_count());
-    let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).expect("te");
+    let te = FrankWolfeConfig::fast()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .expect("te");
     let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
     let dags =
         build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-2 * max_w).expect("dags");
     let cfg = NemConfig {
-        max_iterations: 100,
-        epsilon: Some(0.0),
+        convergence: ConvergenceCriteria::with_tolerance(100, 0.0),
         ..NemConfig::default()
     };
     let mut group = c.benchmark_group("solvers");
     group.sample_size(10);
+    let mut ws = TeWorkspace::new();
     group.bench_function("nem_100it_abilene", |b| {
         b.iter(|| {
-            spef_core::nem::solve_second_weights(
-                net.graph(),
-                &dags,
-                &tm,
-                te.flows.aggregate(),
-                &cfg,
+            ws.clear_solutions();
+            cfg.solve_in(
+                NemInstance::new(net.graph(), &dags, &tm, te.flows.aggregate()),
+                &mut ws,
             )
             .expect("nem")
         })
@@ -197,8 +250,9 @@ fn bench_simplex(c: &mut Criterion) {
     let net = standard::fig4();
     let tm = standard::fig4_demands();
     let obj = Objective::min_hop(net.link_count());
+    let fw = FrankWolfeConfig::default();
     c.bench_function("simplex_beta0_fig4", |b| {
-        b.iter(|| solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).expect("lp"))
+        b.iter(|| fw.solve(TeInstance::new(&net, &tm, &obj)).expect("lp"))
     });
     // A dense random-ish LP for raw pivot throughput.
     c.bench_function("simplex_dense_30x60", |b| {
@@ -552,7 +606,8 @@ fn bench_simulator(c: &mut Criterion) {
     let net = standard::fig4();
     let tm = standard::table4_simple_demands();
     let obj = Objective::proportional(net.link_count());
-    let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &spef_core::SpefConfig::default())
+    let routing = spef_core::SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
         .expect("routing");
     let cfg = SimConfig {
         duration: 5.0,
@@ -603,10 +658,12 @@ fn bench_simulator(c: &mut Criterion) {
     let tm2 = standard::table4_cernet2_demands().scaled(0.5);
     let obj2 = Objective::proportional(net2.link_count());
     let cfg2 = spef_core::SpefConfig {
-        solver: spef_core::TeSolver::FrankWolfe(FrankWolfeConfig::fast()),
+        solver: spef_core::TeSolverKind::FrankWolfe(FrankWolfeConfig::fast()),
         ..spef_core::SpefConfig::default()
     };
-    let routing2 = spef_core::SpefRouting::build(&net2, &tm2, &obj2, &cfg2).expect("routing");
+    let routing2 = cfg2
+        .solve(TeInstance::new(&net2, &tm2, &obj2))
+        .expect("routing");
     let sim_cfg2 = SimConfig {
         duration: 5.0,
         capacity_to_bps: 1e6, // Gb/s units driven at Mb/s scale: same event

@@ -20,9 +20,11 @@
 //! optimal `w*`; with no saturated links `w*` is unique and
 //! `s* = V'⁻¹(w*)`, `f* = c − s*`.
 
+use spef_graph::NodeId;
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::engine::RoutingEngine;
+use crate::solver::{ConvergenceCriteria, DdSession, TeWorkspace};
 use crate::traffic_dist::{Flows, SplitRule};
 use crate::{Objective, SpefError};
 
@@ -58,10 +60,10 @@ impl StepRule {
 pub struct DualDecompConfig {
     /// Step-size schedule (default: the paper's `1/max c`).
     pub step: StepRule,
-    /// Iteration budget (default 2000, the x-range of Fig. 12(a)).
-    pub max_iterations: usize,
-    /// Stop when `|gap|` falls below this (default 1e-6 × total demand).
-    pub gap_tolerance: Option<f64>,
+    /// Stopping rules. Defaults to a 2000-iteration budget (the x-range of
+    /// Fig. 12(a)) with the derived tolerance `1e-6 × total demand` on the
+    /// absolute dual gap.
+    pub convergence: ConvergenceCriteria,
     /// Record the dual objective every iteration (Fig. 12(a)). Default true.
     pub record_trace: bool,
 }
@@ -70,8 +72,7 @@ impl Default for DualDecompConfig {
     fn default() -> Self {
         DualDecompConfig {
             step: StepRule::DefaultRatio(1.0),
-            max_iterations: 2000,
-            gap_tolerance: None,
+            convergence: ConvergenceCriteria::budget(2000),
             record_trace: true,
         }
     }
@@ -110,17 +111,38 @@ pub struct DualDecompOutcome {
 /// neutral.
 pub const WEIGHT_FLOOR: f64 = 1e-9;
 
-/// Runs Algorithm 1.
+/// Runs Algorithm 1 cold on a fresh workspace.
 ///
 /// # Errors
 ///
 /// * [`SpefError::InvalidInput`] on size mismatches or an empty matrix,
 /// * [`SpefError::UnroutableDemand`] if a demand pair is disconnected.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `TeSolver::solve` / `solve_in` on `DualDecompConfig`"
+)]
 pub fn solve(
     network: &Network,
     traffic: &TrafficMatrix,
     objective: &Objective,
     config: &DualDecompConfig,
+) -> Result<DualDecompOutcome, SpefError> {
+    solve_in(network, traffic, objective, config, &mut TeWorkspace::new())
+}
+
+/// Runs Algorithm 1 in the caller's workspace.
+///
+/// A topology/destination-compatible saved multiplier vector seeds `w(0)`
+/// (any `w ≥ 0` is a valid dual start, so no further checks are needed);
+/// otherwise the paper's cold start `w(0) = 1/c` is used. Under
+/// [`ConvergenceCriteria::pinned`] the saved state is ignored and exactly
+/// `max_iterations` subgradient steps run.
+pub(crate) fn solve_in(
+    network: &Network,
+    traffic: &TrafficMatrix,
+    objective: &Objective,
+    config: &DualDecompConfig,
+    ws: &mut TeWorkspace,
 ) -> Result<DualDecompOutcome, SpefError> {
     crate::te::validate_sizes(network, traffic, objective)?;
     let dests = traffic.destinations();
@@ -129,60 +151,120 @@ pub fn solve(
             "traffic matrix is empty".to_string(),
         ));
     }
-    let g = network.graph();
-    let m = g.edge_count();
-    let caps = network.capacities();
-    let max_cap = caps.iter().cloned().fold(0.0, f64::max);
-    let default_scale = 1.0 / max_cap;
-    let gap_tol = config
-        .gap_tolerance
-        .unwrap_or(1e-6 * traffic.total_demand().max(1.0));
-    if config.max_iterations == 0 {
+    if config.convergence.max_iterations == 0 {
         return Err(SpefError::InvalidInput(
             "max_iterations must be at least 1".to_string(),
         ));
     }
+    let g = network.graph();
+    let caps = network.capacities();
+    let max_cap = caps.iter().cloned().fold(0.0, f64::max);
+    let default_scale = 1.0 / max_cap;
+    let gap_tol = config
+        .convergence
+        .gap_tolerance
+        .unwrap_or(1e-6 * traffic.total_demand().max(1.0));
 
-    // Paper §V.F: w(0) = 1/c is a proper choice.
-    let mut weights: Vec<f64> = caps.iter().map(|c| 1.0 / c).collect();
+    let mut engine = RoutingEngine::with_state(g, ws.take_engine());
+    let dd = &mut ws.dd;
+    let warm = !config.convergence.pinned && dd.try_warm_start(g, &dests);
+    // Until the run completes, nothing claims the buffers solve anything.
+    dd.forget();
+    if !warm {
+        // Paper §V.F: w(0) = 1/c is a proper choice.
+        dd.weights.clear();
+        dd.weights.extend(caps.iter().map(|c| 1.0 / c));
+    }
+    let result = run(
+        traffic,
+        objective,
+        config,
+        &dests,
+        caps,
+        gap_tol,
+        default_scale,
+        &mut engine,
+        dd,
+    );
+    ws.put_engine(engine.into_state());
+    match result {
+        Ok((dual_trace, gap_trace, iterations, converged)) => {
+            let dd = &mut ws.dd;
+            dd.record_solution(g, &dests);
+            Ok(DualDecompOutcome {
+                weights: dd.weights.clone(),
+                spare: dd.spare.clone(),
+                flows: dd.flows.clone(),
+                average_flows: dd.average_flows.clone(),
+                dual_objective_trace: dual_trace,
+                gap_trace,
+                iterations,
+                converged,
+            })
+        }
+        Err(e) => {
+            ws.dd.forget();
+            Err(e)
+        }
+    }
+}
+
+/// The subgradient loop, operating on the session buffers. `dd.weights`
+/// must hold the starting multipliers on entry and holds the final ones on
+/// successful exit.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    traffic: &TrafficMatrix,
+    objective: &Objective,
+    config: &DualDecompConfig,
+    dests: &[NodeId],
+    caps: &[f64],
+    gap_tol: f64,
+    default_scale: f64,
+    engine: &mut RoutingEngine<'_>,
+    dd: &mut DdSession,
+) -> Result<(Vec<f64>, Vec<f64>, usize, bool), SpefError> {
+    let m = caps.len();
+    let pinned = config.convergence.pinned;
     let mut dual_trace = Vec::new();
     let mut gap_trace = Vec::new();
-
-    let mut spare = vec![0.0; m];
-    let mut average_flows = vec![0.0; m];
+    dd.spare.clear();
+    dd.spare.resize(m, 0.0);
+    dd.floored.clear();
+    dd.floored.resize(m, 0.0);
+    dd.average_flows.clear();
+    dd.average_flows.resize(m, 0.0);
     let mut converged = false;
     let mut iterations = 0;
 
-    // Batched routing engine with buffers reused across iterations.
-    let mut engine = RoutingEngine::new(g);
-    let mut f = Flows::empty();
-    let mut floored = vec![0.0; m];
-    let mut demands = Vec::new();
-
-    for k in 0..config.max_iterations {
+    for k in 0..config.convergence.max_iterations {
         iterations = k + 1;
         // Per-link subproblem.
-        for e in 0..m {
-            spare[e] = objective.link_optimal_spare(e.into(), weights[e], caps[e]);
+        for (e, (sp, (&w, &c))) in dd
+            .spare
+            .iter_mut()
+            .zip(dd.weights.iter().zip(caps))
+            .enumerate()
+        {
+            *sp = objective.link_optimal_spare(e.into(), w, c);
         }
         // Route_t: all demand on shortest paths under w(k).
-        for (fl, w) in floored.iter_mut().zip(&weights) {
+        for (fl, w) in dd.floored.iter_mut().zip(&dd.weights) {
             *fl = w.max(WEIGHT_FLOOR);
         }
-        engine.build_dags(&floored, &dests, 0.0)?;
-        engine.distribute_into(traffic, SplitRule::EvenEcmp, &mut f)?;
+        engine.build_dags(&dd.floored, dests, 0.0)?;
+        engine.distribute_into(traffic, SplitRule::EvenEcmp, &mut dd.flows)?;
 
         // Dual objective: Σ_e [V(s) − w·s + w·c] − Σ_t Σ_s d^t_s · dist_t(s).
         if config.record_trace {
             let mut dual = 0.0;
-            for e in 0..m {
-                dual += objective.utility(e.into(), spare[e]) - weights[e] * spare[e]
-                    + weights[e] * caps[e];
+            for (e, ((&s, &w), &c)) in dd.spare.iter().zip(&dd.weights).zip(caps).enumerate() {
+                dual += objective.utility(e.into(), s) - w * s + w * c;
             }
             for (i, &t) in dests.iter().enumerate() {
                 let dag = engine.dag_set().dag(i);
-                traffic.demands_to_into(t, &mut demands);
-                for (s, &d) in demands.iter().enumerate() {
+                traffic.demands_to_into(t, &mut dd.demand_buf);
+                for (s, &d) in dd.demand_buf.iter().enumerate() {
                     if d > 0.0 {
                         dual -= d * dag.distance(s.into());
                     }
@@ -193,44 +275,68 @@ pub fn solve(
 
         // Dual gap (the paper's optimality measure).
         let gap: f64 = (0..m)
-            .map(|e| weights[e] * (f.aggregate()[e] + spare[e] - caps[e]))
+            .map(|e| dd.weights[e] * (dd.flows.aggregate()[e] + dd.spare[e] - caps[e]))
             .sum();
         if config.record_trace {
             gap_trace.push(gap);
         }
         let step = config.step.step(k, default_scale);
         // Subgradient of the dual at w is (c − f − s); project onto w ≥ 0.
-        for e in 0..m {
-            weights[e] = (weights[e] - step * (caps[e] - f.aggregate()[e] - spare[e])).max(0.0);
+        let agg = dd.flows.aggregate();
+        for ((w, &c), (&f, &s)) in dd
+            .weights
+            .iter_mut()
+            .zip(caps)
+            .zip(agg.iter().zip(&dd.spare))
+        {
+            *w = (*w - step * (c - f - s)).max(0.0);
         }
         // Ergodic primal recovery: running mean over iterations.
         let kf = (k + 1) as f64;
-        for (avg, cur) in average_flows.iter_mut().zip(f.aggregate()) {
+        for (avg, cur) in dd.average_flows.iter_mut().zip(dd.flows.aggregate()) {
             *avg += (cur - *avg) / kf;
         }
         if gap.abs() < gap_tol {
             converged = true;
-            break;
+            if !pinned {
+                break;
+            }
+        } else if pinned {
+            converged = false;
         }
     }
 
-    Ok(DualDecompOutcome {
-        weights,
-        spare,
-        flows: f,
-        average_flows,
-        dual_objective_trace: dual_trace,
-        gap_trace,
-        iterations,
-        converged,
-    })
+    Ok((dual_trace, gap_trace, iterations, converged))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frank_wolfe::{self, FrankWolfeConfig};
+    use crate::frank_wolfe::FrankWolfeConfig;
+    use crate::solver::{TeInstance, TeSolver};
+    use crate::te::TeSolution;
     use spef_topology::standard;
+
+    /// Cold-solve helpers: these tests exercise the algorithms, not the
+    /// session machinery, so each call gets a fresh workspace.
+    fn solve(
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        config: &DualDecompConfig,
+    ) -> Result<DualDecompOutcome, SpefError> {
+        solve_in(network, traffic, objective, config, &mut TeWorkspace::new())
+    }
+
+    fn fw_reference(
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+    ) -> TeSolution {
+        FrankWolfeConfig::default()
+            .solve(TeInstance::new(network, traffic, objective))
+            .unwrap()
+    }
 
     fn fig1_setup() -> (Network, TrafficMatrix, Objective) {
         let net = standard::fig1();
@@ -243,13 +349,11 @@ mod tests {
     fn dual_objective_decreases_toward_optimum() {
         let (net, tm, obj) = fig1_setup();
         let cfg = DualDecompConfig {
-            max_iterations: 3000,
+            convergence: ConvergenceCriteria::budget(3000),
             ..DualDecompConfig::default()
         };
         let out = solve(&net, &tm, &obj, &cfg).unwrap();
-        let primal = frank_wolfe::solve(&net, &tm, &obj, &FrankWolfeConfig::default())
-            .unwrap()
-            .utility;
+        let primal = fw_reference(&net, &tm, &obj).utility;
         // Weak duality: every dual value upper-bounds the primal optimum.
         for &d in &out.dual_objective_trace {
             assert!(d >= primal - 1e-6, "dual {d} below primal {primal}");
@@ -266,12 +370,12 @@ mod tests {
     fn weights_converge_to_marginal_utilities() {
         let (net, tm, obj) = fig1_setup();
         let cfg = DualDecompConfig {
-            max_iterations: 6000,
+            convergence: ConvergenceCriteria::budget(6000),
             step: StepRule::DefaultRatio(1.0),
             ..DualDecompConfig::default()
         };
         let out = solve(&net, &tm, &obj, &cfg).unwrap();
-        let fw = frank_wolfe::solve(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+        let fw = fw_reference(&net, &tm, &obj);
         // TABLE I β=1 weights: 3, 10, 1.5, 1.5 (within subgradient accuracy).
         for e in 0..4 {
             assert!(
@@ -291,7 +395,7 @@ mod tests {
         let variance_of = |ratio: f64| {
             let cfg = DualDecompConfig {
                 step: StepRule::DefaultRatio(ratio),
-                max_iterations: 800,
+                convergence: ConvergenceCriteria::budget(800),
                 ..DualDecompConfig::default()
             };
             let out = solve(&net, &tm, &obj, &cfg).unwrap();
@@ -308,11 +412,11 @@ mod tests {
         let (net, tm, obj) = fig1_setup();
         let cfg = DualDecompConfig {
             step: StepRule::Diminishing(1.0),
-            max_iterations: 4000,
+            convergence: ConvergenceCriteria::budget(4000),
             ..DualDecompConfig::default()
         };
         let out = solve(&net, &tm, &obj, &cfg).unwrap();
-        let fw = frank_wolfe::solve(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+        let fw = fw_reference(&net, &tm, &obj);
         let last = *out.dual_objective_trace.last().unwrap();
         assert!(last - fw.utility < 0.1 * fw.utility.abs().max(1.0));
     }
@@ -321,7 +425,7 @@ mod tests {
     fn gap_trace_matches_definition() {
         let (net, tm, obj) = fig1_setup();
         let cfg = DualDecompConfig {
-            max_iterations: 50,
+            convergence: ConvergenceCriteria::budget(50),
             ..DualDecompConfig::default()
         };
         let out = solve(&net, &tm, &obj, &cfg).unwrap();
@@ -334,7 +438,7 @@ mod tests {
         let (net, tm, obj) = fig1_setup();
         let cfg = DualDecompConfig {
             record_trace: false,
-            max_iterations: 20,
+            convergence: ConvergenceCriteria::budget(20),
             ..DualDecompConfig::default()
         };
         let out = solve(&net, &tm, &obj, &cfg).unwrap();

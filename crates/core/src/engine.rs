@@ -24,6 +24,22 @@
 //! bit-identical flows; the property tests in
 //! `tests/engine_equivalence.rs` pin that guarantee.
 //!
+//! Two refinements support solver sessions ([`crate::TeWorkspace`]):
+//!
+//! * [`RoutingEngine::build_dags`] **skips the SPF batch entirely** when
+//!   the weight vector, destination set and tolerance are bit-identical
+//!   to the previous call on the same engine — solvers that converge to
+//!   a fixed weight vector (and pipelines that rebuild DAGs under the
+//!   same weights across stages) pay nothing for the repeat call. The
+//!   skip is result-transparent: identical inputs always produce
+//!   identical DAGs.
+//! * the engine's arenas detach into an [`EngineState`] via
+//!   [`RoutingEngine::into_state`] and re-attach (to the same or another
+//!   graph) via [`RoutingEngine::with_state`], so a long-lived workspace
+//!   can outlive any single borrowed graph. Attaching to a different
+//!   topology (checked structurally, edge list against edge list)
+//!   rebuilds the CSR and invalidates the DAG fingerprint.
+//!
 //! ```
 //! use spef_core::{RoutingEngine, SplitRule};
 //! use spef_topology::{standard, TrafficMatrix};
@@ -53,17 +69,71 @@ use spef_topology::TrafficMatrix;
 use crate::traffic_dist::{distribute_batch, DistScratch, Flows, SplitRule, SplitTableSet};
 use crate::SpefError;
 
+/// The detached, owned arenas of a [`RoutingEngine`]: everything the
+/// engine holds except the graph borrow itself. A long-lived workspace
+/// (e.g. [`crate::TeWorkspace`]) keeps an `EngineState` and re-attaches
+/// it to whichever graph the next solve targets; when the topology is
+/// structurally unchanged, the CSR adjacency, DAG arenas and the
+/// bit-identical-weights fingerprint all survive the round trip.
+#[derive(Debug, Default)]
+pub struct EngineState {
+    in_csr: Option<Csr>,
+    topo_nodes: usize,
+    topo_edges: Vec<(NodeId, NodeId)>,
+    ws: RoutingWorkspace,
+    dags: DagSet,
+    tables: SplitTableSet,
+    scratch: DistScratch,
+    last_weights: Vec<f64>,
+    last_dests: Vec<NodeId>,
+    last_tolerance: f64,
+    dags_valid: bool,
+    spf_builds: u64,
+}
+
+impl EngineState {
+    /// A fresh, empty state; the first attach builds the CSR.
+    pub fn new() -> EngineState {
+        EngineState::default()
+    }
+
+    /// True when `graph` is structurally identical to the topology this
+    /// state last routed over (same node count, same edge list in the
+    /// same order). Capacities and weights are *not* part of structure:
+    /// they never affect the CSR, and weight changes are caught by the
+    /// per-call fingerprint instead.
+    fn matches_topology(&self, graph: &Graph) -> bool {
+        self.in_csr.is_some()
+            && self.topo_nodes == graph.node_count()
+            && self.topo_edges.len() == graph.edge_count()
+            && graph
+                .edges()
+                .zip(&self.topo_edges)
+                .all(|((_, u, v), &(su, sv))| u == su && v == sv)
+    }
+
+    /// Number of SPF batch builds this state has actually executed
+    /// (calls to [`RoutingEngine::build_dags`] that were not skipped by
+    /// the bit-identical-weights fingerprint).
+    pub fn spf_builds(&self) -> u64 {
+        self.spf_builds
+    }
+
+    /// Drops the DAG fingerprint so the next
+    /// [`RoutingEngine::build_dags`] call recomputes unconditionally.
+    /// Arenas are kept.
+    pub fn invalidate(&mut self) {
+        self.dags_valid = false;
+    }
+}
+
 /// A reusable batched router over one graph. See the [module
 /// docs](self) for what it amortises.
 #[derive(Debug)]
 pub struct RoutingEngine<'g> {
     graph: &'g Graph,
-    in_csr: Csr,
     par: Parallelism,
-    ws: RoutingWorkspace,
-    dags: DagSet,
-    tables: SplitTableSet,
-    scratch: DistScratch,
+    state: EngineState,
 }
 
 impl<'g> RoutingEngine<'g> {
@@ -78,15 +148,39 @@ impl<'g> RoutingEngine<'g> {
     /// (used by the schedule-independence tests; results are identical
     /// either way).
     pub fn with_parallelism(graph: &'g Graph, par: Parallelism) -> RoutingEngine<'g> {
-        RoutingEngine {
-            graph,
-            in_csr: Csr::in_of(graph),
-            par,
-            ws: RoutingWorkspace::new(),
-            dags: DagSet::new(),
-            tables: SplitTableSet::new(),
-            scratch: DistScratch::default(),
+        Self::with_state_and_parallelism(graph, EngineState::new(), par)
+    }
+
+    /// Attaches a detached [`EngineState`] to `graph`. If the state last
+    /// routed over a structurally identical topology, its CSR, arenas
+    /// and DAG fingerprint are reused as-is; otherwise the CSR is
+    /// rebuilt and the fingerprint invalidated (automatic cold
+    /// fallback — never a correctness hazard, only a wall-clock one).
+    pub fn with_state(graph: &'g Graph, state: EngineState) -> RoutingEngine<'g> {
+        Self::with_state_and_parallelism(graph, state, Parallelism::Auto)
+    }
+
+    fn with_state_and_parallelism(
+        graph: &'g Graph,
+        mut state: EngineState,
+        par: Parallelism,
+    ) -> RoutingEngine<'g> {
+        if !state.matches_topology(graph) {
+            state.in_csr = Some(Csr::in_of(graph));
+            state.topo_nodes = graph.node_count();
+            state.topo_edges.clear();
+            state
+                .topo_edges
+                .extend(graph.edges().map(|(_, u, v)| (u, v)));
+            state.dags_valid = false;
         }
+        RoutingEngine { graph, par, state }
+    }
+
+    /// Detaches the engine's arenas for reuse against a later graph
+    /// borrow. The inverse of [`RoutingEngine::with_state`].
+    pub fn into_state(self) -> EngineState {
+        self.state
     }
 
     /// The graph the engine routes over.
@@ -94,9 +188,19 @@ impl<'g> RoutingEngine<'g> {
         self.graph
     }
 
+    /// Number of SPF batch builds actually executed (skipped calls not
+    /// counted). Exposed for the skip-fingerprint tests and benches.
+    pub fn spf_builds(&self) -> u64 {
+        self.state.spf_builds
+    }
+
     /// Builds the shortest-path DAGs of every destination under `weights`
     /// with equal-cost tolerance `tolerance`, replacing the engine's
     /// current DAG set. Weights are validated once for the whole batch.
+    ///
+    /// When `weights`, `dests` and `tolerance` are bit-identical to the
+    /// previous (successful) call on this engine's state, the SPF batch
+    /// is skipped outright — the retained DAG set is already the answer.
     ///
     /// # Errors
     ///
@@ -107,29 +211,50 @@ impl<'g> RoutingEngine<'g> {
         dests: &[NodeId],
         tolerance: f64,
     ) -> Result<(), GraphError> {
+        let s = &mut self.state;
+        if s.dags_valid
+            && s.last_tolerance.to_bits() == tolerance.to_bits()
+            && s.last_dests.as_slice() == dests
+            && s.last_weights.len() == weights.len()
+            && s.last_weights
+                .iter()
+                .zip(weights)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        {
+            return Ok(());
+        }
+        s.dags_valid = false;
         build_dag_set(
             self.graph,
-            &self.in_csr,
+            s.in_csr.as_ref().expect("attached engine has a CSR"),
             weights,
             dests,
             tolerance,
             self.par,
-            &mut self.ws,
-            &mut self.dags,
-        )
+            &mut s.ws,
+            &mut s.dags,
+        )?;
+        s.spf_builds += 1;
+        s.last_weights.clear();
+        s.last_weights.extend_from_slice(weights);
+        s.last_dests.clear();
+        s.last_dests.extend_from_slice(dests);
+        s.last_tolerance = tolerance;
+        s.dags_valid = true;
+        Ok(())
     }
 
     /// The current DAG set (destinations of the last
     /// [`build_dags`](Self::build_dags) call).
     pub fn dag_set(&self) -> &DagSet {
-        &self.dags
+        &self.state.dags
     }
 
     /// The split tables of the last
     /// [`distribute_into`](Self::distribute_into) call, aligned with the
     /// DAG destinations — the batched form of the paper's TABLE II rows.
     pub fn split_tables(&self) -> &SplitTableSet {
-        &self.tables
+        &self.state.tables
     }
 
     /// A flow buffer shaped for reuse with
@@ -162,14 +287,15 @@ impl<'g> RoutingEngine<'g> {
         rule: SplitRule<'_>,
         out: &mut Flows,
     ) -> Result<(), SpefError> {
+        let s = &mut self.state;
         distribute_batch(
             self.graph,
-            self.dags.destinations(),
-            self.dags.iter(),
+            s.dags.destinations(),
+            s.dags.iter(),
             traffic,
             rule,
-            &mut self.tables,
-            &mut self.scratch,
+            &mut s.tables,
+            &mut s.scratch,
             out,
         )
     }
@@ -184,11 +310,12 @@ impl<'g> RoutingEngine<'g> {
     /// malformed.
     pub fn build_split_tables(&mut self, rule: SplitRule<'_>) -> Result<&SplitTableSet, SpefError> {
         crate::traffic_dist::validate_rule(self.graph, rule)?;
-        self.tables.reset(self.graph.node_count());
-        for dag in self.dags.iter() {
-            self.tables.push_table(self.graph, &dag, rule);
+        let s = &mut self.state;
+        s.tables.reset(self.graph.node_count());
+        for dag in s.dags.iter() {
+            s.tables.push_table(self.graph, &dag, rule);
         }
-        Ok(&self.tables)
+        Ok(&s.tables)
     }
 
     /// Convenience wrapper around
@@ -264,6 +391,92 @@ mod tests {
         let dags = build_dags(net.graph(), &w, &dests, 0.0).unwrap();
         let fresh = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp).unwrap();
         assert_eq!(last, fresh.aggregate());
+    }
+
+    #[test]
+    fn bit_identical_weights_skip_the_spf_batch() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let dests = tm.destinations();
+        let w: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
+        let mut engine = RoutingEngine::new(net.graph());
+
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        assert_eq!(engine.spf_builds(), 1);
+        // Same weights (a fresh but bit-identical vector), same dests,
+        // same tolerance: skipped.
+        engine.build_dags(&w.clone(), &dests, 0.0).unwrap();
+        assert_eq!(engine.spf_builds(), 1);
+        // Any bit change re-runs.
+        let mut w2 = w.clone();
+        w2[0] *= 1.0 + 1e-12;
+        engine.build_dags(&w2, &dests, 0.0).unwrap();
+        assert_eq!(engine.spf_builds(), 2);
+        // Tolerance change re-runs even with identical weights.
+        engine.build_dags(&w2, &dests, 1e-9).unwrap();
+        assert_eq!(engine.spf_builds(), 3);
+        // Destination-set change re-runs.
+        engine
+            .build_dags(&w2, &dests[..dests.len() - 1], 1e-9)
+            .unwrap();
+        assert_eq!(engine.spf_builds(), 4);
+
+        // The skipped call left a usable DAG set behind.
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut again = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut again)
+            .unwrap();
+        assert_eq!(flows.aggregate(), again.aggregate());
+    }
+
+    #[test]
+    fn state_round_trip_preserves_fingerprint_on_same_topology() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let dests = tm.destinations();
+        let w = vec![1.0; net.link_count()];
+
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let state = engine.into_state();
+        assert_eq!(state.spf_builds(), 1);
+
+        // Re-attach to the same graph: the fingerprint survives, so an
+        // identical build is skipped.
+        let mut engine = RoutingEngine::with_state(net.graph(), state);
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        assert_eq!(engine.spf_builds(), 1);
+
+        // Attach to a different topology: cold fallback, the build runs.
+        let other = standard::fig1();
+        let other_tm = standard::fig1_demands();
+        let ow = vec![1.0; other.link_count()];
+        let mut engine = RoutingEngine::with_state(other.graph(), engine.into_state());
+        engine
+            .build_dags(&ow, &other_tm.destinations(), 0.0)
+            .unwrap();
+        assert_eq!(engine.spf_builds(), 2);
+
+        // And its results match a fresh engine's bit for bit.
+        let mut fresh = RoutingEngine::new(other.graph());
+        fresh
+            .build_dags(&ow, &other_tm.destinations(), 0.0)
+            .unwrap();
+        let mut a = engine.distribute_fresh();
+        engine
+            .distribute_into(&other_tm, SplitRule::EvenEcmp, &mut a)
+            .unwrap();
+        let mut b = fresh.distribute_fresh();
+        fresh
+            .distribute_into(&other_tm, SplitRule::EvenEcmp, &mut b)
+            .unwrap();
+        assert_eq!(a.aggregate(), b.aggregate());
     }
 
     #[test]

@@ -25,21 +25,25 @@
 //! smoothed optimum retains an over-capacity link, which is reported as
 //! [`SpefError::Infeasible`].
 
-use spef_graph::EdgeId;
+use spef_graph::{EdgeId, NodeId};
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::engine::RoutingEngine;
+use crate::solver::{ConvergenceCriteria, FwSession, TeWorkspace};
 use crate::te::TeSolution;
 use crate::traffic_dist::SplitRule;
 use crate::{Objective, SpefError};
 
+/// Relative duality-gap tolerance used when
+/// [`ConvergenceCriteria::gap_tolerance`] is `None`.
+pub const DEFAULT_RELATIVE_GAP: f64 = 1e-8;
+
 /// Configuration of the Frank–Wolfe solver.
 #[derive(Debug, Clone)]
 pub struct FrankWolfeConfig {
-    /// Iteration budget (default 1500).
-    pub max_iterations: usize,
-    /// Stop when `gap / max(1, |utility|)` falls below this (default 1e-8).
-    pub relative_gap_tolerance: f64,
+    /// Stopping rules (default: 1500 iterations, relative duality gap
+    /// [`DEFAULT_RELATIVE_GAP`]).
+    pub convergence: ConvergenceCriteria,
     /// Bisection steps of the exact line search (default 60).
     pub line_search_iterations: usize,
     /// Barrier smoothing threshold as a fraction of link capacity
@@ -50,8 +54,7 @@ pub struct FrankWolfeConfig {
 impl Default for FrankWolfeConfig {
     fn default() -> Self {
         FrankWolfeConfig {
-            max_iterations: 1500,
-            relative_gap_tolerance: 1e-8,
+            convergence: ConvergenceCriteria::budget(1500),
             line_search_iterations: 60,
             smoothing_fraction: 1e-7,
         }
@@ -63,8 +66,7 @@ impl FrankWolfeConfig {
     /// relative gap 1e-6).
     pub fn fast() -> Self {
         FrankWolfeConfig {
-            max_iterations: 500,
-            relative_gap_tolerance: 1e-6,
+            convergence: ConvergenceCriteria::with_tolerance(500, 1e-6),
             ..Self::default()
         }
     }
@@ -130,11 +132,31 @@ impl<'a> SmoothedUtility<'a> {
 /// * [`SpefError::UnroutableDemand`] if a demand pair is disconnected;
 /// * [`SpefError::Infeasible`] if the optimum cannot keep every link
 ///   strictly below capacity.
+#[deprecated(
+    note = "use the TeSolver session API: `config.solve(TeInstance::new(network, traffic, objective))` \
+            or `solve_in` with a TeWorkspace (note: the trait solves beta = 0 via the LP instead of erroring)"
+)]
 pub fn solve(
     network: &Network,
     traffic: &TrafficMatrix,
     objective: &Objective,
     config: &FrankWolfeConfig,
+) -> Result<TeSolution, SpefError> {
+    solve_in(network, traffic, objective, config, &mut TeWorkspace::new())
+}
+
+/// The session entry point for β > 0: workspace-resident buffers,
+/// warm-start from a compatible saved solution (proportional demand
+/// rescale), cold fallback otherwise. Reached through the
+/// [`TeSolver`](crate::TeSolver) impl on [`FrankWolfeConfig`] (via
+/// [`solve_te_in`](crate::te::solve_te_in), which adds the β = 0 LP
+/// dispatch).
+pub(crate) fn solve_in(
+    network: &Network,
+    traffic: &TrafficMatrix,
+    objective: &Objective,
+    config: &FrankWolfeConfig,
+    ws: &mut TeWorkspace,
 ) -> Result<TeSolution, SpefError> {
     crate::te::validate_sizes(network, traffic, objective)?;
     if objective.beta() == 0.0 {
@@ -149,62 +171,128 @@ pub fn solve(
         ));
     }
 
-    let g = network.graph();
-    let m = g.edge_count();
+    // Warm start: rescale the previous solution when the fingerprint
+    // matches and the demands are per-destination proportional. Pinned
+    // mode always runs the cold trajectory.
+    let warm = !config.convergence.pinned
+        && ws.fw.try_warm_start(
+            network,
+            traffic,
+            objective,
+            config.smoothing_fraction,
+            &dests,
+        );
+
+    let mut engine = RoutingEngine::with_state(network.graph(), ws.take_engine());
+    let outcome = run(
+        network,
+        traffic,
+        objective,
+        config,
+        &dests,
+        warm,
+        &mut engine,
+        &mut ws.fw,
+    );
+    ws.put_engine(engine.into_state());
+    match outcome {
+        Ok((utility, weights, relative_gap, iterations)) => {
+            ws.fw.record_solution(
+                network,
+                traffic,
+                objective,
+                config.smoothing_fraction,
+                &dests,
+            );
+            Ok(TeSolution {
+                flows: ws.fw.flows.clone(),
+                spare: ws.fw.spare.clone(),
+                utility,
+                weights,
+                relative_gap,
+                iterations,
+            })
+        }
+        Err(e) => {
+            // The buffers may hold a half-blended iterate; nothing claims
+            // they solve anything.
+            ws.fw.forget();
+            Err(e)
+        }
+    }
+}
+
+/// The conditional-gradient loop on workspace buffers. Op-for-op the
+/// historical cold path when `warm` is false: arena reuse must never
+/// change results.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    network: &Network,
+    traffic: &TrafficMatrix,
+    objective: &Objective,
+    config: &FrankWolfeConfig,
+    dests: &[NodeId],
+    warm: bool,
+    engine: &mut RoutingEngine<'_>,
+    fw: &mut FwSession,
+) -> Result<(f64, Vec<f64>, f64, usize), SpefError> {
+    let m = network.graph().edge_count();
     let caps = network.capacities();
     let smooth = SmoothedUtility::new(objective, caps, config.smoothing_fraction);
+    let gap_tol = config
+        .convergence
+        .gap_tolerance
+        .unwrap_or(DEFAULT_RELATIVE_GAP);
+    let pinned = config.convergence.pinned;
 
-    // Batched routing engine: CSR adjacency and all per-iteration scratch
-    // (DAG arenas, split tables, flow buffers) are allocated once and
-    // reused, so the loop below performs no steady-state allocations.
-    let mut engine = RoutingEngine::new(g);
+    if !warm {
+        // Initial point: even-ECMP on InvCap weights (always conservation-
+        // feasible; capacities are handled by the smoothed barrier).
+        fw.init_weights.clear();
+        fw.init_weights.extend(caps.iter().map(|c| 1.0 / c));
+        engine.build_dags(&fw.init_weights, dests, 0.0)?;
+        engine.distribute_into(traffic, SplitRule::EvenEcmp, &mut fw.flows)?;
+    }
 
-    // Initial point: even-ECMP on InvCap weights (always conservation-
-    // feasible; capacities are handled by the smoothed barrier).
-    let invcap: Vec<f64> = caps.iter().map(|c| 1.0 / c).collect();
-    engine.build_dags(&invcap, &dests, 0.0)?;
-    let mut flows = engine.distribute(traffic, SplitRule::EvenEcmp)?;
-    let mut target = engine.distribute_fresh();
-
-    let mut spare: Vec<f64> = caps
-        .iter()
-        .zip(flows.aggregate())
-        .map(|(c, f)| c - f)
-        .collect();
-    let mut kappa = vec![0.0; m];
-    let mut delta = vec![0.0; m];
+    fw.spare.clear();
+    fw.spare
+        .extend(caps.iter().zip(fw.flows.aggregate()).map(|(c, f)| c - f));
+    fw.kappa.clear();
+    fw.kappa.resize(m, 0.0);
+    fw.delta.clear();
+    fw.delta.resize(m, 0.0);
     let mut gap = f64::INFINITY;
     let mut iterations = 0;
 
-    for iter in 0..config.max_iterations {
+    for iter in 0..config.convergence.max_iterations {
         iterations = iter + 1;
         // Linearise: per-link cost κ = V'_smooth(s) > 0.
-        for (e, k) in kappa.iter_mut().enumerate() {
-            *k = smooth.marginal(e, spare[e]);
+        for (e, k) in fw.kappa.iter_mut().enumerate() {
+            *k = smooth.marginal(e, fw.spare[e]);
         }
         // All-or-nothing target: Route_t under κ (even split over ties).
-        engine.build_dags(&kappa, &dests, 0.0)?;
-        engine.distribute_into(traffic, SplitRule::EvenEcmp, &mut target)?;
+        engine.build_dags(&fw.kappa, dests, 0.0)?;
+        engine.distribute_into(traffic, SplitRule::EvenEcmp, &mut fw.target)?;
 
         // One pass over the aggregates serves the gap, the line-search
         // direction Δf = y − f, and (below) the spare update.
-        let agg = flows.aggregate();
-        let target_agg = target.aggregate();
+        let agg = fw.flows.aggregate();
+        let target_agg = fw.target.aggregate();
         gap = 0.0;
         for e in 0..m {
-            gap += kappa[e] * (agg[e] - target_agg[e]);
-            delta[e] = target_agg[e] - agg[e];
+            gap += fw.kappa[e] * (agg[e] - target_agg[e]);
+            fw.delta[e] = target_agg[e] - agg[e];
         }
-        let obj_now = smooth.aggregate(&spare);
-        if gap <= config.relative_gap_tolerance * obj_now.abs().max(1.0) {
+        let obj_now = smooth.aggregate(&fw.spare);
+        if !pinned && gap <= gap_tol * obj_now.abs().max(1.0) {
             break;
         }
 
         // Exact line search on φ(α) = Σ V_smooth(s − αΔf).
         let phi_prime = |alpha: f64| -> f64 {
-            spare
+            fw.spare
                 .iter()
-                .zip(&delta)
+                .zip(&fw.delta)
                 .enumerate()
                 .map(|(e, (&s, &d))| -d * smooth.marginal(e, s - alpha * d))
                 .sum()
@@ -223,37 +311,36 @@ pub fn solve(
             }
             0.5 * (lo + hi)
         };
-        if alpha <= 0.0 {
+        if !pinned && alpha <= 0.0 {
             break;
         }
-        flows.blend_toward(&target, alpha);
-        for (s, (c, f)) in spare.iter_mut().zip(caps.iter().zip(flows.aggregate())) {
-            *s = c - f;
+        if alpha > 0.0 {
+            fw.flows.blend_toward(&fw.target, alpha);
+            for (s, (c, f)) in fw
+                .spare
+                .iter_mut()
+                .zip(caps.iter().zip(fw.flows.aggregate()))
+            {
+                *s = c - f;
+            }
         }
     }
 
     // Infeasibility check: the smoothed optimum must keep all links
     // strictly under capacity (σ is far below any meaningful spare).
-    if spare.iter().any(|&s| s <= 0.0) {
+    if fw.spare.iter().any(|&s| s <= 0.0) {
         return Err(SpefError::Infeasible);
     }
 
-    let utility = objective.aggregate_utility(&spare);
-    let weights: Vec<f64> = spare
+    let utility = objective.aggregate_utility(&fw.spare);
+    let weights: Vec<f64> = fw
+        .spare
         .iter()
         .enumerate()
         .map(|(e, &s)| objective.marginal_utility(EdgeId::new(e), s))
         .collect();
     let relative_gap = gap / utility.abs().max(1.0);
-    let _ = m;
-    Ok(TeSolution {
-        flows,
-        spare,
-        utility,
-        weights,
-        relative_gap,
-        iterations,
-    })
+    Ok((utility, weights, relative_gap, iterations))
 }
 
 #[cfg(test)]
@@ -262,6 +349,17 @@ mod tests {
     use crate::traffic_dist::{build_dags, traffic_distribution};
     use spef_graph::NodeId;
     use spef_topology::standard;
+
+    /// Session-API stand-in for the deprecated free function (same
+    /// contract: β = 0 is rejected, not LP-dispatched).
+    fn solve(
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        config: &FrankWolfeConfig,
+    ) -> Result<TeSolution, SpefError> {
+        solve_in(network, traffic, objective, config, &mut TeWorkspace::new())
+    }
 
     /// Two disjoint 2-link paths from 0 to 3 with equal capacities: the
     /// proportional optimum splits the demand exactly in half.

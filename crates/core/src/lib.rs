@@ -32,11 +32,12 @@
 //! | [`fib`] | TABLE II as a flat CSR arena ([`FibSet`]) |
 //! | [`protocol`] | **Algorithm 4** — SPEF routing + TABLE II FIBs |
 //! | [`metrics`] | MLU, normalized utility, TABLE V path census |
+//! | [`solver`] | solver sessions: [`TeSolver`], [`TeWorkspace`] |
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use spef_core::{Objective, SpefConfig, SpefRouting};
+//! use spef_core::{Objective, SpefConfig, TeInstance, TeSolver};
 //! use spef_topology::{standard, TrafficMatrix};
 //!
 //! # fn main() -> Result<(), spef_core::SpefError> {
@@ -44,12 +45,16 @@
 //! let tm = TrafficMatrix::fortz_thorup(&net, 42).scaled_to_network_load(&net, 0.15);
 //! let objective = Objective::proportional(net.link_count());
 //!
-//! let routing = SpefRouting::build(&net, &tm, &objective, &SpefConfig::default())?;
+//! let routing = SpefConfig::default().solve(TeInstance::new(&net, &tm, &objective))?;
 //! println!("MLU = {:.3}", routing.max_link_utilization(&net));
 //! assert!(routing.max_link_utilization(&net) < 1.0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Sweeps over neighbouring instances should hold a [`TeWorkspace`] and
+//! call [`TeSolver::solve_in`] instead — arenas persist and compatible
+//! previous solutions warm-start the run (see [`solver`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +69,7 @@ pub mod frank_wolfe;
 pub mod metrics;
 pub mod nem;
 pub mod protocol;
+pub mod solver;
 pub mod te;
 pub mod traffic_dist;
 pub mod weights;
@@ -72,12 +78,15 @@ pub use error::SpefError;
 pub use objective::Objective;
 
 pub use dual_decomp::{DualDecompConfig, DualDecompOutcome, StepRule};
-pub use engine::RoutingEngine;
+pub use engine::{EngineState, RoutingEngine};
 pub use fib::{FibRow, FibSet};
 pub use frank_wolfe::FrankWolfeConfig;
 pub use nem::{NemConfig, NemOutcome};
-pub use protocol::{ForwardingTable, SpefConfig, SpefRouting, TeSolver, WeightMode};
-pub use te::{solve_te, TeSolution};
+pub use protocol::{ForwardingTable, SpefConfig, SpefRouting, TeSolverKind, WeightMode};
+pub use solver::{ConvergenceCriteria, NemInstance, TeInstance, TeSolver, TeWorkspace};
+#[allow(deprecated)]
+pub use te::solve_te;
+pub use te::TeSolution;
 pub use traffic_dist::{
     build_dags, traffic_distribution, traffic_distribution_detailed, Flows, SplitRule, SplitTable,
     SplitTableRef, SplitTableSet,

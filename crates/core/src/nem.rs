@@ -21,7 +21,8 @@ use spef_graph::{Graph, ShortestPathDag};
 use spef_topology::TrafficMatrix;
 
 use crate::dual_decomp::StepRule;
-use crate::traffic_dist::{distribute_batch, DistScratch, Flows, SplitRule, SplitTableSet};
+use crate::solver::{ConvergenceCriteria, TeWorkspace};
+use crate::traffic_dist::{distribute_batch, Flows, SplitRule};
 use crate::SpefError;
 
 /// Configuration of Algorithm 2.
@@ -30,11 +31,10 @@ pub struct NemConfig {
     /// Step-size schedule. The default is the paper's
     /// `γ = 1 / max_e f*_e` (§V.F).
     pub step: StepRule,
-    /// Iteration budget (default 1000, the x-range of Fig. 12(b)).
-    pub max_iterations: usize,
-    /// Convergence tolerance ε: stop once `f_e ≤ f*_e + ε` on every link.
-    /// `None` derives `1e-4 · max_e f*_e`.
-    pub epsilon: Option<f64>,
+    /// Stopping rules. `max_iterations` defaults to 1000 (the x-range of
+    /// Fig. 12(b)); `gap_tolerance` is the ε of `f_e ≤ f*_e + ε` on every
+    /// link, `None` deriving `1e-4 · max_e f*_e`.
+    pub convergence: ConvergenceCriteria,
     /// Record the dual objective every iteration (Fig. 12(b)).
     pub record_trace: bool,
 }
@@ -43,8 +43,7 @@ impl Default for NemConfig {
     fn default() -> Self {
         NemConfig {
             step: StepRule::DefaultRatio(1.0),
-            max_iterations: 1000,
-            epsilon: None,
+            convergence: ConvergenceCriteria::budget(1000),
             record_trace: false,
         }
     }
@@ -80,12 +79,39 @@ pub struct NemOutcome {
 /// * [`SpefError::InvalidInput`] on size mismatches,
 /// * [`SpefError::UnroutableDemand`] if a demand pair has no path on its
 ///   DAG (can happen with aggressively rounded integer weights).
+#[deprecated(
+    note = "use the TeSolver session API: `config.solve(NemInstance::new(graph, dags, traffic, target_flows))` \
+            or `solve_in` with a TeWorkspace"
+)]
 pub fn solve_second_weights(
     graph: &Graph,
     dags: &[ShortestPathDag],
     traffic: &TrafficMatrix,
     target_flows: &[f64],
     config: &NemConfig,
+) -> Result<NemOutcome, SpefError> {
+    solve_in(
+        graph,
+        dags,
+        traffic,
+        target_flows,
+        config,
+        &mut TeWorkspace::new(),
+    )
+}
+
+/// The session entry point: split tables, demand columns, flow vectors
+/// and the dual iterate `v` live in the workspace. A saved `v` for the
+/// same graph and destination set seeds the run (any `v ≥ 0` is a valid
+/// projected-gradient start); otherwise `v(0) = 0` as in §V.F. Reached
+/// through the [`TeSolver`](crate::TeSolver) impl on [`NemConfig`].
+pub(crate) fn solve_in(
+    graph: &Graph,
+    dags: &[ShortestPathDag],
+    traffic: &TrafficMatrix,
+    target_flows: &[f64],
+    config: &NemConfig,
+    ws: &mut TeWorkspace,
 ) -> Result<NemOutcome, SpefError> {
     if target_flows.len() != graph.edge_count() {
         return Err(SpefError::InvalidInput(format!(
@@ -100,62 +126,67 @@ pub fn solve_second_weights(
             "target flows are all zero".to_string(),
         ));
     }
-    if config.max_iterations == 0 {
+    if config.convergence.max_iterations == 0 {
         return Err(SpefError::InvalidInput(
             "max_iterations must be at least 1".to_string(),
         ));
     }
-    let eps = config.epsilon.unwrap_or(1e-4 * max_target);
+    let eps = config
+        .convergence
+        .gap_tolerance
+        .unwrap_or(1e-4 * max_target);
+    let pinned = config.convergence.pinned;
     let default_scale = 1.0 / max_target;
 
-    // §V.F: v(0) = 0 is a proper choice (and a good approximate dual).
-    let mut v = vec![0.0; graph.edge_count()];
+    let dests = traffic.destinations();
+    let nem = &mut ws.nem;
+    let warm = !pinned && nem.try_warm_start(graph, &dests);
+    // Until the run completes, nothing claims the buffers solve anything
+    // (early `?` returns must not leave a stale fingerprint behind).
+    nem.forget();
+    if !warm {
+        // §V.F: v(0) = 0 is a proper choice (and a good approximate dual).
+        nem.v.clear();
+        nem.v.resize(graph.edge_count(), 0.0);
+    }
     let mut trace = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
 
-    // Batched distribution buffers, reused across the (potentially tens of
-    // thousands of) projected-gradient iterations: split tables, demand
-    // columns and flow vectors are allocated once.
-    let dests = traffic.destinations();
-    let mut tables = SplitTableSet::new();
-    let mut scratch = DistScratch::default();
-    let mut flows = Flows::empty();
-    let mut demands = Vec::new();
-
-    for k in 0..config.max_iterations {
+    for k in 0..config.convergence.max_iterations {
         iterations = k + 1;
         distribute_batch(
             graph,
             &dests,
             dags.iter(),
             traffic,
-            SplitRule::Exponential(&v),
-            &mut tables,
-            &mut scratch,
-            &mut flows,
+            SplitRule::Exponential(&nem.v),
+            &mut nem.tables,
+            &mut nem.scratch,
+            &mut nem.flows,
         )?;
 
         if config.record_trace {
             // d(v) = Σ_r d_r log Σ_k e^{-v^r_k} + Σ_e v_e f*_e.
             let mut dual = 0.0;
             for (i, &t) in dests.iter().enumerate() {
-                let table = tables.table(i);
-                traffic.demands_to_into(t, &mut demands);
-                for (s, &d) in demands.iter().enumerate() {
+                let table = nem.tables.table(i);
+                traffic.demands_to_into(t, &mut nem.demand_buf);
+                for (s, &d) in nem.demand_buf.iter().enumerate() {
                     if d > 0.0 {
                         dual += d * table.log_path_sum(s.into());
                     }
                 }
             }
-            for (ve, fe) in v.iter().zip(target_flows) {
+            for (ve, fe) in nem.v.iter().zip(target_flows) {
                 dual += ve * fe;
             }
             trace.push(dual);
         }
 
         // Convergence: f_e ≤ f*_e + ε everywhere.
-        let worst = flows
+        let worst = nem
+            .flows
             .aggregate()
             .iter()
             .zip(target_flows)
@@ -163,18 +194,25 @@ pub fn solve_second_weights(
             .fold(f64::NEG_INFINITY, f64::max);
         if worst <= eps {
             converged = true;
-            break;
+            if !pinned {
+                break;
+            }
+        } else if pinned {
+            // Pinned mode reports the final iterate's status.
+            converged = false;
         }
 
         let step = config.step.step(k, default_scale);
-        for e in 0..v.len() {
-            v[e] = (v[e] - step * (target_flows[e] - flows.aggregate()[e])).max(0.0);
+        let agg = nem.flows.aggregate();
+        for ((v, &target), &f) in nem.v.iter_mut().zip(target_flows).zip(agg) {
+            *v = (*v - step * (target - f)).max(0.0);
         }
     }
 
+    nem.record_solution(graph, &dests);
     Ok(NemOutcome {
-        second_weights: v,
-        flows,
+        second_weights: nem.v.clone(),
+        flows: nem.flows.clone(),
         dual_objective_trace: trace,
         iterations,
         converged,
@@ -184,11 +222,31 @@ pub fn solve_second_weights(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frank_wolfe::{self, FrankWolfeConfig};
+    use crate::frank_wolfe::FrankWolfeConfig;
+    use crate::solver::{ConvergenceCriteria, TeInstance, TeSolver, TeWorkspace};
     use crate::traffic_dist::build_dags;
     use crate::Objective;
     use spef_graph::NodeId;
     use spef_topology::{standard, Network};
+
+    /// Cold-solve helper: the module's tests exercise the algorithm, not the
+    /// session machinery, so each call gets a fresh [`TeWorkspace`].
+    fn solve_second_weights(
+        graph: &Graph,
+        dags: &[ShortestPathDag],
+        traffic: &TrafficMatrix,
+        target_flows: &[f64],
+        config: &NemConfig,
+    ) -> Result<NemOutcome, SpefError> {
+        solve_in(
+            graph,
+            dags,
+            traffic,
+            target_flows,
+            config,
+            &mut TeWorkspace::new(),
+        )
+    }
 
     /// Diamond with asymmetric target split.
     fn diamond() -> (Graph, Vec<f64>) {
@@ -224,8 +282,7 @@ mod tests {
         // Target: 30% on the upper path, 70% on the lower.
         let target = vec![0.3, 0.7, 0.3, 0.7];
         let cfg = NemConfig {
-            max_iterations: 5000,
-            epsilon: Some(1e-6),
+            convergence: ConvergenceCriteria::with_tolerance(5000, 1e-6),
             ..NemConfig::default()
         };
         let out = solve_second_weights(&g, &dags, &tm, &target, &cfg).unwrap();
@@ -250,14 +307,15 @@ mod tests {
         let net = standard::fig1();
         let tm = standard::fig1_demands();
         let obj = Objective::proportional(net.link_count());
-        let te = frank_wolfe::solve(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+        let te = FrankWolfeConfig::default()
+            .solve(TeInstance::new(&net, &tm, &obj))
+            .unwrap();
         // DAGs under the optimal first weights; small tolerance absorbs the
         // solver's finite accuracy.
         let tol = 1e-4;
         let dags = build_dags(net.graph(), &te.weights, &tm.destinations(), tol).unwrap();
         let cfg = NemConfig {
-            max_iterations: 20000,
-            epsilon: Some(1e-5),
+            convergence: ConvergenceCriteria::with_tolerance(20000, 1e-5),
             ..NemConfig::default()
         };
         let out =
@@ -282,8 +340,7 @@ mod tests {
         let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
         let cfg = NemConfig {
             record_trace: true,
-            max_iterations: 50,
-            epsilon: Some(0.0),
+            convergence: ConvergenceCriteria::with_tolerance(50, 0.0),
             ..NemConfig::default()
         };
         let target = vec![0.4, 0.6, 0.4, 0.6];
@@ -329,8 +386,7 @@ mod tests {
         tm.set(0.into(), 2.into(), 1.0);
         let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
         let cfg = NemConfig {
-            max_iterations: 50,
-            epsilon: Some(1e-9),
+            convergence: ConvergenceCriteria::with_tolerance(50, 1e-9),
             ..NemConfig::default()
         };
         let out = solve_second_weights(&g, &dags, &tm, &[0.5, 0.5], &cfg).unwrap();

@@ -13,15 +13,16 @@
 //! exponential ratios of Eq. (22), computed locally from the second
 //! weights. *One more weight per link is enough.*
 
-use spef_graph::ShortestPathDag;
+use spef_graph::{NodeId, ShortestPathDag};
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::dual_decomp::{self, DualDecompConfig};
 use crate::engine::RoutingEngine;
 use crate::frank_wolfe::FrankWolfeConfig;
-use crate::nem::{self, NemConfig};
-use crate::te::{solve_te, TeSolution};
-use crate::traffic_dist::Flows;
+use crate::nem::{self, NemConfig, NemOutcome};
+use crate::solver::TeWorkspace;
+use crate::te::{self, TeSolution};
+use crate::traffic_dist::{Flows, SplitRule};
 use crate::weights::{
     integerize, scale_weights, INTEGER_DIJKSTRA_TOLERANCE, NONINTEGER_DIJKSTRA_TOLERANCE,
 };
@@ -43,8 +44,12 @@ pub enum WeightMode {
 }
 
 /// Which solver computes the TE optimum and the first weights.
+///
+/// (Named `TeSolverKind` because [`TeSolver`](crate::TeSolver) is the
+/// unified solver trait; this enum selects which implementation the SPEF
+/// pipeline delegates step 1 to.)
 #[derive(Debug, Clone)]
-pub enum TeSolver {
+pub enum TeSolverKind {
     /// The primal Frank–Wolfe reference solver (default; β = 0 dispatches
     /// to the exact LP automatically).
     FrankWolfe(FrankWolfeConfig),
@@ -53,9 +58,9 @@ pub enum TeSolver {
     DualDecomposition(DualDecompConfig),
 }
 
-impl Default for TeSolver {
+impl Default for TeSolverKind {
     fn default() -> Self {
-        TeSolver::FrankWolfe(FrankWolfeConfig::default())
+        TeSolverKind::FrankWolfe(FrankWolfeConfig::default())
     }
 }
 
@@ -63,7 +68,7 @@ impl Default for TeSolver {
 #[derive(Debug, Clone, Default)]
 pub struct SpefConfig {
     /// TE solver for the first weights.
-    pub solver: TeSolver,
+    pub solver: TeSolverKind,
     /// NEM solver for the second weights.
     pub nem: NemConfig,
     /// Weight post-processing mode.
@@ -90,119 +95,25 @@ pub struct SpefRouting {
 }
 
 impl SpefRouting {
-    /// Builds SPEF routing for a network, traffic matrix and objective —
-    /// Algorithm 4 of the paper.
+    /// Builds SPEF routing cold on a fresh workspace — Algorithm 4 of the
+    /// paper.
     ///
     /// # Errors
     ///
     /// * [`SpefError::Infeasible`] if the demands are not routable,
     /// * [`SpefError::UnroutableDemand`] for disconnected demand pairs,
     /// * [`SpefError::InvalidInput`] for size mismatches.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `TeSolver::solve` / `solve_in` on `SpefConfig`"
+    )]
     pub fn build(
         network: &Network,
         traffic: &TrafficMatrix,
         objective: &Objective,
         config: &SpefConfig,
     ) -> Result<SpefRouting, SpefError> {
-        let g = network.graph();
-
-        // Step 1: TE optimum + raw first weights.
-        let (te, raw_weights, target_flows) = match &config.solver {
-            TeSolver::FrankWolfe(fw) => {
-                let te = solve_te(network, traffic, objective, fw)?;
-                let w = te.weights.clone();
-                let f = te.flows.aggregate().to_vec();
-                (te, w, f)
-            }
-            TeSolver::DualDecomposition(dd) => {
-                let out = dual_decomp::solve(network, traffic, objective, dd)?;
-                // Virtual capacity c' = c − s is the NEM target.
-                let target: Vec<f64> = network
-                    .capacities()
-                    .iter()
-                    .zip(&out.spare)
-                    .map(|(c, s)| (c - s).max(0.0))
-                    .collect();
-                let spare = out.spare.clone();
-                let utility = objective.aggregate_utility(&spare);
-                let te = TeSolution {
-                    flows: out.flows,
-                    spare,
-                    utility,
-                    weights: out.weights.clone(),
-                    relative_gap: f64::NAN,
-                    iterations: out.iterations,
-                };
-                (te, out.weights, target)
-            }
-        };
-
-        // Step 1b: weight post-processing per §V.G.
-        let (first_weights, tolerance) = match config.weight_mode {
-            WeightMode::Exact => {
-                // The tolerance must absorb the TE solver's finite accuracy:
-                // paths that tie at the exact optimum may differ by a small
-                // amount in the computed weights (amplified by large β,
-                // where V' is steep). Over-inclusion is benign — NEM drives
-                // superfluous paths' split ratios toward zero — but missing
-                // a path that carries optimal flow is fatal to
-                // realisability, so the default tolerance is taken from the
-                // worst Bellman slack over the optimal support itself.
-                let tol = config
-                    .dijkstra_tolerance
-                    .map(Ok)
-                    .unwrap_or_else(|| support_slack_tolerance(g, &raw_weights, &te.flows))?;
-                (raw_weights, tol)
-            }
-            WeightMode::ScaledNoninteger => {
-                let scaled = scale_weights(&raw_weights, &te.spare)?;
-                let tol = config
-                    .dijkstra_tolerance
-                    .unwrap_or(NONINTEGER_DIJKSTRA_TOLERANCE);
-                (scaled, tol)
-            }
-            WeightMode::Integer => {
-                let ints = integerize(&raw_weights, &te.spare)?;
-                let tol = config
-                    .dijkstra_tolerance
-                    .unwrap_or(INTEGER_DIJKSTRA_TOLERANCE);
-                (ints, tol)
-            }
-        };
-
-        // Step 2: per-destination shortest-path DAGs, built through the
-        // batched CSR engine and materialised for the public accessor.
-        let dests = traffic.destinations();
-        let floored: Vec<f64> = first_weights
-            .iter()
-            .map(|w| w.max(dual_decomp::WEIGHT_FLOOR))
-            .collect();
-        let mut engine = RoutingEngine::new(g);
-        engine.build_dags(&floored, &dests, tolerance)?;
-        let dags: Vec<ShortestPathDag> = (0..engine.dag_set().len())
-            .map(|i| engine.dag_set().to_shortest_path_dag(i, g))
-            .collect();
-
-        // Step 3: second weights via NEM.
-        let nem_out = nem::solve_second_weights(g, &dags, traffic, &target_flows, &config.nem)?;
-
-        // Step 4: forwarding tables (batched TABLE II rows).
-        let tables = engine.build_split_tables(crate::traffic_dist::SplitRule::Exponential(
-            &nem_out.second_weights,
-        ))?;
-        let fib = ForwardingTable::from_split_table_set(g.node_count(), &dests, tables);
-
-        Ok(SpefRouting {
-            first_weights,
-            second_weights: nem_out.second_weights,
-            te,
-            target_flows,
-            flows: nem_out.flows,
-            dags,
-            fib,
-            dijkstra_tolerance: tolerance,
-            nem_converged: nem_out.converged,
-        })
+        build_in(network, traffic, objective, config, &mut TeWorkspace::new())
     }
 
     /// The deployed first link weights (post-processed per the weight
@@ -264,6 +175,147 @@ impl SpefRouting {
     }
 }
 
+/// Runs Algorithm 4 in the caller's workspace: the TE stage (step 1), the
+/// DAG engine (steps 2 and 4) and NEM (step 3) all draw their arenas —
+/// and, when the fingerprints allow it, their warm starts — from `ws`.
+pub(crate) fn build_in(
+    network: &Network,
+    traffic: &TrafficMatrix,
+    objective: &Objective,
+    config: &SpefConfig,
+    ws: &mut TeWorkspace,
+) -> Result<SpefRouting, SpefError> {
+    let g = network.graph();
+
+    // Step 1: TE optimum + raw first weights.
+    let (te, raw_weights, target_flows) = match &config.solver {
+        TeSolverKind::FrankWolfe(fw) => {
+            let te = te::solve_te_in(network, traffic, objective, fw, ws)?;
+            let w = te.weights.clone();
+            let f = te.flows.aggregate().to_vec();
+            (te, w, f)
+        }
+        TeSolverKind::DualDecomposition(dd) => {
+            let out = dual_decomp::solve_in(network, traffic, objective, dd, ws)?;
+            // Virtual capacity c' = c − s is the NEM target.
+            let target: Vec<f64> = network
+                .capacities()
+                .iter()
+                .zip(&out.spare)
+                .map(|(c, s)| (c - s).max(0.0))
+                .collect();
+            let spare = out.spare.clone();
+            let utility = objective.aggregate_utility(&spare);
+            let te = TeSolution {
+                flows: out.flows,
+                spare,
+                utility,
+                weights: out.weights.clone(),
+                relative_gap: f64::NAN,
+                iterations: out.iterations,
+            };
+            (te, out.weights, target)
+        }
+    };
+
+    // Step 1b: weight post-processing per §V.G.
+    let (first_weights, tolerance) = match config.weight_mode {
+        WeightMode::Exact => {
+            // The tolerance must absorb the TE solver's finite accuracy:
+            // paths that tie at the exact optimum may differ by a small
+            // amount in the computed weights (amplified by large β,
+            // where V' is steep). Over-inclusion is benign — NEM drives
+            // superfluous paths' split ratios toward zero — but missing
+            // a path that carries optimal flow is fatal to
+            // realisability, so the default tolerance is taken from the
+            // worst Bellman slack over the optimal support itself.
+            let tol = config
+                .dijkstra_tolerance
+                .map(Ok)
+                .unwrap_or_else(|| support_slack_tolerance(g, &raw_weights, &te.flows))?;
+            (raw_weights, tol)
+        }
+        WeightMode::ScaledNoninteger => {
+            let scaled = scale_weights(&raw_weights, &te.spare)?;
+            let tol = config
+                .dijkstra_tolerance
+                .unwrap_or(NONINTEGER_DIJKSTRA_TOLERANCE);
+            (scaled, tol)
+        }
+        WeightMode::Integer => {
+            let ints = integerize(&raw_weights, &te.spare)?;
+            let tol = config
+                .dijkstra_tolerance
+                .unwrap_or(INTEGER_DIJKSTRA_TOLERANCE);
+            (ints, tol)
+        }
+    };
+
+    // Steps 2–4 run on the workspace's engine; the state goes back into
+    // the workspace whether they succeed or not.
+    let dests = traffic.destinations();
+    let floored: Vec<f64> = first_weights
+        .iter()
+        .map(|w| w.max(dual_decomp::WEIGHT_FLOOR))
+        .collect();
+    let mut engine = RoutingEngine::with_state(g, ws.take_engine());
+    let result = route_stages(
+        traffic,
+        config,
+        &dests,
+        &floored,
+        tolerance,
+        &target_flows,
+        &mut engine,
+        ws,
+    );
+    ws.put_engine(engine.into_state());
+    let (dags, nem_out, fib) = result?;
+
+    Ok(SpefRouting {
+        first_weights,
+        second_weights: nem_out.second_weights,
+        te,
+        target_flows,
+        flows: nem_out.flows,
+        dags,
+        fib,
+        dijkstra_tolerance: tolerance,
+        nem_converged: nem_out.converged,
+    })
+}
+
+/// Steps 2–4 of Algorithm 4: DAGs, second weights, forwarding tables.
+#[allow(clippy::too_many_arguments)]
+fn route_stages(
+    traffic: &TrafficMatrix,
+    config: &SpefConfig,
+    dests: &[NodeId],
+    floored: &[f64],
+    tolerance: f64,
+    target_flows: &[f64],
+    engine: &mut RoutingEngine<'_>,
+    ws: &mut TeWorkspace,
+) -> Result<(Vec<ShortestPathDag>, NemOutcome, ForwardingTable), SpefError> {
+    let g = engine.graph();
+
+    // Step 2: per-destination shortest-path DAGs, built through the
+    // batched CSR engine and materialised for the public accessor.
+    engine.build_dags(floored, dests, tolerance)?;
+    let dags: Vec<ShortestPathDag> = (0..engine.dag_set().len())
+        .map(|i| engine.dag_set().to_shortest_path_dag(i, g))
+        .collect();
+
+    // Step 3: second weights via NEM.
+    let nem_out = nem::solve_in(g, &dags, traffic, target_flows, &config.nem, ws)?;
+
+    // Step 4: forwarding tables (batched TABLE II rows).
+    let tables = engine.build_split_tables(SplitRule::Exponential(&nem_out.second_weights))?;
+    let fib = ForwardingTable::from_split_table_set(g.node_count(), dests, tables);
+
+    Ok((dags, nem_out, fib))
+}
+
 /// Smallest Dijkstra tolerance that keeps every significantly-loaded edge
 /// of the optimal distribution inside its destination's shortest-path DAG:
 /// the maximum Bellman slack `w_uv + dist(v) − dist(u)` over edges carrying
@@ -312,8 +364,19 @@ pub use crate::fib::ForwardingTable;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spef_graph::{EdgeId, NodeId};
+    use crate::solver::ConvergenceCriteria;
+    use spef_graph::EdgeId;
     use spef_topology::standard;
+
+    /// Cold-build helper: each call gets a fresh workspace.
+    fn build(
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        config: &SpefConfig,
+    ) -> Result<SpefRouting, SpefError> {
+        build_in(network, traffic, objective, config, &mut TeWorkspace::new())
+    }
 
     fn build_fig1(mode: WeightMode) -> (Network, SpefRouting) {
         let net = standard::fig1();
@@ -322,13 +385,12 @@ mod tests {
         let cfg = SpefConfig {
             weight_mode: mode,
             nem: NemConfig {
-                max_iterations: 20000,
-                epsilon: Some(1e-5),
+                convergence: ConvergenceCriteria::with_tolerance(20000, 1e-5),
                 ..NemConfig::default()
             },
             ..SpefConfig::default()
         };
-        let routing = SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+        let routing = build(&net, &tm, &obj, &cfg).unwrap();
         (net, routing)
     }
 
@@ -395,14 +457,14 @@ mod tests {
         let tm = standard::fig1_demands();
         let obj = Objective::proportional(net.link_count());
         let cfg = SpefConfig {
-            solver: TeSolver::DualDecomposition(DualDecompConfig {
-                max_iterations: 4000,
+            solver: TeSolverKind::DualDecomposition(DualDecompConfig {
+                convergence: ConvergenceCriteria::budget(4000),
                 record_trace: false,
                 ..DualDecompConfig::default()
             }),
             ..SpefConfig::default()
         };
-        let routing = SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+        let routing = build(&net, &tm, &obj, &cfg).unwrap();
         // Weights close to the primal reference (TABLE I: 3, 10, 1.5, 1.5).
         assert!((routing.first_weights()[1] - 10.0).abs() < 1.5);
         let mlu = routing.max_link_utilization(&net);
@@ -415,7 +477,7 @@ mod tests {
         let net = standard::fig4();
         let tm = standard::fig4_demands();
         let obj = Objective::proportional(net.link_count());
-        let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+        let routing = build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
         // OSPF InvCap even split.
         let invcap: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
         let dags = build_dags(net.graph(), &invcap, &tm.destinations(), 0.0).unwrap();
@@ -446,12 +508,12 @@ mod tests {
         let obj = Objective::min_hop(net.link_count());
         let cfg = SpefConfig {
             nem: NemConfig {
-                max_iterations: 5000,
+                convergence: ConvergenceCriteria::budget(5000),
                 ..NemConfig::default()
             },
             ..SpefConfig::default()
         };
-        let routing = SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+        let routing = build(&net, &tm, &obj, &cfg).unwrap();
         // β=0 saturates the bottleneck link exactly (Fig. 6: SPEF0 has
         // utilization 1.0 on link 1).
         let mlu = routing.max_link_utilization(&net);

@@ -1,0 +1,572 @@
+//! Solver sessions: the unified [`TeSolver`] trait, the [`TeWorkspace`]
+//! that persists across solves, and the shared [`ConvergenceCriteria`].
+//!
+//! Every TE-style solver in this crate — Frank–Wolfe (with the β = 0 LP
+//! fallback), Algorithm 1 (dual decomposition), Algorithm 2 (NEM) and the
+//! full SPEF pipeline — exposes the same two entry points, mirroring
+//! `LinearProgram::solve`/`resolve` from `spef-lp`:
+//!
+//! * [`TeSolver::solve`] — a **cold** solve on a fresh workspace;
+//! * [`TeSolver::solve_in`] — a solve **in** a caller-held
+//!   [`TeWorkspace`]: arenas (CSR adjacency, DAG sets, split tables, flow
+//!   and demand buffers, the simplex tableau) are reused across calls,
+//!   and when the workspace holds a compatible previous solution the
+//!   solver **warm-starts** from it.
+//!
+//! ## Warm-start and cold-fallback rules
+//!
+//! A saved solution is only used when its fingerprint matches the new
+//! instance exactly: same topology (node count and edge list, bit for
+//! bit), same capacities, same objective (β and every `q_e`), same
+//! destination set — and, for Frank–Wolfe, the new demand columns must be
+//! per-destination *proportional* to the saved ones (the case produced by
+//! load sweeps, which scale a whole matrix uniformly), so the saved flows
+//! rescale into a conservation-feasible starting point. Any mismatch
+//! falls back to the cold initial point automatically; warm-starting is
+//! never a correctness hazard, only a trajectory change.
+//!
+//! ## Determinism contract
+//!
+//! * `solve()` is bit-identical to the pre-session free functions.
+//! * `solve_in` on a workspace with **no saved solution** (fresh, or
+//!   after [`TeWorkspace::clear_solutions`]) is bit-identical to
+//!   `solve()`: arena reuse and the SPF skip in
+//!   [`RoutingEngine`](crate::RoutingEngine) never change results.
+//! * With [`ConvergenceCriteria::pinned`] set, `solve_in` ignores any
+//!   saved solution and runs exactly `max_iterations` iterations from
+//!   the cold start — the bit-exactness gate used by the equivalence
+//!   proptests and the regression-gated sweeps.
+
+use spef_graph::{Graph, NodeId, ShortestPathDag};
+use spef_lp::simplex::SimplexWorkspace;
+use spef_topology::{Network, TrafficMatrix};
+
+use crate::engine::EngineState;
+use crate::traffic_dist::{DistScratch, Flows, SplitTableSet};
+use crate::{Objective, SpefError};
+
+/// Relative tolerance of the per-destination demand proportionality check
+/// that gates the Frank–Wolfe warm start.
+const PROPORTIONALITY_RTOL: f64 = 1e-9;
+
+/// Stopping rules shared by every solver configuration, replacing the
+/// former per-config field dialects (`max_iterations` +
+/// `relative_gap_tolerance` / `epsilon` / `gap_tolerance`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceCriteria {
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Convergence tolerance; the meaning is solver-specific (Frank–Wolfe:
+    /// relative duality gap; NEM: the ε of `f_e ≤ f*_e + ε`; dual
+    /// decomposition: absolute dual gap). `None` derives each solver's
+    /// documented default.
+    pub gap_tolerance: Option<f64>,
+    /// Pinned-iteration mode: run exactly `max_iterations` iterations —
+    /// no early termination on the tolerance — and ignore any saved
+    /// solution in the workspace (always the cold trajectory). This makes
+    /// results a pure function of the instance, independent of workspace
+    /// history: the bit-exactness gate.
+    pub pinned: bool,
+}
+
+impl ConvergenceCriteria {
+    /// A budget-only criterion: stop on the solver's default tolerance or
+    /// after `max_iterations`, whichever comes first.
+    pub const fn budget(max_iterations: usize) -> ConvergenceCriteria {
+        ConvergenceCriteria {
+            max_iterations,
+            gap_tolerance: None,
+            pinned: false,
+        }
+    }
+
+    /// A budget with an explicit tolerance.
+    pub const fn with_tolerance(max_iterations: usize, tolerance: f64) -> ConvergenceCriteria {
+        ConvergenceCriteria {
+            max_iterations,
+            gap_tolerance: Some(tolerance),
+            pinned: false,
+        }
+    }
+
+    /// Exactly `iterations` iterations, cold trajectory, no early exit.
+    pub const fn pinned(iterations: usize) -> ConvergenceCriteria {
+        ConvergenceCriteria {
+            max_iterations: iterations,
+            gap_tolerance: None,
+            pinned: true,
+        }
+    }
+}
+
+/// A TE problem instance: the triple every network-level solver consumes.
+/// Cheap to copy; borrows everything.
+#[derive(Debug, Clone, Copy)]
+pub struct TeInstance<'a> {
+    /// The network (graph + capacities).
+    pub network: &'a Network,
+    /// The demand matrix `D`.
+    pub traffic: &'a TrafficMatrix,
+    /// The utility objective `V`.
+    pub objective: &'a Objective,
+}
+
+impl<'a> TeInstance<'a> {
+    /// Bundles a TE instance.
+    pub fn new(
+        network: &'a Network,
+        traffic: &'a TrafficMatrix,
+        objective: &'a Objective,
+    ) -> TeInstance<'a> {
+        TeInstance {
+            network,
+            traffic,
+            objective,
+        }
+    }
+}
+
+/// An Algorithm 2 (NEM) instance: the second-weight computation runs over
+/// already-built shortest-path DAGs against a target distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct NemInstance<'a> {
+    /// The graph the DAGs live on.
+    pub graph: &'a Graph,
+    /// Per-destination shortest-path DAGs under the first weights,
+    /// aligned with `traffic.destinations()`.
+    pub dags: &'a [ShortestPathDag],
+    /// The demand matrix.
+    pub traffic: &'a TrafficMatrix,
+    /// The aggregate target distribution `f*`.
+    pub target_flows: &'a [f64],
+}
+
+impl<'a> NemInstance<'a> {
+    /// Bundles a NEM instance.
+    pub fn new(
+        graph: &'a Graph,
+        dags: &'a [ShortestPathDag],
+        traffic: &'a TrafficMatrix,
+        target_flows: &'a [f64],
+    ) -> NemInstance<'a> {
+        NemInstance {
+            graph,
+            dags,
+            traffic,
+            target_flows,
+        }
+    }
+}
+
+/// The unified solver interface. Implemented by [`FrankWolfeConfig`]
+/// (β = 0 dispatches to the exact LP), [`DualDecompConfig`], [`NemConfig`]
+/// and [`SpefConfig`] — the configuration *is* the solver; the instance
+/// carries the problem data.
+///
+/// [`FrankWolfeConfig`]: crate::FrankWolfeConfig
+/// [`DualDecompConfig`]: crate::DualDecompConfig
+/// [`NemConfig`]: crate::NemConfig
+/// [`SpefConfig`]: crate::SpefConfig
+pub trait TeSolver {
+    /// The instance type this solver consumes ([`TeInstance`] for the
+    /// network-level solvers, [`NemInstance`] for Algorithm 2).
+    type Instance<'i>;
+    /// The solution type this solver produces.
+    type Output;
+
+    /// Solves `instance` in the caller's workspace: arenas are reused and
+    /// a fingerprint-compatible saved solution warm-starts the run (see
+    /// the [module docs](self) for the exact rules).
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as the solver's documented cold path.
+    fn solve_in(
+        &self,
+        instance: Self::Instance<'_>,
+        workspace: &mut TeWorkspace,
+    ) -> Result<Self::Output, SpefError>;
+
+    /// Cold solve on a fresh workspace; bit-identical to the pre-session
+    /// free functions.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TeSolver::solve_in`].
+    fn solve(&self, instance: Self::Instance<'_>) -> Result<Self::Output, SpefError> {
+        self.solve_in(instance, &mut TeWorkspace::new())
+    }
+}
+
+/// Structural + data fingerprint shared by the per-solver saved states:
+/// the topology (node count, edge list) and destination set a solution
+/// was computed for.
+#[derive(Debug, Default)]
+pub(crate) struct TopoFingerprint {
+    nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    dests: Vec<NodeId>,
+}
+
+impl TopoFingerprint {
+    fn matches(&self, graph: &Graph, dests: &[NodeId]) -> bool {
+        self.nodes == graph.node_count()
+            && self.edges.len() == graph.edge_count()
+            && self.dests.as_slice() == dests
+            && graph
+                .edges()
+                .zip(&self.edges)
+                .all(|((_, u, v), &(su, sv))| u == su && v == sv)
+    }
+
+    fn record(&mut self, graph: &Graph, dests: &[NodeId]) {
+        self.nodes = graph.node_count();
+        self.edges.clear();
+        self.edges.extend(graph.edges().map(|(_, u, v)| (u, v)));
+        self.dests.clear();
+        self.dests.extend_from_slice(dests);
+    }
+}
+
+/// Bitwise equality of two f64 slices.
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Frank–Wolfe session state: working buffers that double as the saved
+/// solution (after a successful solve, `flows`/`spare` hold the optimum
+/// and `saved` describes the instance they solve).
+#[derive(Debug, Default)]
+pub(crate) struct FwSession {
+    pub(crate) flows: Flows,
+    pub(crate) target: Flows,
+    pub(crate) spare: Vec<f64>,
+    pub(crate) kappa: Vec<f64>,
+    pub(crate) delta: Vec<f64>,
+    pub(crate) init_weights: Vec<f64>,
+    demand_buf: Vec<f64>,
+    ratio: Vec<f64>,
+    saved: Option<FwFingerprint>,
+    /// An invalidated fingerprint kept only for its buffer capacity, so
+    /// warm re-solves record their solution without reallocating.
+    stale: Option<FwFingerprint>,
+}
+
+#[derive(Debug, Default)]
+struct FwFingerprint {
+    topo: TopoFingerprint,
+    capacities: Vec<f64>,
+    q: Vec<f64>,
+    beta: f64,
+    smoothing: f64,
+    /// Demand columns (one per destination) the saved flows route.
+    demands: Vec<Vec<f64>>,
+}
+
+impl FwSession {
+    /// Checks whether the saved solution can warm-start `(network,
+    /// traffic, objective)` and, if so, rescales `self.flows` in place
+    /// into a starting point for the new demands. Returns `false` (and
+    /// leaves the buffers free for a cold init) on any mismatch.
+    pub(crate) fn try_warm_start(
+        &mut self,
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        smoothing_fraction: f64,
+        dests: &[NodeId],
+    ) -> bool {
+        let Some(saved) = &self.saved else {
+            return false;
+        };
+        if !saved.topo.matches(network.graph(), dests)
+            || !bits_eq(&saved.capacities, network.capacities())
+            || saved.beta.to_bits() != objective.beta().to_bits()
+            || saved.smoothing.to_bits() != smoothing_fraction.to_bits()
+            || saved.q.len() != objective.link_count()
+            || !(0..objective.link_count())
+                .all(|e| saved.q[e].to_bits() == objective.q(e.into()).to_bits())
+        {
+            return false;
+        }
+        // Per-destination proportionality: d'^t = r_t · d^t within a tiny
+        // relative tolerance, so r_t · f^t stays conservation-feasible.
+        self.ratio.clear();
+        for (i, &t) in dests.iter().enumerate() {
+            traffic.demands_to_into(t, &mut self.demand_buf);
+            let old = &saved.demands[i];
+            if old.len() != self.demand_buf.len() {
+                return false;
+            }
+            let (peak_idx, peak) = old
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                .map(|(i, &v)| (i, v))
+                .unwrap_or((0, 0.0));
+            if peak <= 0.0 {
+                return false;
+            }
+            let r = self.demand_buf[peak_idx] / peak;
+            if !r.is_finite() || r < 0.0 {
+                return false;
+            }
+            let tol = PROPORTIONALITY_RTOL * peak * r.max(1.0);
+            if self
+                .demand_buf
+                .iter()
+                .zip(old)
+                .any(|(new, old)| (new - r * old).abs() > tol)
+            {
+                return false;
+            }
+            self.ratio.push(r);
+        }
+        self.flows.scale_per_destination(&self.ratio);
+        // The rescaled buffer is a starting point, not a solution: until
+        // the next successful solve records a fresh fingerprint, nothing
+        // claims it solves anything. The stale fingerprint is parked for
+        // its buffer capacity.
+        self.stale = self.saved.take();
+        true
+    }
+
+    /// Records the instance the current `flows` buffer solves.
+    pub(crate) fn record_solution(
+        &mut self,
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        smoothing_fraction: f64,
+        dests: &[NodeId],
+    ) {
+        let mut saved = self
+            .saved
+            .take()
+            .or_else(|| self.stale.take())
+            .unwrap_or_default();
+        saved.topo.record(network.graph(), dests);
+        saved.capacities.clear();
+        saved.capacities.extend_from_slice(network.capacities());
+        saved.q.clear();
+        saved
+            .q
+            .extend((0..objective.link_count()).map(|e| objective.q(e.into())));
+        saved.beta = objective.beta();
+        saved.smoothing = smoothing_fraction;
+        if saved.demands.len() != dests.len() {
+            saved.demands.resize_with(dests.len(), Vec::new);
+        }
+        for (col, &t) in saved.demands.iter_mut().zip(dests) {
+            traffic.demands_to_into(t, col);
+        }
+        self.saved = Some(saved);
+    }
+
+    /// Forgets the saved solution (arenas are kept).
+    pub(crate) fn forget(&mut self) {
+        self.saved = None;
+    }
+}
+
+/// NEM session state: the dual iterate `v` doubles as the saved solution.
+#[derive(Debug, Default)]
+pub(crate) struct NemSession {
+    pub(crate) v: Vec<f64>,
+    pub(crate) flows: Flows,
+    pub(crate) tables: SplitTableSet,
+    pub(crate) scratch: DistScratch,
+    pub(crate) demand_buf: Vec<f64>,
+    saved: Option<TopoFingerprint>,
+}
+
+impl NemSession {
+    /// True when the saved `v` may seed the new run (same graph and
+    /// destination set; any `v ≥ 0` is a valid projected-gradient start,
+    /// so no further checks are needed).
+    pub(crate) fn try_warm_start(&mut self, graph: &Graph, dests: &[NodeId]) -> bool {
+        let warm = self
+            .saved
+            .as_ref()
+            .is_some_and(|s| s.matches(graph, dests) && self.v.len() == graph.edge_count());
+        self.saved = None;
+        warm
+    }
+
+    /// Records the instance the current `v` solves.
+    pub(crate) fn record_solution(&mut self, graph: &Graph, dests: &[NodeId]) {
+        let mut saved = self.saved.take().unwrap_or_default();
+        saved.record(graph, dests);
+        self.saved = Some(saved);
+    }
+
+    pub(crate) fn forget(&mut self) {
+        self.saved = None;
+    }
+}
+
+/// Dual-decomposition session state: the multiplier vector `weights`
+/// doubles as the saved solution.
+#[derive(Debug, Default)]
+pub(crate) struct DdSession {
+    pub(crate) weights: Vec<f64>,
+    pub(crate) spare: Vec<f64>,
+    pub(crate) average_flows: Vec<f64>,
+    pub(crate) floored: Vec<f64>,
+    pub(crate) flows: Flows,
+    pub(crate) demand_buf: Vec<f64>,
+    saved: Option<TopoFingerprint>,
+}
+
+impl DdSession {
+    /// True when the saved multipliers may seed the new run (same graph
+    /// and destination set; any `w ≥ 0` is a valid dual start).
+    pub(crate) fn try_warm_start(&mut self, graph: &Graph, dests: &[NodeId]) -> bool {
+        let warm = self
+            .saved
+            .as_ref()
+            .is_some_and(|s| s.matches(graph, dests) && self.weights.len() == graph.edge_count());
+        self.saved = None;
+        warm
+    }
+
+    /// Records the instance the current `weights` solve.
+    pub(crate) fn record_solution(&mut self, graph: &Graph, dests: &[NodeId]) {
+        let mut saved = self.saved.take().unwrap_or_default();
+        saved.record(graph, dests);
+        self.saved = Some(saved);
+    }
+
+    pub(crate) fn forget(&mut self) {
+        self.saved = None;
+    }
+}
+
+/// A reusable solver workspace: every arena and saved iterate the solvers
+/// in this crate can carry from one solve to the next.
+///
+/// One workspace serves all four solvers — the SPEF pipeline threads the
+/// same workspace through its TE, DAG and NEM stages, so a chained sweep
+/// (same topology, neighbouring loads) reuses the CSR adjacency, DAG
+/// arenas, flow/split/demand buffers, the simplex tableau (β = 0), and —
+/// unless cleared or pinned — the previous grid point's solution as a
+/// warm start. See the [module docs](self) for the fingerprint rules.
+#[derive(Debug, Default)]
+pub struct TeWorkspace {
+    engine: Option<EngineState>,
+    pub(crate) simplex: SimplexWorkspace,
+    pub(crate) fw: FwSession,
+    pub(crate) nem: NemSession,
+    pub(crate) dd: DdSession,
+}
+
+impl TeWorkspace {
+    /// An empty workspace; arenas grow on first use.
+    pub fn new() -> TeWorkspace {
+        TeWorkspace::default()
+    }
+
+    /// Drops every saved solution while keeping all arenas, so subsequent
+    /// `solve_in` calls run the cold trajectory (bit-identical to
+    /// [`TeSolver::solve`]) at warm-buffer speed. The result-preserving
+    /// mode used by the regression-gated sweep harness.
+    pub fn clear_solutions(&mut self) {
+        self.fw.forget();
+        self.nem.forget();
+        self.dd.forget();
+    }
+
+    /// Detaches the engine state for attaching to a borrowed graph.
+    pub(crate) fn take_engine(&mut self) -> EngineState {
+        self.engine.take().unwrap_or_default()
+    }
+
+    /// Returns the engine state after a session.
+    pub(crate) fn put_engine(&mut self, state: EngineState) {
+        self.engine = Some(state);
+    }
+
+    /// Number of SPF batch builds the workspace's engine has executed —
+    /// skipped (fingerprint-identical) builds are not counted. Exposed
+    /// for tests and benches.
+    pub fn spf_builds(&self) -> u64 {
+        self.engine.as_ref().map_or(0, EngineState::spf_builds)
+    }
+}
+
+impl TeSolver for crate::FrankWolfeConfig {
+    type Instance<'i> = TeInstance<'i>;
+    type Output = crate::TeSolution;
+
+    fn solve_in(
+        &self,
+        instance: TeInstance<'_>,
+        workspace: &mut TeWorkspace,
+    ) -> Result<crate::TeSolution, SpefError> {
+        crate::te::solve_te_in(
+            instance.network,
+            instance.traffic,
+            instance.objective,
+            self,
+            workspace,
+        )
+    }
+}
+
+impl TeSolver for crate::DualDecompConfig {
+    type Instance<'i> = TeInstance<'i>;
+    type Output = crate::DualDecompOutcome;
+
+    fn solve_in(
+        &self,
+        instance: TeInstance<'_>,
+        workspace: &mut TeWorkspace,
+    ) -> Result<crate::DualDecompOutcome, SpefError> {
+        crate::dual_decomp::solve_in(
+            instance.network,
+            instance.traffic,
+            instance.objective,
+            self,
+            workspace,
+        )
+    }
+}
+
+impl TeSolver for crate::NemConfig {
+    type Instance<'i> = NemInstance<'i>;
+    type Output = crate::NemOutcome;
+
+    fn solve_in(
+        &self,
+        instance: NemInstance<'_>,
+        workspace: &mut TeWorkspace,
+    ) -> Result<crate::NemOutcome, SpefError> {
+        crate::nem::solve_in(
+            instance.graph,
+            instance.dags,
+            instance.traffic,
+            instance.target_flows,
+            self,
+            workspace,
+        )
+    }
+}
+
+impl TeSolver for crate::SpefConfig {
+    type Instance<'i> = TeInstance<'i>;
+    type Output = crate::SpefRouting;
+
+    fn solve_in(
+        &self,
+        instance: TeInstance<'_>,
+        workspace: &mut TeWorkspace,
+    ) -> Result<crate::SpefRouting, SpefError> {
+        crate::protocol::build_in(
+            instance.network,
+            instance.traffic,
+            instance.objective,
+            self,
+            workspace,
+        )
+    }
+}

@@ -18,6 +18,7 @@ use spef_lp::simplex::{LinearProgram, Relation, SimplexError};
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::frank_wolfe::{self, FrankWolfeConfig};
+use crate::solver::TeWorkspace;
 use crate::traffic_dist::Flows;
 use crate::{Objective, SpefError};
 
@@ -40,7 +41,7 @@ pub struct TeSolution {
     pub iterations: usize,
 }
 
-/// Solves `TE(V, G, c, D)` for the given objective.
+/// Solves `TE(V, G, c, D)` cold on a fresh workspace.
 ///
 /// # Errors
 ///
@@ -48,17 +49,34 @@ pub struct TeSolution {
 ///   within capacity,
 /// * [`SpefError::InvalidInput`] on size mismatches,
 /// * [`SpefError::UnroutableDemand`] if some demand pair is disconnected.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `TeSolver::solve` / `solve_in` on `FrankWolfeConfig`"
+)]
 pub fn solve_te(
     network: &Network,
     traffic: &TrafficMatrix,
     objective: &Objective,
     config: &FrankWolfeConfig,
 ) -> Result<TeSolution, SpefError> {
+    solve_te_in(network, traffic, objective, config, &mut TeWorkspace::new())
+}
+
+/// Solves `TE(V, G, c, D)` in the caller's workspace: β > 0 runs the
+/// Frank–Wolfe session solver (DAG arenas, warm start); β = 0 solves the
+/// LP with the workspace's simplex tableau arena.
+pub(crate) fn solve_te_in(
+    network: &Network,
+    traffic: &TrafficMatrix,
+    objective: &Objective,
+    config: &FrankWolfeConfig,
+    ws: &mut TeWorkspace,
+) -> Result<TeSolution, SpefError> {
     validate_sizes(network, traffic, objective)?;
     if objective.beta() == 0.0 {
-        solve_beta_zero(network, traffic, objective)
+        solve_beta_zero(network, traffic, objective, ws)
     } else {
-        frank_wolfe::solve(network, traffic, objective, config)
+        frank_wolfe::solve_in(network, traffic, objective, config, ws)
     }
 }
 
@@ -89,6 +107,7 @@ fn solve_beta_zero(
     network: &Network,
     traffic: &TrafficMatrix,
     objective: &Objective,
+    ws: &mut TeWorkspace,
 ) -> Result<TeSolution, SpefError> {
     let g = network.graph();
     let m = g.edge_count();
@@ -129,10 +148,10 @@ fn solve_beta_zero(
             lp.add_constraint(&row, Relation::Eq, demands[node.index()]);
         }
     }
-    // The LP is built fresh and solved once per call, so there is no
-    // warm-start opportunity here; `solve` already runs the flat-arena
-    // engine on a fresh workspace.
-    let sol = match lp.solve() {
+    // The LP is built fresh each call (the constraint matrix depends on
+    // the demands), so the pivots run cold — but the tableau arena in the
+    // workspace is reused across solves.
+    let sol = match lp.solve_with(&mut ws.simplex) {
         Ok(sol) => sol,
         Err(SimplexError::Infeasible) => return Err(SpefError::Infeasible),
         Err(e) => return Err(SpefError::InvalidInput(format!("beta=0 LP failed: {e}"))),
@@ -196,6 +215,16 @@ impl Flows {
 mod tests {
     use super::*;
     use spef_topology::standard;
+
+    /// Cold-solve helper shadowing the deprecated free function.
+    fn solve_te(
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        config: &FrankWolfeConfig,
+    ) -> Result<TeSolution, SpefError> {
+        solve_te_in(network, traffic, objective, config, &mut TeWorkspace::new())
+    }
 
     #[test]
     fn beta_zero_on_fig1_saturates_direct_link() {

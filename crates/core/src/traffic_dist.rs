@@ -330,7 +330,7 @@ pub(crate) struct DistScratch {
 
 /// The flows produced by a traffic distribution: per-destination edge flows
 /// and their aggregate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Flows {
     dests: Vec<NodeId>,
     per_dest: Vec<Vec<f64>>,
@@ -424,6 +424,22 @@ impl Flows {
         }
         self.aggregate.clear();
         self.aggregate.resize(m, 0.0);
+    }
+
+    /// Scales every per-destination flow vector by its ratio and rebuilds
+    /// the aggregate — the warm-start rescale for proportionally scaled
+    /// demand matrices (load sweeps).
+    pub(crate) fn scale_per_destination(&mut self, ratios: &[f64]) {
+        debug_assert_eq!(ratios.len(), self.per_dest.len());
+        for a in &mut self.aggregate {
+            *a = 0.0;
+        }
+        for (f, &r) in self.per_dest.iter_mut().zip(ratios) {
+            for (x, agg) in f.iter_mut().zip(&mut self.aggregate) {
+                *x *= r;
+                *agg += *x;
+            }
+        }
     }
 
     /// In-place convex combination `self ← (1−α)·self + α·other`, the

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use spef_core::{
-    build_dags, solve_te, traffic_distribution, FrankWolfeConfig, Objective, SplitRule,
+    build_dags, traffic_distribution, FrankWolfeConfig, Objective, SplitRule, TeInstance, TeSolver,
 };
 use spef_graph::NodeId;
 use spef_topology::{gen, TrafficMatrix};
@@ -70,7 +70,7 @@ proptest! {
     #[test]
     fn te_optimum_dominates_invcap_ecmp((net, tm) in random_instance()) {
         let obj = Objective::proportional(net.link_count());
-        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        let te = FrankWolfeConfig::fast().solve(TeInstance::new(&net, &tm, &obj)).unwrap();
         let w: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
         let dags = build_dags(net.graph(), &w, &tm.destinations(), 0.0).unwrap();
         let ecmp = traffic_distribution(net.graph(), &dags, &tm, SplitRule::EvenEcmp).unwrap();
@@ -92,7 +92,7 @@ proptest! {
         beta in prop_oneof![Just(0.5), Just(1.0), Just(2.0)],
     ) {
         let obj = Objective::uniform(beta, net.link_count());
-        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        let te = FrankWolfeConfig::fast().solve(TeInstance::new(&net, &tm, &obj)).unwrap();
         for e in 0..net.link_count() {
             prop_assert!(te.weights[e] > 0.0);
             let expected = obj.marginal_utility(e.into(), te.spare[e]);
@@ -110,9 +110,10 @@ proptest! {
     #[test]
     fn utility_is_monotone_in_load((net, tm) in random_instance()) {
         let obj = Objective::proportional(net.link_count());
-        let lo = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        let fw = FrankWolfeConfig::fast();
+        let lo = fw.solve(TeInstance::new(&net, &tm, &obj)).unwrap();
         let hi_tm = tm.scaled(1.5);
-        let hi = solve_te(&net, &hi_tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        let hi = fw.solve(TeInstance::new(&net, &hi_tm, &obj)).unwrap();
         prop_assert!(hi.utility <= lo.utility + 1e-6);
     }
 
@@ -122,14 +123,14 @@ proptest! {
     fn protocol_realises_near_optimal_mlu((net, tm) in random_instance()) {
         let obj = Objective::proportional(net.link_count());
         let cfg = spef_core::SpefConfig {
-            solver: spef_core::TeSolver::FrankWolfe(FrankWolfeConfig::fast()),
+            solver: spef_core::TeSolverKind::FrankWolfe(FrankWolfeConfig::fast()),
             nem: spef_core::NemConfig {
-                max_iterations: 3000,
+                convergence: spef_core::ConvergenceCriteria::budget(3000),
                 ..spef_core::NemConfig::default()
             },
             ..spef_core::SpefConfig::default()
         };
-        let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+        let routing = cfg.solve(TeInstance::new(&net, &tm, &obj)).unwrap();
         let te_mlu = spef_core::metrics::max_link_utilization(
             &net,
             routing.te_solution().flows.aggregate(),

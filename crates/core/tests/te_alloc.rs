@@ -1,0 +1,98 @@
+//! Steady-state allocation contract of warm solver sessions: once a
+//! [`TeWorkspace`] has been warmed on an instance shape, a re-solve
+//! allocates only the returned solution's own vectors — a count fixed by
+//! the topology, independent of the iteration budget. If any per-iteration
+//! buffer (descent direction, DAG arena, line-search scratch, warm-start
+//! rescale) allocated, a 16×-larger budget would allocate more.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spef_core::{
+    ConvergenceCriteria, FrankWolfeConfig, Objective, TeInstance, TeSolver, TeWorkspace,
+};
+use spef_topology::{standard, TrafficMatrix};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Allocations of one more pinned solve on an already-warmed workspace.
+fn warmed_solve_allocs(budget: usize, ws: &mut TeWorkspace) -> u64 {
+    let net = standard::abilene();
+    let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.12);
+    let obj = Objective::proportional(net.link_count());
+    let fw = FrankWolfeConfig {
+        convergence: ConvergenceCriteria::pinned(budget),
+        ..FrankWolfeConfig::default()
+    };
+    fw.solve_in(TeInstance::new(&net, &tm, &obj), ws)
+        .expect("feasible");
+    let before = allocations();
+    let sol = fw
+        .solve_in(TeInstance::new(&net, &tm, &obj), ws)
+        .expect("feasible");
+    let after = allocations();
+    drop(sol);
+    after - before
+}
+
+#[test]
+fn warm_resolves_allocate_constant_independent_of_budget() {
+    let mut ws = TeWorkspace::new();
+    let short = warmed_solve_allocs(8, &mut ws);
+    let long = warmed_solve_allocs(128, &mut ws);
+    assert_eq!(
+        short, long,
+        "allocation count grew with iteration budget: {short} -> {long}"
+    );
+
+    // The warm-start path (gap tolerance, restart from the recorded
+    // neighbour solution) has the same contract: its rescale works in the
+    // session's preallocated buffers.
+    let net = standard::abilene();
+    let shape = TrafficMatrix::fortz_thorup(&net, 1);
+    let tm_lo = shape.scaled_to_network_load(&net, 0.12);
+    let tm_hi = shape.scaled_to_network_load(&net, 0.13);
+    let obj = Objective::proportional(net.link_count());
+    let fw = FrankWolfeConfig::fast();
+    // Warm both load points so further alternation is steady-state.
+    for tm in [&tm_lo, &tm_hi, &tm_lo] {
+        fw.solve_in(TeInstance::new(&net, tm, &obj), &mut ws)
+            .expect("feasible");
+    }
+    let before = allocations();
+    let sol = fw
+        .solve_in(TeInstance::new(&net, &tm_hi, &obj), &mut ws)
+        .expect("feasible");
+    let after = allocations();
+    drop(sol);
+    let warm = after - before;
+    assert!(
+        warm <= short,
+        "warm-start re-solve allocated {warm}, pinned steady state {short}"
+    );
+}

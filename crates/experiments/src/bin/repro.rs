@@ -14,6 +14,9 @@
 //!     --json BENCH_sweep.json
 //!
 //! repro sweep --family sim     # packet-level sim grid (fig4/abilene/cernet2)
+//! repro sweep --family all     # te grid + sim grid, one report (PR 6 gate)
+//! repro sweep --family all --cold-solves   # same grid, isolated cold solves:
+//!                                          # results must not move a bit
 //! repro sweep --family sim --sim-scheduler heap   # same grid, heap scheduler:
 //!                                                 # results must not move a bit
 //!
@@ -81,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
 /// Parses and runs `repro sweep ...`, returning the process exit code.
 fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     let mut grid = ScenarioGrid::new();
+    let mut family_all = false;
     let mut json_path = PathBuf::from("BENCH_sweep.json");
     let mut options = BatchOptions::default();
 
@@ -103,7 +107,13 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         if arg.starts_with("--")
             && !matches!(
                 arg.as_str(),
-                "--family" | "--json" | "--serial" | "--sim-scheduler" | "--help" | "-h"
+                "--family"
+                    | "--json"
+                    | "--serial"
+                    | "--cold-solves"
+                    | "--sim-scheduler"
+                    | "--help"
+                    | "-h"
             )
         {
             grid_customised = true;
@@ -116,9 +126,15 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
                     );
                 }
                 let val = value("--family")?;
-                grid = match val.as_str() {
-                    "sim" => ScenarioGrid::sim_family(),
-                    other => return Err(format!("--family: unknown family {other:?}; known: sim")),
+                match val.as_str() {
+                    "te" => grid = ScenarioGrid::te_family(),
+                    "sim" => grid = ScenarioGrid::sim_family(),
+                    "all" => family_all = true,
+                    other => {
+                        return Err(format!(
+                            "--family: unknown family {other:?}; known: te, sim, all"
+                        ))
+                    }
                 };
             }
             "--topologies" => {
@@ -212,14 +228,15 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
             }
             "--json" => json_path = PathBuf::from(value("--json")?),
             "--serial" => options.serial = true,
+            "--cold-solves" => options.cold_solves = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro sweep [--family sim] [--topologies a,b,...] \
+                    "usage: repro sweep [--family te|sim|all] [--topologies a,b,...] \
                      [--seeds 1,2,...] [--loads 0.15,...] [--betas 1.0,...] [--q 1.0] \
                      [--solvers fw|fw-fast|dd] [--traffic ft|gravity] \
                      [--base-seed N] [--sim-durations 2,5] [--sim-warmup-frac 0.1] \
                      [--sim-unit 1e6] [--sim-seed N] [--sim-scheduler calendar|heap] \
-                     [--json FILE] [--serial]"
+                     [--json FILE] [--serial] [--cold-solves]"
                 );
                 return Ok(ExitCode::SUCCESS);
             }
@@ -227,7 +244,15 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         }
     }
 
-    let scenarios = grid.build();
+    let scenarios = if family_all {
+        // The full regression surface: the PR 2 `te` grid followed by the
+        // PR 4 `sim` family, as one report (the PR 6 baseline pair).
+        let mut scenarios = ScenarioGrid::te_family().build();
+        scenarios.extend(ScenarioGrid::sim_family().build());
+        scenarios
+    } else {
+        grid.build()
+    };
     println!(
         "sweep: {} scenario(s), {} thread(s)",
         scenarios.len(),

@@ -18,7 +18,8 @@
 //! operator pushes new weights.
 
 use spef_core::{
-    build_dags, metrics, solve_te, traffic_distribution, Objective, SpefError, SplitRule,
+    build_dags, metrics, traffic_distribution, Objective, SpefError, SplitRule, TeInstance,
+    TeSolver, TeWorkspace,
 };
 use spef_graph::EdgeId;
 use spef_topology::{standard, TrafficMatrix};
@@ -38,7 +39,12 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     // Leave failure headroom: half the intact feasibility boundary.
     let tm = shape.scaled_to_network_load(&net, 0.5 * lmax);
     let obj = Objective::proportional(net.link_count());
-    let intact = solve_te(&net, &tm, &obj, &quality.fw())?;
+    let fw = quality.fw();
+    // One workspace across the failure sweep: every degraded topology has
+    // its own edge list, so each re-optimisation runs the cold trajectory
+    // on warm arenas.
+    let mut ws = TeWorkspace::new();
+    let intact = fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)?;
     let invcap: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
 
     let circuits: Vec<(EdgeId, EdgeId)> = (0..net.link_count() / 2)
@@ -82,7 +88,7 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
 
         // SPEF re-optimised on the degraded topology.
         let obj_d = Objective::proportional(degraded.link_count());
-        let mlu_reopt = match solve_te(&degraded, &tm, &obj_d, &quality.fw()) {
+        let mlu_reopt = match fw.solve_in(TeInstance::new(&degraded, &tm, &obj_d), &mut ws) {
             Ok(sol) => metrics::max_link_utilization(&degraded, sol.flows.aggregate()),
             Err(SpefError::Infeasible) => f64::INFINITY,
             Err(e) => return Err(e),

@@ -8,7 +8,7 @@
 //! still works".
 
 use spef_baselines::ospf::OspfRouting;
-use spef_core::{Objective, SpefError, SpefRouting};
+use spef_core::{Objective, SpefError, TeInstance, TeSolver};
 use spef_topology::{gen, standard, Network, TrafficMatrix};
 
 use crate::report::{fmt_val, CsvFile, ExperimentResult, TextTable};
@@ -71,7 +71,9 @@ pub fn sweep_panel(
         let ospf = OspfRouting::route(net, &tm)
             .map_err(|e| SpefError::InvalidInput(format!("OSPF failed: {e}")))?;
         ospf_utility.push(ospf.normalized_utility(net));
-        let spef = SpefRouting::build(net, &tm, &obj, &quality.spef_config())?;
+        let spef = quality
+            .spef_config()
+            .solve(TeInstance::new(net, &tm, &obj))?;
         spef_utility.push(spef.normalized_utility(net));
     }
     Ok(Panel {

@@ -19,7 +19,7 @@
 //! paths ... constructed with a higher probability".
 
 use spef_baselines::peft::PeftRouting;
-use spef_core::{Objective, SpefError, SpefRouting};
+use spef_core::{Objective, SpefError, TeInstance, TeSolver};
 use spef_netsim::{simulate_with, SimConfig, SimWorkspace};
 use spef_topology::{standard, Network, TrafficMatrix};
 
@@ -90,7 +90,9 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let mut sim_ws = SimWorkspace::new();
     for spec in panels() {
         let obj = Objective::proportional(spec.net.link_count());
-        let spef = SpefRouting::build(&spec.net, &spec.tm, &obj, &quality.spef_config())?;
+        let spef = quality
+            .spef_config()
+            .solve(TeInstance::new(&spec.net, &spec.tm, &obj))?;
         let te = spef.te_solution();
         let peft_weights = spef_core::weights::integerize(&te.weights, &te.spare)?;
         let peft = PeftRouting::route(&spec.net, &spec.tm, &peft_weights)?;

@@ -10,8 +10,8 @@
 //! already a good approximate dual.
 
 use spef_core::{
-    build_dags, dual_decomp, nem, solve_te, DualDecompConfig, NemConfig, Objective, SpefError,
-    StepRule,
+    build_dags, ConvergenceCriteria, DualDecompConfig, NemConfig, NemInstance, Objective,
+    SpefError, StepRule, TeInstance, TeSolver, TeWorkspace,
 };
 use spef_topology::{standard, TrafficMatrix};
 
@@ -47,17 +47,22 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let tm = shape.scaled_to_network_load(&net, (0.21f64).min(0.85 * lmax));
     let obj = Objective::proportional(net.link_count());
     let (te_iters, nem_iters) = budgets(quality);
+    // Shared arenas across every solve; the saved solutions are cleared
+    // before each trace so all of them start from the paper's cold
+    // initialisation (the figure compares cold trajectories).
+    let mut ws = TeWorkspace::new();
 
     // Panel (a): Algorithm 1 traces.
     let mut te_traces = Vec::new();
     for &ratio in &TE_RATIOS {
         let cfg = DualDecompConfig {
             step: StepRule::DefaultRatio(ratio),
-            max_iterations: te_iters,
-            gap_tolerance: Some(0.0), // run the full budget for the figure
+            // Zero tolerance: run the full budget for the figure.
+            convergence: ConvergenceCriteria::with_tolerance(te_iters, 0.0),
             record_trace: true,
         };
-        let out = dual_decomp::solve(&net, &tm, &obj, &cfg)?;
+        ws.clear_solutions();
+        let out = cfg.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)?;
         te_traces.push((ratio, out.dual_objective_trace));
     }
 
@@ -67,7 +72,10 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     // below it would push the corresponding dual upward forever (a linear
     // drift in d(v) that the paper's exactly-realisable target never
     // exhibits).
-    let te = solve_te(&net, &tm, &obj, &quality.fw())?;
+    ws.clear_solutions();
+    let te = quality
+        .fw()
+        .solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)?;
     let max_f = te.flows.aggregate().iter().cloned().fold(0.0, f64::max);
     let target: Vec<f64> = te
         .flows
@@ -82,11 +90,12 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     for &ratio in &NEM_RATIOS {
         let cfg = NemConfig {
             step: StepRule::DefaultRatio(ratio),
-            max_iterations: nem_iters,
-            epsilon: Some(0.0), // run the full budget for the figure
+            // Zero tolerance: run the full budget for the figure.
+            convergence: ConvergenceCriteria::with_tolerance(nem_iters, 0.0),
             record_trace: true,
         };
-        let out = nem::solve_second_weights(net.graph(), &dags, &tm, &target, &cfg)?;
+        ws.clear_solutions();
+        let out = cfg.solve_in(NemInstance::new(net.graph(), &dags, &tm, &target), &mut ws)?;
         nem_traces.push((ratio, out.dual_objective_trace));
     }
 

@@ -7,7 +7,7 @@
 //! due to integer tolerances comes into play so that the utility starts to
 //! deviate."
 
-use spef_core::{Objective, SpefError, SpefRouting, WeightMode};
+use spef_core::{Objective, SpefError, TeInstance, TeSolver, WeightMode};
 use spef_topology::standard;
 
 use crate::report::{fmt_val, CsvFile, ExperimentResult, TextTable};
@@ -50,7 +50,7 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
                     weight_mode: mode,
                     ..quality.spef_config()
                 };
-                let routing = SpefRouting::build(&net, &tm, &obj, &cfg)?;
+                let routing = cfg.solve(TeInstance::new(&net, &tm, &obj))?;
                 utilities.push(routing.normalized_utility(&net));
             }
             table.push_row(vec![

@@ -7,7 +7,7 @@
 //! one weight, and the utilization of (1,3) decreases from 1 toward the
 //! min-max split 0.5 as β grows.
 
-use spef_core::{solve_te, Objective, SpefError};
+use spef_core::{Objective, SpefError, TeInstance, TeSolver, TeWorkspace};
 use spef_topology::standard;
 
 use crate::report::{fmt_val, CsvFile, ExperimentResult, TextTable};
@@ -30,11 +30,14 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let net = standard::fig1();
     let tm = standard::fig1_demands();
     let fw = quality.fw();
+    // One workspace across the beta sweep: the objective changes every
+    // solve, so each runs the cold trajectory on warm arenas.
+    let mut ws = TeWorkspace::new();
 
     let mut rows = Vec::new();
     for beta in beta_samples(quality) {
         let obj = Objective::uniform(beta, net.link_count());
-        let sol = solve_te(&net, &tm, &obj, &fw)?;
+        let sol = fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)?;
         let u = net.utilizations(sol.flows.aggregate());
         rows.push(vec![
             beta,

@@ -6,7 +6,7 @@
 //! β; all SPEF variants stay at or below capacity.
 
 use spef_baselines::ospf::OspfRouting;
-use spef_core::{Objective, SpefError, SpefRouting};
+use spef_core::{Objective, SpefError, SpefRouting, TeInstance, TeSolver};
 use spef_topology::standard;
 
 use crate::report::{fmt_val, CsvFile, ExperimentResult, TextTable};
@@ -27,7 +27,9 @@ pub fn spef_routings(quality: Quality) -> Result<Vec<SpefRouting>, SpefError> {
         .iter()
         .map(|&beta| {
             let obj = Objective::uniform(beta, net.link_count());
-            SpefRouting::build(&net, &tm, &obj, &quality.spef_config())
+            quality
+                .spef_config()
+                .solve(TeInstance::new(&net, &tm, &obj))
         })
         .collect()
 }

@@ -8,7 +8,7 @@
 //! flatter: lower head, fatter middle.
 
 use spef_baselines::ospf::OspfRouting;
-use spef_core::{metrics, Objective, SpefError, SpefRouting};
+use spef_core::{metrics, Objective, SpefError, TeInstance, TeSolver};
 use spef_topology::{standard, Network, TrafficMatrix};
 
 use crate::report::{fmt_val, CsvFile, ExperimentResult, TextTable};
@@ -51,7 +51,9 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let mut csvs = Vec::new();
     for (net, tm, load) in panel_setup(quality)? {
         let obj = Objective::proportional(net.link_count());
-        let spef = SpefRouting::build(&net, &tm, &obj, &quality.spef_config())?;
+        let spef = quality
+            .spef_config()
+            .solve(TeInstance::new(&net, &tm, &obj))?;
         let ospf = OspfRouting::route(&net, &tm)
             .map_err(|e| SpefError::InvalidInput(format!("OSPF failed: {e}")))?;
 

@@ -1,11 +1,28 @@
-//! Parallel scenario-sweep harness.
+//! Parallel, dependency-aware scenario-sweep harness.
 //!
 //! Takes a batch of [`Scenario`]s (usually from a
-//! [`ScenarioGrid`](crate::scenario::ScenarioGrid)), fans the runs out over
-//! rayon — every scenario carries its own deterministic seed, so the
-//! parallel schedule cannot change any result — and collects a
+//! [`ScenarioGrid`](crate::scenario::ScenarioGrid)) and collects a
 //! [`BatchReport`] of [`ScenarioResult`]s that serializes to the
 //! `BENCH_*.json` format downstream tooling tracks.
+//!
+//! Execution is dependency-aware: scenarios are grouped into *chains* by
+//! [`Scenario::chain_key`] (same topology, demand model + seed, objective
+//! and solver — only the load and the sim stage vary within a chain).
+//! Rayon fans out across chains; within a chain the scenarios run serially
+//! on one shared [`spef_core::TeWorkspace`] + [`SimWorkspace`] pair, so
+//! neighbouring grid points reuse the engine's DAG/flow/split arenas, the
+//! SPF skip, and the simplex tableau without reallocating. Scenarios in a
+//! chain that are identical up to the sim stage ([`Scenario::solve_key`])
+//! share a single pipeline solve outright.
+//!
+//! Reuse is strictly *result-preserving*: before every distinct solve the
+//! workspace's saved solver trajectories are dropped
+//! ([`spef_core::TeWorkspace::clear_solutions`]), so each scenario still
+//! runs the exact cold iteration sequence and every deterministic result
+//! field is bit-identical to an isolated run —
+//! [`BatchOptions::cold_solves`] forces those isolated runs for
+//! baseline-capture and A/B proofs. Every scenario carries its own seed,
+//! so the parallel schedule cannot change any result either way.
 //!
 //! ```
 //! use spef_experiments::harness::{run_batch, BatchOptions};
@@ -22,14 +39,16 @@
 //! assert!(report.results[0].mlu < 1.0);
 //! ```
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::time::Instant;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use serde::{Error as SerdeError, Value};
-use spef_core::SpefRouting;
+use spef_core::{SpefRouting, TeInstance, TeSolver, TeWorkspace};
 use spef_netsim::{simulate_with, SchedulerKind, SimWorkspace};
+use spef_topology::{Network, TrafficMatrix};
 
 use crate::scenario::Scenario;
 
@@ -362,6 +381,98 @@ pub struct BatchOptions {
     /// are bit-identical either way — the flag exists so the regression
     /// gate and benchmarks can prove exactly that.
     pub sim_scheduler: SchedulerKind,
+    /// Solve every scenario in its own fresh workspace with no chain
+    /// grouping or solve sharing (the pre-PR 6 execution model). Results
+    /// are bit-identical to the default dependency-aware mode — the flag
+    /// exists to capture `pre` baselines and let `repro diff` prove exactly
+    /// that.
+    pub cold_solves: bool,
+}
+
+/// A solved SPEF pipeline kept alive so later scenarios in the same chain
+/// can reuse it: the materialized instance plus the routing it produced.
+struct SolvedPipeline {
+    network: Network,
+    traffic: TrafficMatrix,
+    routing: SpefRouting,
+}
+
+/// Materializes and solves a scenario's pipeline (everything up to, not
+/// including, the sim stage) on the given workspace.
+///
+/// Saved solver trajectories are dropped first, so the solve is a cold
+/// (bit-identical) iteration sequence on warm arenas — chain reuse must
+/// never move a result.
+fn solve_pipeline(scenario: &Scenario, ws: &mut TeWorkspace) -> Result<SolvedPipeline, String> {
+    let network = scenario.topology.build();
+    let traffic = scenario.traffic.build(&network);
+    let objective = scenario.objective.build(network.link_count());
+    let config = scenario.solver.build();
+    ws.clear_solutions();
+    let routing = config
+        .solve_in(TeInstance::new(&network, &traffic, &objective), ws)
+        .map_err(|e| e.to_string())?;
+    Ok(SolvedPipeline {
+        network,
+        traffic,
+        routing,
+    })
+}
+
+/// Runs a scenario's optional packet-level sim stage against an already
+/// solved pipeline.
+fn sim_stage(
+    scenario: &Scenario,
+    solved: &SolvedPipeline,
+    sim_scheduler: SchedulerKind,
+    sim_ws: &mut SimWorkspace,
+) -> Result<Option<SimScenarioResult>, String> {
+    let Some(spec) = &scenario.sim else {
+        return Ok(None);
+    };
+    let mut cfg = spec.config();
+    cfg.scheduler = sim_scheduler;
+    let report = simulate_with(
+        &solved.network,
+        &solved.traffic,
+        solved.routing.forwarding_table(),
+        &cfg,
+        sim_ws,
+    )
+    .map_err(|e| format!("simulation failed: {e}"))?;
+    Ok(Some(SimScenarioResult {
+        generated_packets: report.generated_packets,
+        delivered_packets: report.delivered_packets,
+        dropped_packets: report.dropped_packets,
+        mean_delay: report.mean_delay,
+        p99_delay: report.p99_delay,
+        links_used: report.links_used as u64,
+        max_link_load_bps: report
+            .mean_link_load_bps
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max),
+        total_link_load_bps: report.mean_link_load_bps.iter().sum(),
+        peak_packet_slots: report.peak_packet_slots,
+    }))
+}
+
+/// Assembles the per-scenario measurements from a solved pipeline.
+fn measure(
+    scenario: &Scenario,
+    solved: &SolvedPipeline,
+    sim: Option<SimScenarioResult>,
+    started: Instant,
+) -> ScenarioResult {
+    ScenarioResult {
+        scenario: scenario.clone(),
+        mlu: solved.routing.max_link_utilization(&solved.network),
+        utility: solved.routing.normalized_utility(&solved.network),
+        iterations: solved.routing.te_solution().iterations as u64,
+        nem_converged: solved.routing.nem_converged(),
+        sim,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
 }
 
 /// Runs one scenario end to end with the default (calendar) sim scheduler:
@@ -377,7 +488,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, String> {
 
 /// [`run_scenario`] with an explicit sim scheduler and a caller-provided
 /// simulator workspace (reused allocation-free across scenarios on the
-/// serial path).
+/// serial path). The solve itself runs cold in a fresh [`TeWorkspace`].
 ///
 /// # Errors
 ///
@@ -388,55 +499,61 @@ pub fn run_scenario_in(
     sim_ws: &mut SimWorkspace,
 ) -> Result<ScenarioResult, String> {
     let started = Instant::now();
-    let network = scenario.topology.build();
-    let traffic = scenario.traffic.build(&network);
-    let objective = scenario.objective.build(network.link_count());
-    let config = scenario.solver.build();
-    let routing =
-        SpefRouting::build(&network, &traffic, &objective, &config).map_err(|e| e.to_string())?;
-    let sim = match &scenario.sim {
-        None => None,
-        Some(spec) => {
-            let mut cfg = spec.config();
-            cfg.scheduler = sim_scheduler;
-            let report =
-                simulate_with(&network, &traffic, routing.forwarding_table(), &cfg, sim_ws)
-                    .map_err(|e| format!("simulation failed: {e}"))?;
-            Some(SimScenarioResult {
-                generated_packets: report.generated_packets,
-                delivered_packets: report.delivered_packets,
-                dropped_packets: report.dropped_packets,
-                mean_delay: report.mean_delay,
-                p99_delay: report.p99_delay,
-                links_used: report.links_used as u64,
-                max_link_load_bps: report
-                    .mean_link_load_bps
-                    .iter()
-                    .cloned()
-                    .fold(0.0, f64::max),
-                total_link_load_bps: report.mean_link_load_bps.iter().sum(),
-                peak_packet_slots: report.peak_packet_slots,
-            })
+    let solved = solve_pipeline(scenario, &mut TeWorkspace::new())?;
+    let sim = sim_stage(scenario, &solved, sim_scheduler, sim_ws)?;
+    Ok(measure(scenario, &solved, sim, started))
+}
+
+/// A scenario's outcome tagged with its original batch index so the caller
+/// can restore submission order after the parallel chain fan-out.
+type IndexedOutcome = (usize, Scenario, Result<ScenarioResult, String>);
+
+/// Runs one warm-start chain serially: every scenario shares the chain's
+/// workspace pair, and scenarios with equal solve keys (identical up to the
+/// sim stage) share one pipeline solve. Returns each scenario tagged with
+/// its original batch index so the caller can restore submission order.
+fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<IndexedOutcome> {
+    let mut ws = TeWorkspace::new();
+    let mut sim_ws = SimWorkspace::new();
+    // Chains are short (one entry per load × sim point), so a linear-scan
+    // memo keyed by solve key beats hashing.
+    let mut memo: Vec<(String, Result<SolvedPipeline, String>)> = Vec::new();
+    let mut out = Vec::with_capacity(chain.len());
+    for (index, scenario) in chain {
+        let started = Instant::now();
+        let key = scenario.solve_key();
+        if !memo.iter().any(|(k, _)| *k == key) {
+            let solved = solve_pipeline(&scenario, &mut ws);
+            memo.push((key.clone(), solved));
         }
-    };
-    Ok(ScenarioResult {
-        scenario: scenario.clone(),
-        mlu: routing.max_link_utilization(&network),
-        utility: routing.normalized_utility(&network),
-        iterations: routing.te_solution().iterations as u64,
-        nem_converged: routing.nem_converged(),
-        sim,
-        wall_ms: started.elapsed().as_secs_f64() * 1e3,
-    })
+        let (_, solved) = memo
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("solve key was just memoized");
+        let outcome = match solved {
+            Err(e) => Err(e.clone()),
+            Ok(solved) => sim_stage(&scenario, solved, options.sim_scheduler, &mut sim_ws)
+                .map(|sim| measure(&scenario, solved, sim, started)),
+        };
+        out.push((index, scenario, outcome));
+    }
+    out
 }
 
 /// Runs a batch of scenarios, in parallel unless
 /// [`BatchOptions::serial`] is set.
 ///
+/// By default scenarios are grouped into warm-start chains (see the module
+/// docs): rayon fans out across chains, each chain runs serially on shared
+/// workspaces, and scenarios identical up to the sim stage share one solve.
+/// [`BatchOptions::cold_solves`] reverts to one isolated solve per
+/// scenario.
+///
 /// Results and failures come back in scenario order regardless of the
-/// parallel schedule, and every field except the wall-clock times is a pure
-/// function of the scenario (each run re-seeds its own generators), so a
-/// sweep is reproducible run-to-run and machine-to-machine.
+/// parallel schedule or chain grouping, and every field except the
+/// wall-clock times is a pure function of the scenario (each run re-seeds
+/// its own generators), so a sweep is reproducible run-to-run,
+/// machine-to-machine, and mode-to-mode.
 pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchReport {
     let started = Instant::now();
     let threads = if options.serial {
@@ -444,30 +561,63 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
     } else {
         rayon::current_num_threads() as u64
     };
-    let outcomes: Vec<(Scenario, Result<ScenarioResult, String>)> = if options.serial {
-        // Serial lane: one simulator workspace amortised over the whole
-        // batch (allocation-free sim stages after the first).
-        let mut sim_ws = SimWorkspace::new();
-        scenarios
-            .into_iter()
-            .map(|s| {
-                let outcome = run_scenario_in(&s, options.sim_scheduler, &mut sim_ws);
-                (s, outcome)
-            })
-            .collect()
+    let mut outcomes: Vec<IndexedOutcome> = if options.cold_solves {
+        if options.serial {
+            // Serial lane: one simulator workspace amortised over the whole
+            // batch (allocation-free sim stages after the first).
+            let mut sim_ws = SimWorkspace::new();
+            scenarios
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let outcome = run_scenario_in(&s, options.sim_scheduler, &mut sim_ws);
+                    (i, s, outcome)
+                })
+                .collect()
+        } else {
+            scenarios
+                .into_par_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let outcome =
+                        run_scenario_in(&s, options.sim_scheduler, &mut SimWorkspace::new());
+                    (i, s, outcome)
+                })
+                .collect()
+        }
     } else {
-        scenarios
-            .into_par_iter()
-            .map(|s| {
-                let outcome = run_scenario_in(&s, options.sim_scheduler, &mut SimWorkspace::new());
-                (s, outcome)
-            })
-            .collect()
+        // Dependency-aware mode: group into chains keyed by everything but
+        // the load and sim axes, preserving first-appearance chain order
+        // and submission order within each chain.
+        let mut chains: Vec<Vec<(usize, Scenario)>> = Vec::new();
+        let mut chain_index: HashMap<String, usize> = HashMap::new();
+        for (i, s) in scenarios.into_iter().enumerate() {
+            match chain_index.get(&s.chain_key()) {
+                Some(&c) => chains[c].push((i, s)),
+                None => {
+                    chain_index.insert(s.chain_key(), chains.len());
+                    chains.push(vec![(i, s)]);
+                }
+            }
+        }
+        if options.serial {
+            chains
+                .into_iter()
+                .flat_map(|c| run_chain(c, options))
+                .collect()
+        } else {
+            let per_chain: Vec<Vec<IndexedOutcome>> = chains
+                .into_par_iter()
+                .map(|c| run_chain(c, options))
+                .collect();
+            per_chain.into_iter().flatten().collect()
+        }
     };
+    outcomes.sort_by_key(|(i, _, _)| *i);
 
     let mut results = Vec::new();
     let mut failures = Vec::new();
-    for (scenario, outcome) in outcomes {
+    for (_, scenario, outcome) in outcomes {
         match outcome {
             Ok(result) => results.push(result),
             Err(error) => failures.push(ScenarioFailure { scenario, error }),
@@ -553,6 +703,51 @@ mod tests {
         assert_eq!(base.result_drift(&other).len(), 1);
         other.results.pop();
         assert!(!base.result_drift(&other).is_empty());
+    }
+
+    #[test]
+    fn warm_chains_match_cold_solves_bit_for_bit() {
+        // Two chains (fig4, abilene), each spanning two loads × two sim
+        // durations: exercises workspace reuse along the load axis AND
+        // solve sharing across sim durations.
+        let scenarios = ScenarioGrid::new()
+            .topologies([TopologySpec::Fig4, TopologySpec::Abilene])
+            .seeds([1])
+            .loads([0.1, 0.15])
+            .sim_durations([1.0, 2.0])
+            .build();
+        assert_eq!(scenarios.len(), 8);
+        let cold = run_batch(
+            scenarios.clone(),
+            &BatchOptions {
+                cold_solves: true,
+                ..BatchOptions::default()
+            },
+        );
+        let warm = run_batch(scenarios, &BatchOptions::default());
+        assert_eq!(warm.results.len(), 8);
+        let drift = cold.result_drift(&warm);
+        assert!(drift.is_empty(), "warm vs cold drift: {drift:?}");
+    }
+
+    #[test]
+    fn chain_grouping_preserves_submission_order() {
+        // Interleave two chains by hand; results must come back in the
+        // submitted order, not grouped by chain.
+        let mut scenarios = ScenarioGrid::new()
+            .topologies([TopologySpec::Fig1, TopologySpec::Fig4])
+            .seeds([1])
+            .loads([0.1, 0.15])
+            .build();
+        scenarios.swap(1, 2); // fig1-l0.1, fig4-l0.1, fig1-l0.15, fig4-l0.15
+        let ids: Vec<String> = scenarios.iter().map(|s| s.id.clone()).collect();
+        let report = run_batch(scenarios, &BatchOptions::default());
+        let got: Vec<String> = report
+            .results
+            .iter()
+            .map(|r| r.scenario.id.clone())
+            .collect();
+        assert_eq!(got, ids);
     }
 
     #[test]

@@ -61,8 +61,7 @@ impl Quality {
         match self {
             Quality::Full => spef_core::FrankWolfeConfig::default(),
             Quality::Quick => spef_core::FrankWolfeConfig {
-                max_iterations: 300,
-                relative_gap_tolerance: 1e-6,
+                convergence: spef_core::ConvergenceCriteria::with_tolerance(300, 1e-6),
                 ..spef_core::FrankWolfeConfig::default()
             },
         }
@@ -70,22 +69,20 @@ impl Quality {
 
     /// NEM configuration for this fidelity.
     pub fn nem(self) -> spef_core::NemConfig {
-        match self {
-            Quality::Full => spef_core::NemConfig {
-                max_iterations: 6000,
-                ..spef_core::NemConfig::default()
-            },
-            Quality::Quick => spef_core::NemConfig {
-                max_iterations: 1000,
-                ..spef_core::NemConfig::default()
-            },
+        let budget = match self {
+            Quality::Full => 6000,
+            Quality::Quick => 1000,
+        };
+        spef_core::NemConfig {
+            convergence: spef_core::ConvergenceCriteria::budget(budget),
+            ..spef_core::NemConfig::default()
         }
     }
 
     /// A default SPEF pipeline config (β-independent parts).
     pub fn spef_config(self) -> spef_core::SpefConfig {
         spef_core::SpefConfig {
-            solver: spef_core::TeSolver::FrankWolfe(self.fw()),
+            solver: spef_core::TeSolverKind::FrankWolfe(self.fw()),
             nem: self.nem(),
             ..spef_core::SpefConfig::default()
         }

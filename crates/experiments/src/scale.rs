@@ -2,7 +2,9 @@
 //! uniformly increasing the traffic demands until the maximal link
 //! utilization almost reaches 100% with SPEF".
 
-use spef_core::{solve_te, FrankWolfeConfig, Objective, SpefError};
+use spef_core::{
+    ConvergenceCriteria, FrankWolfeConfig, Objective, SpefError, TeInstance, TeSolver,
+};
 use spef_topology::{Network, TrafficMatrix};
 
 /// Finds (by bisection) the largest network load at which the traffic
@@ -20,13 +22,12 @@ pub fn max_feasible_load(
 ) -> Result<f64, SpefError> {
     let obj = Objective::proportional(network.link_count());
     let fw = FrankWolfeConfig {
-        max_iterations: 300,
-        relative_gap_tolerance: 1e-6,
+        convergence: ConvergenceCriteria::with_tolerance(300, 1e-6),
         ..FrankWolfeConfig::default()
     };
     let feasible = |load: f64| -> Result<bool, SpefError> {
         let tm = shape.scaled_to_network_load(network, load);
-        match solve_te(network, &tm, &obj, &fw) {
+        match fw.solve(TeInstance::new(network, &tm, &obj)) {
             Ok(_) => Ok(true),
             Err(SpefError::Infeasible) => Ok(false),
             Err(e) => Err(e),
@@ -112,6 +113,8 @@ mod tests {
         // Top of the series stays strictly inside the feasible region.
         let tm = shape.scaled_to_network_load(&net, *series.last().unwrap());
         let obj = Objective::proportional(net.link_count());
-        assert!(solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).is_ok());
+        assert!(FrankWolfeConfig::fast()
+            .solve(TeInstance::new(&net, &tm, &obj))
+            .is_ok());
     }
 }

@@ -16,7 +16,10 @@
 use std::time::Instant;
 
 use spef_baselines::ospf::OspfRouting;
-use spef_core::{dual_decomp, nem, solve_te, DualDecompConfig, NemConfig, Objective, SpefError};
+use spef_core::{
+    ConvergenceCriteria, DualDecompConfig, NemConfig, NemInstance, Objective, SpefError,
+    TeInstance, TeSolver,
+};
 use spef_topology::{gen, TrafficMatrix};
 
 use crate::report::{CsvFile, ExperimentResult, TextTable};
@@ -53,23 +56,20 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
         let tm = shape.scaled_to_network_load(&net, 0.6 * lmax);
         let obj = Objective::proportional(net.link_count());
 
+        // Every measured solve is cold (fresh workspace): the ablation
+        // prices the from-scratch cost of each stage.
         let t0 = Instant::now();
-        let te = solve_te(&net, &tm, &obj, &quality.fw())?;
+        let te = quality.fw().solve(TeInstance::new(&net, &tm, &obj))?;
         let te_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let alg1_iters = 50;
         let t0 = Instant::now();
-        dual_decomp::solve(
-            &net,
-            &tm,
-            &obj,
-            &DualDecompConfig {
-                max_iterations: alg1_iters,
-                gap_tolerance: Some(0.0),
-                record_trace: false,
-                ..DualDecompConfig::default()
-            },
-        )?;
+        DualDecompConfig {
+            convergence: ConvergenceCriteria::with_tolerance(alg1_iters, 0.0),
+            record_trace: false,
+            ..DualDecompConfig::default()
+        }
+        .solve(TeInstance::new(&net, &tm, &obj))?;
         let alg1_ms = t0.elapsed().as_secs_f64() * 1e3 / alg1_iters as f64;
 
         let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
@@ -77,21 +77,22 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
             spef_core::build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-2 * max_w)?;
         let alg2_iters = 50;
         let t0 = Instant::now();
-        nem::solve_second_weights(
+        NemConfig {
+            convergence: ConvergenceCriteria::with_tolerance(alg2_iters, 0.0),
+            ..NemConfig::default()
+        }
+        .solve(NemInstance::new(
             net.graph(),
             &dags,
             &tm,
             te.flows.aggregate(),
-            &NemConfig {
-                max_iterations: alg2_iters,
-                epsilon: Some(0.0),
-                ..NemConfig::default()
-            },
-        )?;
+        ))?;
         let alg2_ms = t0.elapsed().as_secs_f64() * 1e3 / alg2_iters as f64;
 
         let t0 = Instant::now();
-        let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &quality.spef_config())?;
+        let routing = quality
+            .spef_config()
+            .solve(TeInstance::new(&net, &tm, &obj))?;
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         // Control-plane state straight off the flat FIB arena — O(1), not

@@ -8,7 +8,10 @@
 
 use serde::{Deserialize, Serialize};
 use serde::{Error as SerdeError, Value};
-use spef_core::{DualDecompConfig, FrankWolfeConfig, NemConfig, Objective, SpefConfig, TeSolver};
+use spef_core::{
+    ConvergenceCriteria, DualDecompConfig, FrankWolfeConfig, NemConfig, Objective, SpefConfig,
+    TeSolverKind,
+};
 use spef_netsim::SimConfig;
 use spef_topology::{gen, standard, Network, TrafficMatrix};
 
@@ -291,15 +294,15 @@ impl SolverSpec {
         match self {
             SolverSpec::FrankWolfe => SpefConfig::default(),
             SolverSpec::FrankWolfeFast => SpefConfig {
-                solver: TeSolver::FrankWolfe(FrankWolfeConfig::fast()),
+                solver: TeSolverKind::FrankWolfe(FrankWolfeConfig::fast()),
                 nem: NemConfig {
-                    max_iterations: 1000,
+                    convergence: ConvergenceCriteria::budget(1000),
                     ..NemConfig::default()
                 },
                 ..SpefConfig::default()
             },
             SolverSpec::DualDecomposition => SpefConfig {
-                solver: TeSolver::DualDecomposition(DualDecompConfig::default()),
+                solver: TeSolverKind::DualDecomposition(DualDecompConfig::default()),
                 ..SpefConfig::default()
             },
         }
@@ -422,6 +425,32 @@ impl Scenario {
         self.id = format!("{}+{}", self.id, sim.id());
         self.sim = Some(sim);
         self
+    }
+
+    /// The warm-start chain key: everything that pins the scenario's
+    /// *solver workspace compatibility* — topology, demand model and seed,
+    /// objective, solver — but **not** the load scale or the sim stage.
+    /// Scenarios sharing a chain key differ only by a uniform demand
+    /// rescale (and possibly a sim duration), exactly the neighbouring
+    /// grid points a [`spef_core::TeWorkspace`] can serve.
+    pub fn chain_key(&self) -> String {
+        format!(
+            "{}+{:?}-s{}+q{}b{}+{}",
+            self.topology.id(),
+            self.traffic.model,
+            self.traffic.seed,
+            self.objective.q,
+            self.objective.beta,
+            self.solver.id()
+        )
+    }
+
+    /// The solve key: the chain key plus the load — two scenarios with
+    /// equal solve keys run the *identical* SPEF pipeline instance (they
+    /// can differ only in the attached sim stage), so one solve serves
+    /// both.
+    pub fn solve_key(&self) -> String {
+        format!("{}+l{}", self.chain_key(), self.traffic.load)
     }
 }
 
@@ -554,6 +583,26 @@ impl ScenarioGrid {
             .betas([1.0])
             .solvers([SolverSpec::FrankWolfeFast])
             .sim_durations([5.0, 20.0])
+    }
+
+    /// The `te` scenario family: the PR 2 regression grid — every built-in
+    /// topology (Fig. 1, Fig. 4, Abilene, CERNET2) × seeds {1, 2, 3} ×
+    /// load 0.15 under fast Frank–Wolfe, no simulation stage. The three
+    /// CERNET2 scenarios are intentionally infeasible at this load; their
+    /// failures are part of the committed baseline and pin the
+    /// failure-reporting path.
+    pub fn te_family() -> Self {
+        ScenarioGrid::new()
+            .topologies([
+                TopologySpec::Fig1,
+                TopologySpec::Fig4,
+                TopologySpec::Abilene,
+                TopologySpec::Cernet2,
+            ])
+            .seeds([1, 2, 3])
+            .loads([0.15])
+            .betas([1.0])
+            .solvers([SolverSpec::FrankWolfeFast])
     }
 
     /// Sets the topologies to sweep.

@@ -4,7 +4,7 @@
 
 use spef_baselines::fortz_thorup::{FtConfig, FtOutcome};
 use spef_baselines::mlu_lp::MluSolution;
-use spef_core::{solve_te, Objective, SpefError};
+use spef_core::{Objective, SpefError, TeInstance, TeSolver, TeWorkspace};
 use spef_graph::EdgeId;
 use spef_topology::standard;
 
@@ -26,14 +26,24 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let fw = quality.fw();
     let link_names = ["(1,3)", "(3,4)", "(1,2)", "(2,3)"];
 
-    // β = 0 (LP duals) and β = 1, min-max via large β.
-    let beta0 = solve_te(&net, &tm, &Objective::min_hop(net.link_count()), &fw)?;
-    let beta1 = solve_te(&net, &tm, &Objective::proportional(net.link_count()), &fw)?;
-    let minmax = solve_te(
-        &net,
-        &tm,
-        &Objective::uniform(MIN_MAX_BETA, net.link_count()),
-        &fw,
+    // β = 0 (LP duals) and β = 1, min-max via large β — one workspace,
+    // cold trajectories (the objective differs between the solves).
+    let mut ws = TeWorkspace::new();
+    let beta0 = fw.solve_in(
+        TeInstance::new(&net, &tm, &Objective::min_hop(net.link_count())),
+        &mut ws,
+    )?;
+    let beta1 = fw.solve_in(
+        TeInstance::new(&net, &tm, &Objective::proportional(net.link_count())),
+        &mut ws,
+    )?;
+    let minmax = fw.solve_in(
+        TeInstance::new(
+            &net,
+            &tm,
+            &Objective::uniform(MIN_MAX_BETA, net.link_count()),
+        ),
+        &mut ws,
     )?;
 
     // Fortz–Thorup local search.

@@ -8,7 +8,7 @@
 //! at higher loads").
 
 use spef_baselines::ospf;
-use spef_core::{build_dags, metrics::PathCensus, Objective, SpefError, SpefRouting};
+use spef_core::{build_dags, metrics::PathCensus, Objective, SpefError, TeInstance, TeSolver};
 use spef_topology::{standard, TrafficMatrix};
 
 use crate::report::{CsvFile, ExperimentResult, TextTable};
@@ -81,7 +81,9 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let obj = Objective::proportional(net.link_count());
     for &load in &loads {
         let tm = shape.scaled_to_network_load(&net, load);
-        let routing = SpefRouting::build(&net, &tm, &obj, &quality.spef_config())?;
+        let routing = quality
+            .spef_config()
+            .solve(TeInstance::new(&net, &tm, &obj))?;
         // Census over ALL ordered pairs: rebuild DAGs for every node as
         // destination under the deployed first weights and tolerance.
         let dags = build_dags(

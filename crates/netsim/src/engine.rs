@@ -666,7 +666,7 @@ fn exp_sample(rng: &mut StdRng, rate_per_sec: f64) -> Nanos {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spef_core::{Objective, SpefConfig, SpefRouting};
+    use spef_core::{Objective, SpefConfig, TeInstance, TeSolver};
     use spef_topology::standard;
 
     /// A 3-node chain with a single demand: loads are exactly predictable.
@@ -681,7 +681,9 @@ mod tests {
         let mut tm = TrafficMatrix::new(3);
         tm.set(0.into(), 2.into(), 2.0); // 2 Mb/s over 10 Mb/s links
         let obj = Objective::proportional(net.link_count());
-        let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+        let routing = SpefConfig::default()
+            .solve(TeInstance::new(&net, &tm, &obj))
+            .unwrap();
         (net, tm, routing.forwarding_table().clone())
     }
 
@@ -1095,7 +1097,9 @@ mod tests {
         let net = standard::fig4();
         let tm = standard::table4_simple_demands();
         let obj = Objective::proportional(net.link_count());
-        let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+        let routing = SpefConfig::default()
+            .solve(TeInstance::new(&net, &tm, &obj))
+            .unwrap();
         let cfg = SimConfig {
             duration: 20.0,
             warmup: 2.0,

@@ -37,7 +37,7 @@
 //! # Example
 //!
 //! ```
-//! use spef_core::{Objective, SpefConfig, SpefRouting};
+//! use spef_core::{Objective, SpefConfig, TeInstance, TeSolver};
 //! use spef_netsim::{simulate, SimConfig};
 //! use spef_topology::standard;
 //!
@@ -45,7 +45,7 @@
 //! let net = standard::fig4();
 //! let tm = standard::fig4_demands();
 //! let obj = Objective::proportional(net.link_count());
-//! let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default())?;
+//! let routing = SpefConfig::default().solve(TeInstance::new(&net, &tm, &obj))?;
 //!
 //! let cfg = SimConfig {
 //!     duration: 5.0,

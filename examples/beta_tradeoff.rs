@@ -12,7 +12,7 @@
 //! cargo run --release -p spef-experiments --example beta_tradeoff
 //! ```
 
-use spef_core::{solve_te, FrankWolfeConfig, Objective};
+use spef_core::{FrankWolfeConfig, Objective, TeInstance, TeSolver, TeWorkspace};
 use spef_topology::{standard, TrafficMatrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,9 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(54));
 
+    // One solver session for the whole sweep: the objective changes every
+    // iteration (cold trajectories), but the engine and flow arenas are
+    // reused across all six solves.
+    let fw = FrankWolfeConfig::default();
+    let mut ws = TeWorkspace::new();
     for beta in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let objective = Objective::uniform(beta, network.link_count());
-        let sol = solve_te(&network, &traffic, &objective, &FrankWolfeConfig::default())?;
+        let sol = fw.solve_in(TeInstance::new(&network, &traffic, &objective), &mut ws)?;
         let total_flow: f64 = sol.flows.aggregate().iter().sum();
         // Total flow / total demand = demand-weighted mean hop count.
         let mean_hops = total_flow / total_demand;

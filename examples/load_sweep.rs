@@ -12,7 +12,7 @@
 //! ```
 
 use spef_baselines::ospf::OspfRouting;
-use spef_core::{Objective, SpefConfig, SpefError, SpefRouting};
+use spef_core::{Objective, SpefConfig, SpefError, TeInstance, TeSolver, TeWorkspace};
 use spef_topology::{standard, Network, TrafficMatrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,6 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut ospf_breaks = None;
     let mut spef_breaks = None;
+    // One warm-start session across the sweep: each load is a proportional
+    // rescale of the same demand shape, so every solve after the first
+    // warm-starts from its neighbour's solution.
+    let config = SpefConfig::default();
+    let mut ws = TeWorkspace::new();
     for step in 4..=15 {
         let load = 0.015 * step as f64;
         let tm = shape.scaled_to_network_load(&network, load);
@@ -42,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ospf_breaks = Some(load);
         }
         let (spef_mlu, spef_u) =
-            match SpefRouting::build(&network, &tm, &objective, &SpefConfig::default()) {
+            match config.solve_in(TeInstance::new(&network, &tm, &objective), &mut ws) {
                 Ok(spef) => (
                     spef.max_link_utilization(&network),
                     spef.normalized_utility(&network),

@@ -12,7 +12,7 @@
 
 use spef_baselines::ospf::OspfRouting;
 use spef_baselines::peft::PeftRouting;
-use spef_core::{weights, Objective, SpefConfig, SpefRouting};
+use spef_core::{weights, Objective, SpefConfig, TeInstance, TeSolver};
 use spef_netsim::{simulate_with, SimConfig, SimReport, SimWorkspace};
 use spef_topology::standard;
 
@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let traffic = standard::table4_simple_demands();
     let objective = Objective::proportional(network.link_count());
 
-    let spef = SpefRouting::build(&network, &traffic, &objective, &SpefConfig::default())?;
+    let spef = SpefConfig::default().solve(TeInstance::new(&network, &traffic, &objective))?;
     let te = spef.te_solution();
     let peft = PeftRouting::route(
         &network,

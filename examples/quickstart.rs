@@ -6,7 +6,7 @@
 //! ```
 
 use spef_baselines::ospf::OspfRouting;
-use spef_core::{Objective, SpefConfig, SpefRouting};
+use spef_core::{Objective, SpefConfig, TeInstance, TeSolver};
 use spef_topology::{standard, TrafficMatrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Build the protocol state: first weights (optimal TE duals) and
     //    second weights (NEM), plus per-router forwarding tables.
-    let spef = SpefRouting::build(&network, &traffic, &objective, &SpefConfig::default())?;
+    let spef = SpefConfig::default().solve(TeInstance::new(&network, &traffic, &objective))?;
 
     // 4. The baseline: InvCap weights, even ECMP.
     let ospf = OspfRouting::route(&network, &traffic)?;

@@ -5,7 +5,7 @@ use spef_baselines::fortz_thorup::{FtConfig, FtCost, FtOutcome};
 use spef_baselines::mlu_lp::MluSolution;
 use spef_baselines::ospf::{invcap_weights, OspfRouting};
 use spef_baselines::peft::PeftRouting;
-use spef_core::{solve_te, FrankWolfeConfig, Objective, SpefConfig, SpefRouting};
+use spef_core::{FrankWolfeConfig, Objective, SpefConfig, TeInstance, TeSolver};
 use spef_topology::{standard, TrafficMatrix};
 
 /// The headline ordering: SPEF's utility dominates OSPF's on every
@@ -34,7 +34,9 @@ fn spef_utility_dominates_ospf_everywhere() {
             // Express loads relative to a conservative feasible point.
             let tm = shape.scaled_to_network_load(&net, load_frac * 0.1).clone();
             let obj = Objective::proportional(net.link_count());
-            let spef = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+            let spef = SpefConfig::default()
+                .solve(TeInstance::new(&net, &tm, &obj))
+                .unwrap();
             let ospf = OspfRouting::route(&net, &tm).unwrap();
             let su = spef.normalized_utility(&net);
             let ou = ospf.normalized_utility(&net);
@@ -58,10 +60,14 @@ fn mlu_lp_lower_bounds_all_schemes() {
     assert!(lp.mlu <= ospf.max_link_utilization(&net) + 1e-9);
 
     let obj = Objective::proportional(net.link_count());
-    let spef = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let spef = SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     assert!(lp.mlu <= spef.max_link_utilization(&net) + 1e-3);
 
-    let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+    let te = FrankWolfeConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     let peft = PeftRouting::route(&net, &tm, &te.weights).unwrap();
     assert!(lp.mlu <= peft.max_link_utilization(&net) + 1e-6);
 }
@@ -92,7 +98,9 @@ fn ft_search_improves_and_relieves_congestion() {
     // The convex-optimal flow is cheaper than any ECMP-realisable setting
     // found by the search (the relaxation bound).
     let obj = Objective::proportional(net.link_count());
-    let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+    let te = FrankWolfeConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     let te_cost = FtCost.total_cost(&net, te.flows.aggregate());
     assert!(
         te_cost <= out.cost * 1.05,
@@ -108,7 +116,9 @@ fn peft_balances_worse_than_spef_on_fig4() {
     let net = standard::fig4();
     let tm = standard::table4_simple_demands();
     let obj = Objective::proportional(net.link_count());
-    let spef = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let spef = SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     let te = spef.te_solution();
     let peft_weights = spef_core::weights::integerize(&te.weights, &te.spare).unwrap();
     let peft = PeftRouting::route(&net, &tm, &peft_weights).unwrap();

@@ -1,7 +1,10 @@
 //! End-to-end protocol tests: the full SPEF pipeline (Algorithm 4) on the
 //! evaluation backbones.
 
-use spef_core::{metrics, Objective, SpefConfig, SpefRouting, TeSolver, WeightMode};
+use spef_core::{
+    metrics, ConvergenceCriteria, Objective, SpefConfig, TeInstance, TeSolver, TeSolverKind,
+    WeightMode,
+};
 use spef_topology::{standard, TrafficMatrix};
 
 fn abilene_setup(load: f64) -> (spef_topology::Network, TrafficMatrix) {
@@ -14,7 +17,9 @@ fn abilene_setup(load: f64) -> (spef_topology::Network, TrafficMatrix) {
 fn abilene_pipeline_is_feasible_and_consistent() {
     let (net, tm) = abilene_setup(0.12);
     let obj = Objective::proportional(net.link_count());
-    let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let routing = SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
 
     // Feasible realisation.
     assert!(routing.max_link_utilization(&net) < 1.0);
@@ -70,7 +75,7 @@ fn weight_modes_degrade_gracefully() {
             weight_mode: mode,
             ..SpefConfig::default()
         };
-        let routing = SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+        let routing = cfg.solve(TeInstance::new(&net, &tm, &obj)).unwrap();
         utilities.push(routing.normalized_utility(&net));
     }
     // All modes stay feasible at low load (Fig. 13: "little impact ...
@@ -94,16 +99,14 @@ fn scaled_weights_preserve_routing_exactly() {
     // realised MLU close to Exact's.
     let (net, tm) = abilene_setup(0.12);
     let obj = Objective::proportional(net.link_count());
-    let exact = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
-    let scaled = SpefRouting::build(
-        &net,
-        &tm,
-        &obj,
-        &SpefConfig {
-            weight_mode: WeightMode::ScaledNoninteger,
-            ..SpefConfig::default()
-        },
-    )
+    let exact = SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
+    let scaled = SpefConfig {
+        weight_mode: WeightMode::ScaledNoninteger,
+        ..SpefConfig::default()
+    }
+    .solve(TeInstance::new(&net, &tm, &obj))
     .unwrap();
     let mlu_e = exact.max_link_utilization(&net);
     let mlu_s = scaled.max_link_utilization(&net);
@@ -116,14 +119,14 @@ fn dual_decomposition_solver_pipeline_on_cernet2() {
     let tm = TrafficMatrix::gravity(&net, 1.0, 5).scaled_to_network_load(&net, 0.08);
     let obj = Objective::proportional(net.link_count());
     let cfg = SpefConfig {
-        solver: TeSolver::DualDecomposition(spef_core::DualDecompConfig {
-            max_iterations: 3000,
+        solver: TeSolverKind::DualDecomposition(spef_core::DualDecompConfig {
+            convergence: ConvergenceCriteria::budget(3000),
             record_trace: false,
             ..spef_core::DualDecompConfig::default()
         }),
         ..SpefConfig::default()
     };
-    let routing = SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+    let routing = cfg.solve(TeInstance::new(&net, &tm, &obj)).unwrap();
     assert!(routing.max_link_utilization(&net) < 1.0);
     assert!(routing.normalized_utility(&net).is_finite());
 }
@@ -141,7 +144,9 @@ fn table5_census_has_more_multipath_under_spef_at_high_load() {
 
     let lmax = spef_experiments::scale::max_feasible_load(&net, &shape, 0.05).unwrap();
     let tm = shape.scaled_to_network_load(&net, 0.8 * lmax);
-    let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let routing = SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     let spef_dags = spef_core::build_dags(
         net.graph(),
         routing.first_weights(),
@@ -168,7 +173,9 @@ fn infeasible_demand_is_rejected_up_front() {
     let tm = TrafficMatrix::fortz_thorup(&net, 42).scaled_to_network_load(&net, 0.6);
     let obj = Objective::proportional(net.link_count());
     assert_eq!(
-        SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap_err(),
+        SpefConfig::default()
+            .solve(TeInstance::new(&net, &tm, &obj))
+            .unwrap_err(),
         spef_core::SpefError::Infeasible
     );
 }

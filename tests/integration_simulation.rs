@@ -4,7 +4,7 @@
 
 use spef_baselines::ospf::OspfRouting;
 use spef_baselines::peft::PeftRouting;
-use spef_core::{Objective, SpefConfig, SpefRouting};
+use spef_core::{Objective, SpefConfig, TeInstance, TeSolver};
 use spef_netsim::{simulate, SimConfig};
 use spef_topology::standard;
 
@@ -22,7 +22,9 @@ fn sim_loads_match_spef_flows_on_fig4() {
     let net = standard::fig4();
     let tm = standard::table4_simple_demands();
     let obj = Objective::proportional(net.link_count());
-    let routing = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let routing = SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     let cfg = SimConfig {
         duration: 120.0,
         warmup: 10.0,
@@ -95,7 +97,9 @@ fn spef_beats_ospf_on_delay_and_loss_in_simulation() {
     let net = standard::fig4();
     let tm = standard::table4_simple_demands();
     let obj = Objective::proportional(net.link_count());
-    let spef = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let spef = SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     let ospf = OspfRouting::route(&net, &tm).unwrap();
     let cfg = SimConfig {
         duration: 60.0,
@@ -119,7 +123,9 @@ fn cernet2_simulation_scales_to_gbps() {
     let net = standard::cernet2();
     let tm = standard::table4_cernet2_demands().scaled(0.5);
     let obj = Objective::proportional(net.link_count());
-    let spef = SpefRouting::build(&net, &tm, &obj, &SpefConfig::default()).unwrap();
+    let spef = SpefConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     let cfg = SimConfig {
         duration: 3.0,
         warmup: 0.5,

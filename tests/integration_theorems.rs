@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use spef_core::{
-    build_dags, dual_decomp, nem, solve_te, traffic_distribution, DualDecompConfig,
-    FrankWolfeConfig, NemConfig, Objective, SplitRule,
+    build_dags, traffic_distribution, ConvergenceCriteria, DualDecompConfig, FrankWolfeConfig,
+    NemConfig, NemInstance, Objective, SplitRule, TeInstance, TeSolver,
 };
 use spef_graph::NodeId;
 use spef_topology::{standard, TrafficMatrix};
@@ -18,7 +18,9 @@ fn theorem_3_1_optimal_support_lies_on_shortest_paths() {
         (standard::fig4(), standard::fig4_demands()),
     ] {
         let obj = Objective::proportional(net.link_count());
-        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+        let te = FrankWolfeConfig::default()
+            .solve(TeInstance::new(&net, &tm, &obj))
+            .unwrap();
         let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
         let dags = build_dags(net.graph(), &te.weights, &tm.destinations(), 1e-3 * max_w).unwrap();
         for (dag, &t) in dags.iter().zip(&tm.destinations()) {
@@ -46,7 +48,9 @@ fn theorem_3_3_optimum_is_q_beta_balanced() {
     let tm = standard::fig4_demands();
     for beta in [0.5, 1.0, 2.0] {
         let obj = Objective::uniform(beta, net.link_count());
-        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+        let te = FrankWolfeConfig::default()
+            .solve(TeInstance::new(&net, &tm, &obj))
+            .unwrap();
         // Alternative feasible distributions: ECMP under a few weight
         // settings whose MLU stays below 1 so they are genuinely feasible.
         for seed_w in [1.3f64, 2.0, 3.7] {
@@ -81,19 +85,16 @@ fn theorem_4_1_dual_decomposition_agrees_with_frank_wolfe() {
     let net = standard::fig4();
     let tm = standard::fig4_demands();
     let obj = Objective::proportional(net.link_count());
-    let fw = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+    let fw = FrankWolfeConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     // Theorem 4.1's conditions: Σγ_k = ∞, γ_k → 0 (diminishing steps).
-    let dd = dual_decomp::solve(
-        &net,
-        &tm,
-        &obj,
-        &DualDecompConfig {
-            step: spef_core::StepRule::Diminishing(1.0),
-            max_iterations: 20000,
-            record_trace: false,
-            ..DualDecompConfig::default()
-        },
-    )
+    let dd = DualDecompConfig {
+        step: spef_core::StepRule::Diminishing(1.0),
+        convergence: ConvergenceCriteria::budget(20000),
+        record_trace: false,
+    }
+    .solve(TeInstance::new(&net, &tm, &obj))
     .unwrap();
     // The ergodic (averaged) primal recovery approaches the optimum.
     let dd_avg_utility = obj.aggregate_utility(
@@ -121,13 +122,12 @@ fn theorem_4_2_nem_realises_optimal_te() {
         let obj = Objective::proportional(net.link_count());
         let cfg = spef_core::SpefConfig {
             nem: NemConfig {
-                max_iterations: 20000,
-                epsilon: Some(1e-6),
+                convergence: ConvergenceCriteria::with_tolerance(20000, 1e-6),
                 ..NemConfig::default()
             },
             ..spef_core::SpefConfig::default()
         };
-        let routing = spef_core::SpefRouting::build(&net, &tm, &obj, &cfg).unwrap();
+        let routing = cfg.solve(TeInstance::new(&net, &tm, &obj)).unwrap();
         assert!(routing.nem_converged(), "{}", net.name());
         let te_utility = routing.te_solution().utility;
         let realized_spare: Vec<f64> = net
@@ -153,7 +153,9 @@ fn large_beta_approaches_min_mlu() {
     let tm = standard::fig4_demands();
     let lp = spef_baselines::mlu_lp::MluSolution::solve(&net, &tm).unwrap();
     let obj = Objective::uniform(25.0, net.link_count());
-    let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+    let te = FrankWolfeConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     let mlu = spef_core::metrics::max_link_utilization(&net, te.flows.aggregate());
     assert!(
         (mlu - lp.mlu).abs() < 0.05,
@@ -169,7 +171,9 @@ fn example_1_proportional_weights_are_mm1_prices() {
     let net = standard::fig1();
     let tm = standard::fig1_demands();
     let obj = Objective::proportional(net.link_count());
-    let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::default()).unwrap();
+    let te = FrankWolfeConfig::default()
+        .solve(TeInstance::new(&net, &tm, &obj))
+        .unwrap();
     for e in 0..net.link_count() {
         let expected = 1.0 / (net.capacities()[e] - te.flows.aggregate()[e]);
         assert!((te.weights[e] - expected).abs() < 1e-6 * expected);
@@ -188,7 +192,7 @@ proptest! {
         // Random sub-scaling keeps alternatives feasible.
         let tm = base.scaled(0.4 + (seed % 5) as f64 * 0.08);
         let obj = Objective::proportional(net.link_count());
-        let te = solve_te(&net, &tm, &obj, &FrankWolfeConfig::fast()).unwrap();
+        let te = FrankWolfeConfig::fast().solve(TeInstance::new(&net, &tm, &obj)).unwrap();
         // Random weight perturbation produces an alternative routing.
         let w: Vec<f64> = (0..net.link_count())
             .map(|e| 1.0 + (((e as u64 + 1) * (seed + 3)) % 7) as f64 * 0.29)
@@ -220,13 +224,11 @@ proptest! {
         tm.set(NodeId::new(0), NodeId::new(3), 1.0);
         let dags = build_dags(&g, &w, &tm.destinations(), 0.0).unwrap();
         let target = vec![share, 1.0 - share, share, 1.0 - share];
-        let out = nem::solve_second_weights(
-            &g,
-            &dags,
-            &tm,
-            &target,
-            &NemConfig { max_iterations: 20000, epsilon: Some(1e-6), ..NemConfig::default() },
-        )
+        let out = NemConfig {
+            convergence: ConvergenceCriteria::with_tolerance(20000, 1e-6),
+            ..NemConfig::default()
+        }
+        .solve(NemInstance::new(&g, &dags, &tm, &target))
         .unwrap();
         prop_assert!(out.converged);
         prop_assert!((out.flows.aggregate()[0] - share).abs() < 1e-3);
