@@ -22,8 +22,10 @@ pub mod fortz_thorup;
 pub mod mlu_lp;
 pub mod ospf;
 pub mod peft;
+pub mod robust;
 
 pub use fortz_thorup::{FtConfig, FtCost, FtOutcome};
 pub use mlu_lp::MluSolution;
 pub use ospf::OspfRouting;
 pub use peft::PeftRouting;
+pub use robust::{RobustConfig, RobustOutcome};

@@ -1,0 +1,295 @@
+//! Robust OSPF weight search: optimise the worst-case MLU across a
+//! single-circuit failure set.
+//!
+//! The robust-OSPF line the paper's §VI cites (and "OSPF Weight Setting
+//! Optimization for Single Link Failures") observes that weights optimised
+//! for the intact topology go stale the moment a link fails: OSPF
+//! reconverges on the survivors with the *old* weights, and the resulting
+//! even-ECMP routing can be far from any optimum. The robust answer is to
+//! pick one weight vector whose worst case over the failure set is as good
+//! as possible — trading intact-topology optimality for failure insurance.
+//!
+//! This module reuses the Fortz–Thorup local-search scaffolding
+//! ([`crate::FtOutcome`]): the same first-improvement shuffled
+//! single-weight scans over integer weights `1..=max_weight`, but with the
+//! scalar objective
+//!
+//! ```text
+//! cost(w) = max over scenarios s of MLU(even-ECMP routing of w on s)
+//! ```
+//!
+//! where the scenarios are the intact topology plus every single duplex
+//! *circuit* failure that leaves the network connected (bridge circuits
+//! are skipped and counted — see [`RobustOutcome::skipped_circuits`]).
+//! Every degraded topology is pre-built once; candidate evaluations route
+//! into per-scenario engines whose arenas are reused across the thousands
+//! of probes, mirroring the FT search's engine-probed `cost_of`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spef_core::{metrics, RoutingEngine, SpefError};
+use spef_topology::{Network, TrafficMatrix};
+
+use crate::ospf;
+
+/// Configuration of the robust weight search.
+///
+/// Deliberately smaller than [`crate::FtConfig`]: each evaluation routes
+/// the candidate on *every* failure scenario, so budgets are counted in
+/// candidate vectors, and the default budget is modest. No random
+/// restarts — the search starts from rounded InvCap weights so a given
+/// `(instance, config)` pair explores one deterministic trajectory.
+#[derive(Debug, Clone)]
+pub struct RobustConfig {
+    /// Largest weight value the search may assign (default 20, matching
+    /// [`crate::FtConfig`]).
+    pub max_weight: u32,
+    /// Candidate weight-vector budget (default 150); each candidate costs
+    /// one even-ECMP routing per scenario.
+    pub max_evaluations: usize,
+    /// RNG seed for the scan order.
+    pub seed: u64,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            max_weight: 20,
+            max_evaluations: 150,
+            seed: 0x0b57,
+        }
+    }
+}
+
+/// Result of a robust weight search.
+#[derive(Debug, Clone)]
+pub struct RobustOutcome {
+    /// Best integer weight setting found.
+    pub weights: Vec<f64>,
+    /// Its worst-case MLU over the scenario set (intact + every
+    /// connected single-circuit failure).
+    pub worst_mlu: f64,
+    /// Its MLU on the intact topology — the price paid for robustness,
+    /// to compare against weights optimised for the intact case alone.
+    pub intact_mlu: f64,
+    /// Candidate weight vectors evaluated.
+    pub evaluations: usize,
+    /// Duplex circuits whose failure would disconnect the network,
+    /// excluded from the scenario set (reported, never silent).
+    pub skipped_circuits: usize,
+}
+
+impl RobustOutcome {
+    /// Runs the local search: starting from rounded-InvCap weights,
+    /// repeatedly rescans links in seeded-random order trying every
+    /// candidate weight `1..=max_weight`, keeping first improvements of
+    /// the worst-case MLU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors ([`SpefError::UnroutableDemand`] etc.)
+    /// from candidate evaluations on any scenario.
+    pub fn local_search(
+        network: &Network,
+        traffic: &TrafficMatrix,
+        config: &RobustConfig,
+    ) -> Result<RobustOutcome, SpefError> {
+        let m = network.link_count();
+        let dests = ospf::validate_ospf_inputs(network, traffic)?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Pre-build the scenario set once: every connected single-circuit
+        // failure, with the kept-edge map for weight remapping.
+        let mut scenarios = Vec::new();
+        let mut skipped_circuits = 0usize;
+        for circuit in network.duplex_circuits() {
+            match network.without_links(&circuit) {
+                Ok((degraded, kept)) => scenarios.push((degraded, kept)),
+                Err(_) => skipped_circuits += 1,
+            }
+        }
+        // One engine + one weight buffer per scenario (engines borrow
+        // their network); a single flows buffer reshapes across scenarios.
+        let mut intact_engine = RoutingEngine::new(network.graph());
+        let mut engines: Vec<RoutingEngine<'_>> = scenarios
+            .iter()
+            .map(|(degraded, _)| RoutingEngine::new(degraded.graph()))
+            .collect();
+        let mut degraded_weights: Vec<Vec<f64>> = scenarios
+            .iter()
+            .map(|(_, kept)| vec![0.0; kept.len()])
+            .collect();
+        let mut flows = intact_engine.distribute_fresh();
+
+        // Worst-case MLU of one candidate across all scenarios. The
+        // intact MLU is returned alongside so the final report does not
+        // need an extra pass.
+        let mut cost_of = |weights: &[f64],
+                           intact_engine: &mut RoutingEngine<'_>,
+                           engines: &mut [RoutingEngine<'_>]|
+         -> Result<(f64, f64), SpefError> {
+            ospf::route_flows_into(intact_engine, traffic, &dests, weights, &mut flows)?;
+            let intact = metrics::max_link_utilization(network, flows.aggregate());
+            let mut worst = intact;
+            for (i, (degraded, kept)) in scenarios.iter().enumerate() {
+                let dw = &mut degraded_weights[i];
+                for (slot, &old) in dw.iter_mut().zip(kept) {
+                    *slot = weights[old.index()];
+                }
+                ospf::route_flows_into(&mut engines[i], traffic, &dests, dw, &mut flows)?;
+                worst = worst.max(metrics::max_link_utilization(degraded, flows.aggregate()));
+            }
+            Ok((worst, intact))
+        };
+
+        // Start point: rounded InvCap (the FT convention).
+        let max_cap = network
+            .capacities()
+            .iter()
+            .cloned()
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let mut weights: Vec<f64> = network
+            .capacities()
+            .iter()
+            .map(|c| (max_cap / c).round().clamp(1.0, config.max_weight as f64))
+            .collect();
+
+        let (mut cost, mut intact_mlu) = cost_of(&weights, &mut intact_engine, &mut engines)?;
+        let mut evaluations = 1usize;
+        let mut improved = true;
+        while improved && evaluations < config.max_evaluations {
+            improved = false;
+            let mut order: Vec<usize> = (0..m).collect();
+            shuffle(&mut order, &mut rng);
+            'links: for e in order {
+                let original = weights[e];
+                for cand in 1..=config.max_weight {
+                    let cand = cand as f64;
+                    if cand == original {
+                        continue;
+                    }
+                    weights[e] = cand;
+                    let (c_new, i_new) = cost_of(&weights, &mut intact_engine, &mut engines)?;
+                    evaluations += 1;
+                    if c_new < cost - 1e-9 {
+                        cost = c_new;
+                        intact_mlu = i_new;
+                        improved = true;
+                        continue 'links; // keep the improvement, next link
+                    }
+                    weights[e] = original;
+                    if evaluations >= config.max_evaluations {
+                        break 'links;
+                    }
+                }
+            }
+        }
+
+        Ok(RobustOutcome {
+            weights,
+            worst_mlu: cost,
+            intact_mlu,
+            evaluations,
+            skipped_circuits,
+        })
+    }
+}
+
+/// Fisher–Yates shuffle (mirrors the FT search's helper; the offline
+/// `rand` has no `SliceRandom` for this API surface).
+fn shuffle(order: &mut [usize], rng: &mut StdRng) {
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ospf::OspfRouting;
+    use spef_graph::EdgeId;
+    use spef_topology::standard;
+
+    fn abilene_instance(load: f64) -> (Network, TrafficMatrix) {
+        let net = standard::abilene();
+        let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, load);
+        (net, tm)
+    }
+
+    #[test]
+    fn worst_case_dominates_intact_case() {
+        let (net, tm) = abilene_instance(0.05);
+        let out = RobustOutcome::local_search(&net, &tm, &RobustConfig::default()).unwrap();
+        assert!(out.worst_mlu >= out.intact_mlu - 1e-12);
+        assert!(out.intact_mlu > 0.0);
+        assert!(out.evaluations >= 1);
+    }
+
+    #[test]
+    fn robust_search_improves_worst_case_over_invcap() {
+        let (net, tm) = abilene_instance(0.08);
+        // Worst-case MLU of plain InvCap weights across the same set.
+        let invcap = ospf::invcap_weights(&net);
+        let mut worst_invcap = OspfRouting::route_with_weights(&net, &tm, &invcap)
+            .unwrap()
+            .max_link_utilization(&net);
+        for circuit in net.duplex_circuits() {
+            let Ok((degraded, kept)) = net.without_links(&circuit) else {
+                continue;
+            };
+            let dw: Vec<f64> = kept.iter().map(|&old| invcap[old.index()]).collect();
+            let r = OspfRouting::route_with_weights(&degraded, &tm, &dw).unwrap();
+            worst_invcap = worst_invcap.max(r.max_link_utilization(&degraded));
+        }
+        let cfg = RobustConfig {
+            max_evaluations: 400,
+            ..RobustConfig::default()
+        };
+        let out = RobustOutcome::local_search(&net, &tm, &cfg).unwrap();
+        assert!(
+            out.worst_mlu <= worst_invcap + 1e-12,
+            "robust {} vs invcap worst-case {worst_invcap}",
+            out.worst_mlu
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_budget() {
+        let (net, tm) = abilene_instance(0.05);
+        let cfg = RobustConfig {
+            max_evaluations: 60,
+            ..RobustConfig::default()
+        };
+        let a = RobustOutcome::local_search(&net, &tm, &cfg).unwrap();
+        let b = RobustOutcome::local_search(&net, &tm, &cfg).unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.worst_mlu.to_bits(), b.worst_mlu.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn bridge_circuits_are_counted_not_silent() {
+        // A path network: every circuit is a bridge except none — failing
+        // any circuit disconnects it, so all circuits are skipped and the
+        // scenario set degenerates to the intact topology alone.
+        let mut b = Network::builder("path3");
+        let n0 = b.add_node("a", (0.0, 0.0));
+        let n1 = b.add_node("b", (1.0, 0.0));
+        let n2 = b.add_node("c", (2.0, 0.0));
+        b.add_duplex_link(n0, n1, 1.0);
+        b.add_duplex_link(n1, n2, 1.0);
+        let net = b.build().unwrap();
+        let mut tm = TrafficMatrix::new(3);
+        tm.set(n0, n2, 0.5);
+        let cfg = RobustConfig {
+            max_evaluations: 30,
+            ..RobustConfig::default()
+        };
+        let out = RobustOutcome::local_search(&net, &tm, &cfg).unwrap();
+        assert_eq!(out.skipped_circuits, 2);
+        // Only the intact scenario remains, so worst == intact.
+        assert_eq!(out.worst_mlu.to_bits(), out.intact_mlu.to_bits());
+        let _ = EdgeId::new(0);
+    }
+}

@@ -215,6 +215,96 @@ fn bench_frank_wolfe(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_failure_chain(c: &mut Criterion) {
+    // The PR 7 warm-vs-cold pair: a remove-one-link failure chain. The
+    // intact Abilene solve is recorded as the session's base solution;
+    // each degraded solve then restarts from that solution projected onto
+    // the surviving edge set (conservation repaired along detours) instead
+    // of from scratch. Tolerance-bound so the stopping point is the
+    // relative gap, and the iteration totals are printed so the lane
+    // doubles as the warm-start witness.
+    let net = standard::abilene();
+    let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.1);
+    let obj = Objective::proportional(net.link_count());
+    let fw = FrankWolfeConfig {
+        convergence: ConvergenceCriteria::with_tolerance(20_000, 1e-4),
+        ..FrankWolfeConfig::default()
+    };
+    // A chain of circuit failures that stay feasible at this load (some
+    // Abilene circuits leave no slack at 0.1 and would abort both lanes).
+    let circuits = net.duplex_circuits();
+    let chain: Vec<_> = [0usize, 1, 3, 6, 13]
+        .into_iter()
+        .map(|i| {
+            let (degraded, _) = net
+                .without_links(&circuits[i])
+                .expect("no bridges on Abilene");
+            let obj_d = Objective::proportional(degraded.link_count());
+            (degraded, obj_d)
+        })
+        .collect();
+
+    let mut cold_total = 0u64;
+    for (degraded, obj_d) in &chain {
+        let sol = fw.solve(TeInstance::new(degraded, &tm, obj_d)).expect("te");
+        cold_total += sol.iterations as u64;
+    }
+    let mut ws = TeWorkspace::new();
+    fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+        .expect("te");
+    let mut warm_total = 0u64;
+    for (degraded, obj_d) in &chain {
+        let sol = fw
+            .solve_in(TeInstance::new(degraded, &tm, obj_d), &mut ws)
+            .expect("te");
+        warm_total += sol.iterations as u64;
+    }
+    eprintln!(
+        "failure_chain_abilene cold vs warm iterations over {} circuit failures: {} -> {}",
+        chain.len(),
+        cold_total,
+        warm_total
+    );
+    assert!(
+        warm_total < cold_total,
+        "removal warm start saved no iterations across the failure chain \
+         ({cold_total} cold vs {warm_total} warm)"
+    );
+
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    group.bench_function("failure_chain_abilene_cold", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for (degraded, obj_d) in &chain {
+                total += fw
+                    .solve(TeInstance::new(degraded, &tm, obj_d))
+                    .expect("te")
+                    .iterations as u64;
+            }
+            total
+        })
+    });
+    group.bench_function("failure_chain_abilene_warm", |b| {
+        b.iter(|| {
+            // Re-anchor the base at the intact solution, then run the
+            // degraded chain off its projections.
+            ws.clear_solutions();
+            fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+                .expect("te");
+            let mut total = 0u64;
+            for (degraded, obj_d) in &chain {
+                total += fw
+                    .solve_in(TeInstance::new(degraded, &tm, obj_d), &mut ws)
+                    .expect("te")
+                    .iterations as u64;
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
 fn bench_nem(c: &mut Criterion) {
     let net = standard::abilene();
     let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.12);
@@ -685,6 +775,7 @@ criterion_group!(
     bench_traffic_distribution,
     bench_fib,
     bench_frank_wolfe,
+    bench_failure_chain,
     bench_nem,
     bench_simplex,
     bench_simplex_mlu,

@@ -29,7 +29,7 @@ use spef_graph::{EdgeId, NodeId};
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::engine::RoutingEngine;
-use crate::solver::{ConvergenceCriteria, FwSession, TeWorkspace};
+use crate::solver::{ConvergenceCriteria, FwSession, FwStart, TeWorkspace};
 use crate::te::TeSolution;
 use crate::traffic_dist::SplitRule;
 use crate::{Objective, SpefError};
@@ -172,16 +172,22 @@ pub(crate) fn solve_in(
     }
 
     // Warm start: rescale the previous solution when the fingerprint
-    // matches and the demands are per-destination proportional. Pinned
-    // mode always runs the cold trajectory.
-    let warm = !config.convergence.pinned
-        && ws.fw.try_warm_start(
+    // matches and the demands are per-destination proportional, or — for
+    // link-removal instances — project a saved full-topology solution
+    // onto the surviving edge set. Pinned mode always runs the cold
+    // trajectory.
+    let start = if config.convergence.pinned {
+        FwStart::Cold
+    } else {
+        ws.fw.warm_start(
             network,
             traffic,
             objective,
             config.smoothing_fraction,
             &dests,
-        );
+        )
+    };
+    let warm = start != FwStart::Cold;
 
     let mut engine = RoutingEngine::with_state(network.graph(), ws.take_engine());
     let outcome = run(
@@ -203,6 +209,7 @@ pub(crate) fn solve_in(
                 objective,
                 config.smoothing_fraction,
                 &dests,
+                start == FwStart::RemovalProjected,
             );
             Ok(TeSolution {
                 flows: ws.fw.flows.clone(),

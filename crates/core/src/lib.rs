@@ -83,7 +83,9 @@ pub use fib::{FibRow, FibSet};
 pub use frank_wolfe::FrankWolfeConfig;
 pub use nem::{NemConfig, NemOutcome};
 pub use protocol::{ForwardingTable, SpefConfig, SpefRouting, TeSolverKind, WeightMode};
-pub use solver::{ConvergenceCriteria, NemInstance, TeInstance, TeSolver, TeWorkspace};
+pub use solver::{
+    ConvergenceCriteria, NemInstance, TeInstance, TeSolver, TeWorkspace, STALE_WEIGHT_DAG_RTOL,
+};
 #[allow(deprecated)]
 pub use te::solve_te;
 pub use te::TeSolution;

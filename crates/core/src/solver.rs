@@ -21,7 +21,14 @@
 //! destination set — and, for Frank–Wolfe, the new demand columns must be
 //! per-destination *proportional* to the saved ones (the case produced by
 //! load sweeps, which scale a whole matrix uniformly), so the saved flows
-//! rescale into a conservation-feasible starting point. Any mismatch
+//! rescale into a conservation-feasible starting point. Frank–Wolfe
+//! additionally accepts a **link-removal** instance — the new edge list
+//! an order-preserving strict subsequence of the saved one with
+//! bit-identical endpoints, capacities and `q_e` (what
+//! [`Network::without_links`] produces) — by projecting the saved flows
+//! onto the surviving edges and re-routing each removed edge's flow along
+//! a surviving shortest path, so failure chains restart from the intact
+//! optimum instead of cold-solving every degraded topology. Any mismatch
 //! falls back to the cold initial point automatically; warm-starting is
 //! never a correctness hazard, only a trajectory change.
 //!
@@ -37,7 +44,7 @@
 //!   the cold start — the bit-exactness gate used by the equivalence
 //!   proptests and the regression-gated sweeps.
 
-use spef_graph::{Graph, NodeId, ShortestPathDag};
+use spef_graph::{dijkstra, Graph, NodeId, ShortestPathDag};
 use spef_lp::simplex::SimplexWorkspace;
 use spef_topology::{Network, TrafficMatrix};
 
@@ -48,6 +55,24 @@ use crate::{Objective, SpefError};
 /// Relative tolerance of the per-destination demand proportionality check
 /// that gates the Frank–Wolfe warm start.
 const PROPORTIONALITY_RTOL: f64 = 1e-9;
+
+/// Relative Dijkstra tie threshold for reconverging *stale* continuous
+/// weights on a degraded topology: two paths count as equal-cost when
+/// their lengths differ by at most `STALE_WEIGHT_DAG_RTOL · max_e w_e`.
+///
+/// Contract: solver-produced weights (marginal utilities) are continuous,
+/// so after a failure the surviving weights almost never tie exactly and
+/// a zero threshold would collapse every ECMP split to a single path —
+/// overstating the stale-weight MLU. Fresh SPEF solves derive their
+/// adaptive tolerance from the Bellman slack over the optimal support
+/// (§V.G, [`crate::SpefConfig::dijkstra_tolerance`]); on a degraded
+/// topology the stale weights solve *nothing*, there is no support to
+/// probe, so this coarse threshold — relative to the **maximum** current
+/// weight, which keeps it meaningful across objectives where β changes
+/// weight magnitudes by orders of magnitude — stands in. Every failure
+/// study must use this one constant so stale and re-optimised routings
+/// are compared under the same tie rule.
+pub const STALE_WEIGHT_DAG_RTOL: f64 = 1e-2;
 
 /// Stopping rules shared by every solver configuration, replacing the
 /// former per-config field dialects (`max_iterations` +
@@ -233,6 +258,20 @@ fn bits_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
+/// How a Frank–Wolfe run was seeded (see [`FwSession::warm_start`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FwStart {
+    /// Cold init: even-ECMP on InvCap weights.
+    Cold,
+    /// Same topology, per-destination proportional demands: the saved
+    /// flows rescaled in place (load sweeps).
+    Rescaled,
+    /// Edge-subset topology (link removal): the saved flows projected
+    /// onto the surviving edges with conservation repair (failure
+    /// chains).
+    RemovalProjected,
+}
+
 /// Frank–Wolfe session state: working buffers that double as the saved
 /// solution (after a successful solve, `flows`/`spare` hold the optimum
 /// and `saved` describes the instance they solve).
@@ -250,6 +289,15 @@ pub(crate) struct FwSession {
     /// An invalidated fingerprint kept only for its buffer capacity, so
     /// warm re-solves record their solution without reallocating.
     stale: Option<FwFingerprint>,
+    /// The last *full-topology* solution of the session: its own flows
+    /// snapshot plus the instance it solves. Removal warm starts fall
+    /// back to projecting from here, so a failure chain (intact → circuit
+    /// 1 down, intact → circuit 2 down, …) warm-starts every degraded
+    /// solve from the one intact optimum instead of cold-solving each.
+    /// Only non-removal solves refresh it; survives solve errors (the
+    /// snapshot is untouched by a failed run's half-blended buffers).
+    base: Option<FwFingerprint>,
+    base_flows: Flows,
 }
 
 #[derive(Debug, Default)]
@@ -261,6 +309,81 @@ struct FwFingerprint {
     smoothing: f64,
     /// Demand columns (one per destination) the saved flows route.
     demands: Vec<Vec<f64>>,
+}
+
+impl FwFingerprint {
+    /// Overwrites `self` with the given instance, reusing buffers.
+    fn record_instance(
+        &mut self,
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        smoothing_fraction: f64,
+        dests: &[NodeId],
+    ) {
+        self.topo.record(network.graph(), dests);
+        self.capacities.clear();
+        self.capacities.extend_from_slice(network.capacities());
+        self.q.clear();
+        self.q
+            .extend((0..objective.link_count()).map(|e| objective.q(e.into())));
+        self.beta = objective.beta();
+        self.smoothing = smoothing_fraction;
+        if self.demands.len() != dests.len() {
+            self.demands.resize_with(dests.len(), Vec::new);
+        }
+        for (col, &t) in self.demands.iter_mut().zip(dests) {
+            traffic.demands_to_into(t, col);
+        }
+    }
+}
+
+/// Per-destination proportionality gate shared by both warm starts:
+/// `d'^t = r_t · d^t` within [`PROPORTIONALITY_RTOL`] for every saved
+/// column, with the ratios written to `ratio`. Returns `false` on any
+/// mismatch (wrong shape, zero/negative/non-finite ratio, non-proportional
+/// column).
+fn proportional_ratios(
+    saved_demands: &[Vec<f64>],
+    traffic: &TrafficMatrix,
+    dests: &[NodeId],
+    demand_buf: &mut Vec<f64>,
+    ratio: &mut Vec<f64>,
+) -> bool {
+    ratio.clear();
+    if saved_demands.len() != dests.len() {
+        return false;
+    }
+    for (i, &t) in dests.iter().enumerate() {
+        traffic.demands_to_into(t, demand_buf);
+        let old = &saved_demands[i];
+        if old.len() != demand_buf.len() {
+            return false;
+        }
+        let (peak_idx, peak) = old
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .map(|(i, &v)| (i, v))
+            .unwrap_or((0, 0.0));
+        if peak <= 0.0 {
+            return false;
+        }
+        let r = demand_buf[peak_idx] / peak;
+        if !r.is_finite() || r < 0.0 {
+            return false;
+        }
+        let tol = PROPORTIONALITY_RTOL * peak * r.max(1.0);
+        if demand_buf
+            .iter()
+            .zip(old)
+            .any(|(new, old)| (new - r * old).abs() > tol)
+        {
+            return false;
+        }
+        ratio.push(r);
+    }
+    true
 }
 
 impl FwSession {
@@ -291,36 +414,14 @@ impl FwSession {
         }
         // Per-destination proportionality: d'^t = r_t · d^t within a tiny
         // relative tolerance, so r_t · f^t stays conservation-feasible.
-        self.ratio.clear();
-        for (i, &t) in dests.iter().enumerate() {
-            traffic.demands_to_into(t, &mut self.demand_buf);
-            let old = &saved.demands[i];
-            if old.len() != self.demand_buf.len() {
-                return false;
-            }
-            let (peak_idx, peak) = old
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
-                .map(|(i, &v)| (i, v))
-                .unwrap_or((0, 0.0));
-            if peak <= 0.0 {
-                return false;
-            }
-            let r = self.demand_buf[peak_idx] / peak;
-            if !r.is_finite() || r < 0.0 {
-                return false;
-            }
-            let tol = PROPORTIONALITY_RTOL * peak * r.max(1.0);
-            if self
-                .demand_buf
-                .iter()
-                .zip(old)
-                .any(|(new, old)| (new - r * old).abs() > tol)
-            {
-                return false;
-            }
-            self.ratio.push(r);
+        if !proportional_ratios(
+            &saved.demands,
+            traffic,
+            dests,
+            &mut self.demand_buf,
+            &mut self.ratio,
+        ) {
+            return false;
         }
         self.flows.scale_per_destination(&self.ratio);
         // The rescaled buffer is a starting point, not a solution: until
@@ -331,7 +432,68 @@ impl FwSession {
         true
     }
 
-    /// Records the instance the current `flows` buffer solves.
+    /// The combined warm-start entry: tries, in order, (a) the in-place
+    /// proportional rescale on an identical topology, (b) a link-removal
+    /// projection from the most recent solution (covers cascading
+    /// failures: degraded → further degraded), (c) a link-removal
+    /// projection from the session's base (intact) solution — the failure
+    /// chain case, where every single-circuit solve restarts from the one
+    /// intact optimum. Falls back to [`FwStart::Cold`] when nothing
+    /// matches; never a correctness hazard, only a trajectory change.
+    pub(crate) fn warm_start(
+        &mut self,
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        smoothing_fraction: f64,
+        dests: &[NodeId],
+    ) -> FwStart {
+        if self.try_warm_start(network, traffic, objective, smoothing_fraction, dests) {
+            return FwStart::Rescaled;
+        }
+        if let Some(saved) = &self.saved {
+            if let Some(projected) = removal_projection(
+                saved,
+                &self.flows,
+                network,
+                traffic,
+                objective,
+                smoothing_fraction,
+                dests,
+                &mut self.demand_buf,
+                &mut self.ratio,
+            ) {
+                self.flows = projected;
+                self.stale = self.saved.take();
+                return FwStart::RemovalProjected;
+            }
+        }
+        if let Some(base) = &self.base {
+            if let Some(projected) = removal_projection(
+                base,
+                &self.base_flows,
+                network,
+                traffic,
+                objective,
+                smoothing_fraction,
+                dests,
+                &mut self.demand_buf,
+                &mut self.ratio,
+            ) {
+                self.flows = projected;
+                if let Some(s) = self.saved.take() {
+                    self.stale = Some(s);
+                }
+                return FwStart::RemovalProjected;
+            }
+        }
+        FwStart::Cold
+    }
+
+    /// Records the instance the current `flows` buffer solves. Unless the
+    /// run was seeded by a removal projection (`degraded`), the solution
+    /// is also snapshotted as the session's base for future failure-chain
+    /// restarts.
     pub(crate) fn record_solution(
         &mut self,
         network: &Network,
@@ -339,34 +501,178 @@ impl FwSession {
         objective: &Objective,
         smoothing_fraction: f64,
         dests: &[NodeId],
+        degraded: bool,
     ) {
         let mut saved = self
             .saved
             .take()
             .or_else(|| self.stale.take())
             .unwrap_or_default();
-        saved.topo.record(network.graph(), dests);
-        saved.capacities.clear();
-        saved.capacities.extend_from_slice(network.capacities());
-        saved.q.clear();
-        saved
-            .q
-            .extend((0..objective.link_count()).map(|e| objective.q(e.into())));
-        saved.beta = objective.beta();
-        saved.smoothing = smoothing_fraction;
-        if saved.demands.len() != dests.len() {
-            saved.demands.resize_with(dests.len(), Vec::new);
-        }
-        for (col, &t) in saved.demands.iter_mut().zip(dests) {
-            traffic.demands_to_into(t, col);
-        }
+        saved.record_instance(network, traffic, objective, smoothing_fraction, dests);
         self.saved = Some(saved);
+        if !degraded {
+            let mut base = self.base.take().unwrap_or_default();
+            base.record_instance(network, traffic, objective, smoothing_fraction, dests);
+            self.base_flows.copy_from(&self.flows);
+            self.base = Some(base);
+        }
     }
 
-    /// Forgets the saved solution (arenas are kept).
+    /// Forgets the saved solution (arenas are kept). The base snapshot
+    /// survives: it lives in its own buffers, so a failed solve's
+    /// half-blended iterate never corrupts it.
     pub(crate) fn forget(&mut self) {
         self.saved = None;
     }
+
+    /// Forgets the saved solution *and* the base snapshot — the full
+    /// history reset behind [`TeWorkspace::clear_solutions`], after which
+    /// no warm start of any kind can fire.
+    pub(crate) fn forget_all(&mut self) {
+        self.saved = None;
+        self.base = None;
+    }
+}
+
+/// Builds a conservation-feasible Frank–Wolfe starting point on an
+/// edge-subset topology from a saved solution of the full topology.
+///
+/// Match rule: the new edge list must be an order-preserving subsequence
+/// of the saved one — same endpoints, bitwise-identical capacity and
+/// `q_e` — with strictly fewer edges, same node count, destination set,
+/// β and smoothing (exactly what [`Network::without_links`] produces),
+/// and the new demands per-destination proportional to the saved ones.
+///
+/// Projection: kept edges inherit `r_t · f^t_e`; each removed edge's flow
+/// is re-routed along a surviving shortest path between its endpoints
+/// (InvCap weights — cheap, deterministic, biased toward spare capacity),
+/// which restores per-destination conservation exactly: dropping edge
+/// `(u,v)` removes `x` from `u`'s outflow and `v`'s inflow, and the path
+/// puts exactly `x` back. Capacity overshoot on the repair path is fine —
+/// Frank–Wolfe's smoothed barrier keeps over-capacity iterates
+/// well-defined and the line search pulls them back.
+///
+/// Returns `None` on any mismatch (caller falls back to the next source
+/// or the cold init); `self`-free so disjoint session fields can be
+/// borrowed around it.
+#[allow(clippy::too_many_arguments)]
+fn removal_projection(
+    source: &FwFingerprint,
+    source_flows: &Flows,
+    network: &Network,
+    traffic: &TrafficMatrix,
+    objective: &Objective,
+    smoothing_fraction: f64,
+    dests: &[NodeId],
+    demand_buf: &mut Vec<f64>,
+    ratio: &mut Vec<f64>,
+) -> Option<Flows> {
+    let g = network.graph();
+    let m_new = g.edge_count();
+    let m_old = source.topo.edges.len();
+    if m_new >= m_old
+        || source.topo.nodes != g.node_count()
+        || source.topo.dests.as_slice() != dests
+        || source.beta.to_bits() != objective.beta().to_bits()
+        || source.smoothing.to_bits() != smoothing_fraction.to_bits()
+        || source_flows.destinations() != dests
+    {
+        return None;
+    }
+    // Greedy order-preserving subsequence match of the new edge list
+    // against the saved one (`without_links` keeps relative edge order,
+    // so greedy matching is exact for genuine removals).
+    let mut kept: Vec<usize> = Vec::with_capacity(m_new);
+    let mut oi = 0usize;
+    for (e, u, v) in g.edges() {
+        let cap = network.capacity(e).to_bits();
+        let q = objective.q(e).to_bits();
+        loop {
+            if oi == m_old {
+                return None;
+            }
+            let cursor = oi;
+            oi += 1;
+            if source.topo.edges[cursor] == (u, v)
+                && source.capacities[cursor].to_bits() == cap
+                && source.q[cursor].to_bits() == q
+            {
+                kept.push(cursor);
+                break;
+            }
+        }
+    }
+    if !proportional_ratios(&source.demands, traffic, dests, demand_buf, ratio) {
+        return None;
+    }
+    // Project the kept edges' flows, scaled per destination.
+    let mut per_dest: Vec<Vec<f64>> = Vec::with_capacity(dests.len());
+    for (i, r) in ratio.iter().enumerate() {
+        let old = source_flows.column(i);
+        if old.len() != m_old {
+            return None;
+        }
+        per_dest.push(kept.iter().map(|&o| r * old[o]).collect());
+    }
+    // Conservation repair for the removed edges.
+    let removed = {
+        let mut removed = Vec::with_capacity(m_old - m_new);
+        let mut k = 0usize;
+        for o in 0..m_old {
+            if k < kept.len() && kept[k] == o {
+                k += 1;
+            } else {
+                removed.push(o);
+            }
+        }
+        removed
+    };
+    let invcap: Vec<f64> = network.capacities().iter().map(|c| 1.0 / c).collect();
+    let mut path: Vec<usize> = Vec::new();
+    for &o in &removed {
+        if !(0..dests.len()).any(|i| ratio[i] * source_flows.column(i)[o] > 0.0) {
+            continue;
+        }
+        let (u, v) = source.topo.edges[o];
+        let dist = dijkstra::distances_to(g, &invcap, v).ok()?;
+        if !dist[u.index()].is_finite() {
+            return None;
+        }
+        // Greedy descent from u: always step along the out-edge minimising
+        // w_e + dist(target, v). Positive weights make dist strictly
+        // decrease, so this terminates in < n hops (bound checked anyway).
+        path.clear();
+        let mut x = u;
+        let mut hops = 0usize;
+        while x != v {
+            hops += 1;
+            if hops > g.node_count() {
+                return None;
+            }
+            let e = g.out_edges(x).iter().copied().min_by(|&a, &b| {
+                (invcap[a.index()] + dist[g.target(a).index()])
+                    .total_cmp(&(invcap[b.index()] + dist[g.target(b).index()]))
+                    .then_with(|| a.index().cmp(&b.index()))
+            })?;
+            path.push(e.index());
+            x = g.target(e);
+        }
+        for (i, f) in per_dest.iter_mut().enumerate() {
+            let flow = ratio[i] * source_flows.column(i)[o];
+            if flow > 0.0 {
+                for &pe in &path {
+                    f[pe] += flow;
+                }
+            }
+        }
+    }
+    let mut aggregate = vec![0.0; m_new];
+    for f in &per_dest {
+        for (a, x) in aggregate.iter_mut().zip(f) {
+            *a += *x;
+        }
+    }
+    Some(Flows::new_unchecked(dests.to_vec(), per_dest, aggregate))
 }
 
 /// NEM session state: the dual iterate `v` doubles as the saved solution.
@@ -471,7 +777,7 @@ impl TeWorkspace {
     /// [`TeSolver::solve`]) at warm-buffer speed. The result-preserving
     /// mode used by the regression-gated sweep harness.
     pub fn clear_solutions(&mut self) {
-        self.fw.forget();
+        self.fw.forget_all();
         self.nem.forget();
         self.dd.forget();
     }

@@ -398,6 +398,35 @@ impl Flows {
         }
     }
 
+    /// The flow vector of destination *index* `i` (aligned with
+    /// [`Flows::destinations`]) — positional access for callers that walk
+    /// all commodities, avoiding the by-node scan of
+    /// [`Flows::for_destination`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub(crate) fn column(&self, i: usize) -> &[f64] {
+        &self.per_dest[i]
+    }
+
+    /// Clones `src` into `self`, reusing existing allocations (clear +
+    /// extend per vector) — the snapshot copy behind the failure-chain
+    /// warm start's base solution, kept allocation-free once shaped.
+    pub(crate) fn copy_from(&mut self, src: &Flows) {
+        self.dests.clear();
+        self.dests.extend_from_slice(&src.dests);
+        if self.per_dest.len() != src.per_dest.len() {
+            self.per_dest.resize_with(src.per_dest.len(), Vec::new);
+        }
+        for (dst, from) in self.per_dest.iter_mut().zip(&src.per_dest) {
+            dst.clear();
+            dst.extend_from_slice(from);
+        }
+        self.aggregate.clear();
+        self.aggregate.extend_from_slice(&src.aggregate);
+    }
+
     /// An empty flow set, ready to be shaped by [`Flows::reset`] — the
     /// starting point for reusable distribution buffers.
     pub(crate) fn empty() -> Flows {

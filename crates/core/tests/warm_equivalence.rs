@@ -245,6 +245,236 @@ fn fingerprint_mismatch_falls_back_to_cold() {
     assert_eq!(warm3.iterations, cold3.iterations);
 }
 
+/// The remove-one-link warm start: on an Abilene failure chain (intact
+/// solve, then every single-circuit degraded topology), projecting the
+/// intact optimum onto the surviving edges must save Frank–Wolfe
+/// iterations versus cold solves — strictly on at least one circuit and
+/// in total — while converging to the same tolerance, with per-
+/// destination conservation intact on every degraded solution.
+#[test]
+fn removal_warm_start_saves_iterations_on_failure_chain() {
+    let net = standard::abilene();
+    let shape = TrafficMatrix::fortz_thorup(&net, 1);
+    let tm = shape.scaled_to_network_load(&net, 0.12);
+    let fw = FrankWolfeConfig {
+        convergence: ConvergenceCriteria::with_tolerance(20_000, 1e-4),
+        ..FrankWolfeConfig::default()
+    };
+
+    let mut ws = TeWorkspace::new();
+    let obj = Objective::proportional(net.link_count());
+    fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+        .unwrap();
+
+    let (mut warm_total, mut cold_total, mut strict_wins, mut circuits_solved) = (0, 0, 0, 0);
+    for circuit in net.duplex_circuits() {
+        let Ok((degraded, _kept)) = net.without_links(&circuit) else {
+            continue; // bridge circuit: removal disconnects Abilene
+        };
+        let obj_d = Objective::proportional(degraded.link_count());
+        let cold = match fw.solve(TeInstance::new(&degraded, &tm, &obj_d)) {
+            Ok(sol) => sol,
+            Err(spef_core::SpefError::Infeasible) => {
+                // Some circuits leave no slack at this load; the warmed
+                // session must reach the same verdict (and keep its base
+                // snapshot for the remaining circuits).
+                let warm = fw.solve_in(TeInstance::new(&degraded, &tm, &obj_d), &mut ws);
+                assert!(
+                    matches!(warm, Err(spef_core::SpefError::Infeasible)),
+                    "circuit {circuit:?}: cold infeasible but warm {warm:?}"
+                );
+                continue;
+            }
+            Err(e) => panic!("circuit {circuit:?}: {e}"),
+        };
+        let warm = fw
+            .solve_in(TeInstance::new(&degraded, &tm, &obj_d), &mut ws)
+            .unwrap();
+        assert!(
+            (warm.utility - cold.utility).abs() <= 1e-3 * cold.utility.abs().max(1.0),
+            "circuit {circuit:?}: warm utility {} vs cold {}",
+            warm.utility,
+            cold.utility
+        );
+        // A removal-projected start must still be conservation-feasible,
+        // and Frank–Wolfe preserves feasibility, so the warm solution
+        // must satisfy per-destination conservation on the degraded net.
+        for &t in warm.flows.destinations() {
+            let f = warm.flows.for_destination(t).unwrap();
+            let div = degraded.graph().divergence(f);
+            let demands = tm.demands_to(t);
+            for node in degraded.graph().nodes() {
+                if node != t {
+                    assert!(
+                        (div[node.index()] - demands[node.index()]).abs() < 1e-6,
+                        "circuit {circuit:?}: conservation at {node} for dest {t}"
+                    );
+                }
+            }
+        }
+        warm_total += warm.iterations;
+        cold_total += cold.iterations;
+        strict_wins += usize::from(warm.iterations < cold.iterations);
+        circuits_solved += 1;
+    }
+    assert!(
+        circuits_solved >= 3,
+        "only {circuits_solved} circuits solvable"
+    );
+    assert!(
+        strict_wins >= 1,
+        "no circuit solved in fewer warm iterations"
+    );
+    assert!(
+        warm_total < cold_total,
+        "warm chain {warm_total} vs cold chain {cold_total} iterations"
+    );
+}
+
+/// Chained failures restart from the session *base*: after a degraded
+/// solve, the saved solution describes the degraded topology — a different
+/// circuit's topology is not its edge subset, so the second degraded solve
+/// must project from the intact base snapshot (and still save iterations).
+#[test]
+fn removal_warm_start_falls_back_to_base_across_circuits() {
+    let net = standard::abilene();
+    let shape = TrafficMatrix::fortz_thorup(&net, 1);
+    let tm = shape.scaled_to_network_load(&net, 0.12);
+    let fw = FrankWolfeConfig {
+        convergence: ConvergenceCriteria::with_tolerance(20_000, 1e-4),
+        ..FrankWolfeConfig::default()
+    };
+    let circuits: Vec<_> = net
+        .duplex_circuits()
+        .into_iter()
+        .filter(|c| net.without_links(c).is_ok())
+        .take(2)
+        .collect();
+    assert_eq!(circuits.len(), 2);
+
+    let mut ws = TeWorkspace::new();
+    let obj = Objective::proportional(net.link_count());
+    fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+        .unwrap();
+    for circuit in &circuits {
+        let (degraded, _) = net.without_links(circuit).unwrap();
+        let obj_d = Objective::proportional(degraded.link_count());
+        let cold = fw.solve(TeInstance::new(&degraded, &tm, &obj_d)).unwrap();
+        let warm = fw
+            .solve_in(TeInstance::new(&degraded, &tm, &obj_d), &mut ws)
+            .unwrap();
+        assert!(
+            warm.iterations < cold.iterations,
+            "circuit {circuit:?}: warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+}
+
+/// Pinned mode ignores the removal warm start exactly as it ignores the
+/// proportional one: a degraded-topology solve on a workspace holding the
+/// intact solution is bit-identical to the cold solve.
+#[test]
+fn pinned_mode_ignores_removal_warm_start() {
+    let net = standard::abilene();
+    let shape = TrafficMatrix::fortz_thorup(&net, 1);
+    let tm = shape.scaled_to_network_load(&net, 0.12);
+    let fw = FrankWolfeConfig {
+        convergence: ConvergenceCriteria::pinned(60),
+        ..FrankWolfeConfig::default()
+    };
+    let circuit = net
+        .duplex_circuits()
+        .into_iter()
+        .find(|c| net.without_links(c).is_ok())
+        .unwrap();
+    let (degraded, _) = net.without_links(&circuit).unwrap();
+
+    let obj = Objective::proportional(net.link_count());
+    let obj_d = Objective::proportional(degraded.link_count());
+    let cold = fw.solve(TeInstance::new(&degraded, &tm, &obj_d)).unwrap();
+    let mut ws = TeWorkspace::new();
+    fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+        .unwrap();
+    let pinned = fw
+        .solve_in(TeInstance::new(&degraded, &tm, &obj_d), &mut ws)
+        .unwrap();
+    assert!(bits_eq(&pinned.weights, &cold.weights));
+    assert!(bits_eq(pinned.flows.aggregate(), cold.flows.aggregate()));
+    assert_eq!(pinned.iterations, cold.iterations);
+}
+
+/// The removal path only accepts genuine edge-subset instances: a degraded
+/// topology with a perturbed capacity is *not* a subsequence of the saved
+/// fingerprint, so the solve must run the cold trajectory bit for bit.
+#[test]
+fn removal_warm_start_rejects_non_subset_topologies() {
+    let net = standard::abilene();
+    let shape = TrafficMatrix::fortz_thorup(&net, 1);
+    let tm = shape.scaled_to_network_load(&net, 0.12);
+    let fw = FrankWolfeConfig::fast();
+    let circuit = net
+        .duplex_circuits()
+        .into_iter()
+        .find(|c| net.without_links(c).is_ok())
+        .unwrap();
+    let (degraded, _) = net.without_links(&circuit).unwrap();
+    // Rebuild the degraded network with one capacity nudged: same edges,
+    // same endpoints, but no longer bitwise-identical to the fingerprint.
+    let mut b = spef_topology::Network::builder("perturbed");
+    for node in degraded.graph().nodes() {
+        b.add_node(degraded.node_name(node), degraded.coord(node));
+    }
+    for (e, u, v) in degraded.graph().edges() {
+        let cap = degraded.capacity(e);
+        b.add_link(u, v, if e.index() == 0 { cap * 1.001 } else { cap });
+    }
+    let perturbed = b.build().unwrap();
+
+    let obj = Objective::proportional(net.link_count());
+    let obj_p = Objective::proportional(perturbed.link_count());
+    let cold = fw.solve(TeInstance::new(&perturbed, &tm, &obj_p)).unwrap();
+    let mut ws = TeWorkspace::new();
+    fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+        .unwrap();
+    let warm = fw
+        .solve_in(TeInstance::new(&perturbed, &tm, &obj_p), &mut ws)
+        .unwrap();
+    assert!(bits_eq(&warm.weights, &cold.weights));
+    assert_eq!(warm.iterations, cold.iterations);
+}
+
+/// `clear_solutions` drops the base snapshot too: after clearing, a
+/// degraded-topology solve runs the cold trajectory even though the
+/// workspace previously held the intact optimum.
+#[test]
+fn clear_solutions_drops_the_removal_base() {
+    let net = standard::abilene();
+    let shape = TrafficMatrix::fortz_thorup(&net, 1);
+    let tm = shape.scaled_to_network_load(&net, 0.12);
+    let fw = FrankWolfeConfig::fast();
+    let circuit = net
+        .duplex_circuits()
+        .into_iter()
+        .find(|c| net.without_links(c).is_ok())
+        .unwrap();
+    let (degraded, _) = net.without_links(&circuit).unwrap();
+
+    let obj = Objective::proportional(net.link_count());
+    let obj_d = Objective::proportional(degraded.link_count());
+    let cold = fw.solve(TeInstance::new(&degraded, &tm, &obj_d)).unwrap();
+    let mut ws = TeWorkspace::new();
+    fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)
+        .unwrap();
+    ws.clear_solutions();
+    let cleared = fw
+        .solve_in(TeInstance::new(&degraded, &tm, &obj_d), &mut ws)
+        .unwrap();
+    assert!(bits_eq(&cleared.weights, &cold.weights));
+    assert_eq!(cleared.iterations, cold.iterations);
+}
+
 /// `clear_solutions` restores the cold contract without dropping arenas:
 /// a cleared workspace reproduces the cold trajectory exactly even with a
 /// valid neighbouring solution previously recorded.

@@ -14,6 +14,7 @@
 //!     --json BENCH_sweep.json
 //!
 //! repro sweep --family sim     # packet-level sim grid (fig4/abilene/cernet2)
+//! repro sweep --family failure # single-circuit failure grid (abilene)
 //! repro sweep --family all     # te grid + sim grid, one report (PR 6 gate)
 //! repro sweep --family all --cold-solves   # same grid, isolated cold solves:
 //!                                          # results must not move a bit
@@ -129,10 +130,11 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
                 match val.as_str() {
                     "te" => grid = ScenarioGrid::te_family(),
                     "sim" => grid = ScenarioGrid::sim_family(),
+                    "failure" => grid = ScenarioGrid::failure_family(),
                     "all" => family_all = true,
                     other => {
                         return Err(format!(
-                            "--family: unknown family {other:?}; known: te, sim, all"
+                            "--family: unknown family {other:?}; known: te, sim, failure, all"
                         ))
                     }
                 };
@@ -231,7 +233,7 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
             "--cold-solves" => options.cold_solves = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro sweep [--family te|sim|all] [--topologies a,b,...] \
+                    "usage: repro sweep [--family te|sim|failure|all] [--topologies a,b,...] \
                      [--seeds 1,2,...] [--loads 0.15,...] [--betas 1.0,...] [--q 1.0] \
                      [--solvers fw|fw-fast|dd] [--traffic ft|gravity] \
                      [--base-seed N] [--sim-durations 2,5] [--sim-warmup-frac 0.1] \

@@ -16,14 +16,21 @@
 //! The interesting quantity is the MLU gap between stale and re-optimised
 //! weights: how much of SPEF's advantage survives a failure *before* the
 //! operator pushes new weights.
+//!
+//! The sweepable, regression-gated variant of this study is the `failure`
+//! scenario family (`repro sweep --family failure`); this experiment keeps
+//! the full per-circuit table and additionally reports each
+//! re-optimisation's iteration count — the workspace is shared across the
+//! sweep, so after the intact solve every degraded solve restarts from the
+//! projected intact solution (the remove-one-link warm start) instead of
+//! running cold.
 
 use spef_core::{
-    build_dags, metrics, traffic_distribution, Objective, SpefError, SplitRule, TeInstance,
-    TeSolver, TeWorkspace,
+    metrics, Objective, SpefError, TeInstance, TeSolver, TeWorkspace, STALE_WEIGHT_DAG_RTOL,
 };
-use spef_graph::EdgeId;
 use spef_topology::{standard, TrafficMatrix};
 
+use crate::reconfig::even_ecmp_mlu;
 use crate::report::{fmt_val, CsvFile, ExperimentResult, TextTable};
 use crate::{scale, Quality};
 
@@ -40,78 +47,113 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let tm = shape.scaled_to_network_load(&net, 0.5 * lmax);
     let obj = Objective::proportional(net.link_count());
     let fw = quality.fw();
-    // One workspace across the failure sweep: every degraded topology has
-    // its own edge list, so each re-optimisation runs the cold trajectory
-    // on warm arenas.
+    // One workspace across the failure sweep: the intact solve below is
+    // recorded as the session's base solution, and every degraded solve
+    // warm-starts from its projection onto the surviving edge set.
     let mut ws = TeWorkspace::new();
     let intact = fw.solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)?;
     let invcap: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
 
-    let circuits: Vec<(EdgeId, EdgeId)> = (0..net.link_count() / 2)
-        .map(|i| (EdgeId::new(2 * i), EdgeId::new(2 * i + 1)))
-        .collect();
+    let circuits = net.duplex_circuits();
     let budget = match quality {
         Quality::Full => circuits.len(),
         Quality::Quick => 4,
     };
+    let dests = tm.destinations();
 
     let mut table = TextTable::new(
         format!(
             "Failure ablation — MLU after each single circuit failure, Abilene at load {:.3}",
             tm.network_load(&net)
         ),
-        &["failed circuit", "OSPF", "SPEF stale", "SPEF reopt"],
+        &[
+            "failed circuit",
+            "OSPF",
+            "SPEF stale",
+            "SPEF reopt",
+            "reopt iters",
+        ],
     );
     let mut rows = Vec::new();
+    let mut skipped_bridges = 0usize;
 
-    for (i, &(e_fwd, e_rev)) in circuits.iter().take(budget).enumerate() {
-        let Ok((degraded, kept)) = net.without_links(&[e_fwd, e_rev]) else {
-            continue; // failing a bridge disconnects: skip (none on Abilene)
+    for (i, circuit) in circuits.iter().take(budget).enumerate() {
+        let (degraded, kept) = match net.without_links(circuit) {
+            Ok(pair) => pair,
+            Err(_) => {
+                // Failing a bridge circuit disconnects the network: no
+                // post-failure routing exists. Counted and reported below,
+                // never silently dropped (none on Abilene).
+                skipped_bridges += 1;
+                continue;
+            }
         };
         // Remap per-link vectors onto the surviving edge ids.
         let remap =
             |vals: &[f64]| -> Vec<f64> { kept.iter().map(|&old| vals[old.index()]).collect() };
-        let dests = tm.destinations();
 
         // OSPF reconvergence.
-        let w_ospf = remap(&invcap);
-        let dags = build_dags(degraded.graph(), &w_ospf, &dests, 0.0)?;
-        let ospf_flows = traffic_distribution(degraded.graph(), &dags, &tm, SplitRule::EvenEcmp)?;
-        let mlu_ospf = metrics::max_link_utilization(&degraded, ospf_flows.aggregate());
+        let mlu_ospf = even_ecmp_mlu(&degraded, &tm, &dests, &remap(&invcap), 0.0)?;
 
-        // SPEF with stale (intact-optimal) weights.
+        // SPEF with stale (intact-optimal) weights. The continuous weights
+        // solve nothing on the degraded topology, so equal-cost ties use
+        // the shared coarse threshold (see `STALE_WEIGHT_DAG_RTOL`).
         let w_stale = remap(&intact.weights);
         let max_w = w_stale.iter().cloned().fold(0.0, f64::max);
-        let dags = build_dags(degraded.graph(), &w_stale, &dests, 1e-2 * max_w)?;
-        let stale_flows = traffic_distribution(degraded.graph(), &dags, &tm, SplitRule::EvenEcmp)?;
-        let mlu_stale = metrics::max_link_utilization(&degraded, stale_flows.aggregate());
+        let mlu_stale = even_ecmp_mlu(
+            &degraded,
+            &tm,
+            &dests,
+            &w_stale,
+            STALE_WEIGHT_DAG_RTOL * max_w,
+        )?;
 
-        // SPEF re-optimised on the degraded topology.
+        // SPEF re-optimised on the degraded topology (removal warm start).
         let obj_d = Objective::proportional(degraded.link_count());
-        let mlu_reopt = match fw.solve_in(TeInstance::new(&degraded, &tm, &obj_d), &mut ws) {
-            Ok(sol) => metrics::max_link_utilization(&degraded, sol.flows.aggregate()),
-            Err(SpefError::Infeasible) => f64::INFINITY,
+        let (mlu_reopt, iters) = match fw.solve_in(TeInstance::new(&degraded, &tm, &obj_d), &mut ws)
+        {
+            Ok(sol) => (
+                metrics::max_link_utilization(&degraded, sol.flows.aggregate()),
+                sol.iterations,
+            ),
+            Err(SpefError::Infeasible) => (f64::INFINITY, 0),
             Err(e) => return Err(e),
         };
 
+        let e_fwd = circuit[0];
         let (u, v) = (net.graph().source(e_fwd), net.graph().target(e_fwd));
         table.push_row(vec![
             format!("{}-{}", net.node_name(u), net.node_name(v)),
             fmt_val(mlu_ospf),
             fmt_val(mlu_stale),
             fmt_val(mlu_reopt),
+            iters.to_string(),
         ]);
-        rows.push(vec![i as f64, mlu_ospf, mlu_stale, mlu_reopt]);
+        rows.push(vec![i as f64, mlu_ospf, mlu_stale, mlu_reopt, iters as f64]);
     }
+    table.push_row(vec![
+        "skipped (bridge circuits)".into(),
+        skipped_bridges.to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
 
     Ok(ExperimentResult {
         id: "failure",
         tables: vec![table],
-        csvs: vec![CsvFile::from_rows(
-            "failure.csv",
-            &["circuit", "ospf", "spef_stale", "spef_reopt"],
-            &rows,
-        )],
+        csvs: vec![
+            CsvFile::from_rows(
+                "failure.csv",
+                &["circuit", "ospf", "spef_stale", "spef_reopt", "reopt_iters"],
+                &rows,
+            ),
+            CsvFile::from_rows(
+                "failure_skipped.csv",
+                &["skipped_bridge_circuits"],
+                &[vec![skipped_bridges as f64]],
+            ),
+        ],
     })
 }
 
@@ -138,6 +180,10 @@ mod tests {
             // remains routable.
             assert!(reopt.is_finite());
             assert!(stale.is_finite());
+            // The warm-started re-optimisation still iterates.
+            assert!(row[4] > 0.0);
         }
+        // Abilene has no bridge circuits; the count is reported as zero.
+        assert_eq!(r.csvs[1].content.lines().nth(1), Some("0"));
     }
 }

@@ -46,10 +46,12 @@ use std::time::Instant;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use serde::{Error as SerdeError, Value};
-use spef_core::{SpefRouting, TeInstance, TeSolver, TeWorkspace};
+use spef_baselines::{RobustConfig, RobustOutcome};
+use spef_core::{SpefRouting, TeInstance, TeSolver, TeWorkspace, STALE_WEIGHT_DAG_RTOL};
 use spef_netsim::{simulate_with, SchedulerKind, SimWorkspace};
 use spef_topology::{Network, TrafficMatrix};
 
+use crate::reconfig;
 use crate::scenario::Scenario;
 
 /// Schema version stamped into every [`BatchReport`]; bump when the JSON
@@ -82,6 +84,35 @@ pub struct SimScenarioResult {
     pub peak_packet_slots: u64,
 }
 
+/// Deterministic measurements of a scenario's single-circuit failure
+/// stage. Every field is a pure function of the scenario, so `repro diff`
+/// compares them bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureScenarioResult {
+    /// MLU after OSPF (InvCap weights) reconverges on the survivors.
+    pub mlu_ospf: f64,
+    /// MLU with the stale intact-optimal SPEF weights on the survivors
+    /// (even-ECMP — the second weights' splits are meaningless once the
+    /// path set changed).
+    pub mlu_stale: f64,
+    /// MLU after full SPEF re-optimisation on the degraded topology.
+    pub mlu_reopt: f64,
+    /// TE-solver iterations the re-optimisation spent (cold trajectory —
+    /// the gated sweep clears warm starts so results stay mode-independent;
+    /// warm-vs-cold savings are measured by the bench lane instead).
+    pub reopt_iterations: u64,
+    /// Worst-case MLU (over intact + every connected single-circuit
+    /// failure) of the robust weight search's best setting.
+    pub mlu_robust: f64,
+    /// Weight pushes needed to migrate from the stale to the re-optimised
+    /// setting.
+    pub reconfig_steps: u64,
+    /// Peak transient MLU under the naive ascending-index push order.
+    pub reconfig_peak_mlu: f64,
+    /// Peak transient MLU under the greedy minimum-MLU push order.
+    pub reconfig_greedy_peak_mlu: f64,
+}
+
 /// Measurements of one successfully solved scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
@@ -100,14 +131,18 @@ pub struct ScenarioResult {
     /// Packet-level simulation measurements (present iff the scenario has
     /// a [`SimSpec`](crate::scenario::SimSpec) stage).
     pub sim: Option<SimScenarioResult>,
+    /// Failure-stage measurements (present iff the scenario has a
+    /// [`FailureSpec`](crate::scenario::FailureSpec) stage).
+    pub failure: Option<FailureScenarioResult>,
     /// Wall-clock milliseconds for the full pipeline (the only
     /// non-deterministic field).
     pub wall_ms: f64,
 }
 
-// Hand-written so the optional `sim` field is omitted when absent: sim-less
-// results serialize byte-identically to the committed pre-PR 4 baselines,
-// and those baselines parse back without a `sim` key.
+// Hand-written so the optional `sim` and `failure` fields are omitted when
+// absent: stage-less results serialize byte-identically to the committed
+// pre-PR 4 / pre-PR 7 baselines, and those baselines parse back without
+// the keys.
 impl Serialize for ScenarioResult {
     fn to_value(&self) -> Value {
         let mut fields = vec![
@@ -119,6 +154,9 @@ impl Serialize for ScenarioResult {
         ];
         if let Some(sim) = &self.sim {
             fields.push(("sim".to_string(), sim.to_value()));
+        }
+        if let Some(failure) = &self.failure {
+            fields.push(("failure".to_string(), failure.to_value()));
         }
         fields.push(("wall_ms".to_string(), self.wall_ms.to_value()));
         Value::Object(fields)
@@ -141,6 +179,10 @@ impl Deserialize for ScenarioResult {
             sim: match value.get_field("sim") {
                 None => None,
                 Some(v) => Option::<SimScenarioResult>::from_value(v)?,
+            },
+            failure: match value.get_field("failure") {
+                None => None,
+                Some(v) => Option::<FailureScenarioResult>::from_value(v)?,
             },
             wall_ms: f64::from_value(field("wall_ms")?)?,
         })
@@ -261,6 +303,15 @@ impl BatchReport {
                     b.is_some()
                 )),
             }
+            match (&a.failure, &b.failure) {
+                (None, None) => {}
+                (Some(fa), Some(fb)) => drift_failure(&mut drift, id, fa, fb),
+                (a, b) => drift.push(format!(
+                    "{id}: failure stage present {} vs {}",
+                    a.is_some(),
+                    b.is_some()
+                )),
+            }
         }
         if self.failures.len() != other.failures.len() {
             drift.push(format!(
@@ -371,6 +422,48 @@ fn drift_sim(drift: &mut Vec<String>, id: &str, a: &SimScenarioResult, b: &SimSc
     }
 }
 
+/// Appends per-field drift lines for a failure-stage pair (bit-identical
+/// float comparison, like the top-level result fields).
+fn drift_failure(
+    drift: &mut Vec<String>,
+    id: &str,
+    a: &FailureScenarioResult,
+    b: &FailureScenarioResult,
+) {
+    if a.reopt_iterations != b.reopt_iterations {
+        drift.push(format!(
+            "{id}: failure reopt_iterations {} vs {}",
+            a.reopt_iterations, b.reopt_iterations
+        ));
+    }
+    if a.reconfig_steps != b.reconfig_steps {
+        drift.push(format!(
+            "{id}: failure reconfig_steps {} vs {}",
+            a.reconfig_steps, b.reconfig_steps
+        ));
+    }
+    for (name, x, y) in [
+        ("mlu_ospf", a.mlu_ospf, b.mlu_ospf),
+        ("mlu_stale", a.mlu_stale, b.mlu_stale),
+        ("mlu_reopt", a.mlu_reopt, b.mlu_reopt),
+        ("mlu_robust", a.mlu_robust, b.mlu_robust),
+        (
+            "reconfig_peak_mlu",
+            a.reconfig_peak_mlu,
+            b.reconfig_peak_mlu,
+        ),
+        (
+            "reconfig_greedy_peak_mlu",
+            a.reconfig_greedy_peak_mlu,
+            b.reconfig_greedy_peak_mlu,
+        ),
+    ] {
+        if x.to_bits() != y.to_bits() {
+            drift.push(format!("{id}: failure {name} {x} vs {y}"));
+        }
+    }
+}
+
 /// Batch execution options.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
@@ -457,11 +550,132 @@ fn sim_stage(
     }))
 }
 
+/// Per-chain memo of robust weight-search worst cases. The search depends
+/// on the intact instance and the search parameters — not on which circuit
+/// a scenario fails — so every circuit of a chain shares one search.
+/// Memoization is a pure speedup: the search is deterministic, so the
+/// cold-solves path recomputing it per scenario gets bit-identical values.
+type RobustMemo = Vec<(String, f64)>;
+
+/// Runs a scenario's optional single-circuit failure stage against an
+/// already solved (intact) pipeline: fail the circuit, measure the OSPF /
+/// stale-SPEF / re-optimised-SPEF MLU triple, the robust-weight worst
+/// case, and the stale→reopt weight-reconfiguration transient.
+///
+/// The re-optimisation clears the workspace's saved trajectories first
+/// ([`TeWorkspace::clear_solutions`]) so it runs the cold iteration
+/// sequence: chain mode and [`BatchOptions::cold_solves`] stay
+/// bit-identical (the removal warm start's iteration savings are proven by
+/// the solver tests and the bench lane, never inside the gated sweep).
+fn failure_stage(
+    scenario: &Scenario,
+    solved: &SolvedPipeline,
+    ws: &mut TeWorkspace,
+    robust_memo: &mut RobustMemo,
+) -> Result<Option<FailureScenarioResult>, String> {
+    let Some(spec) = &scenario.failure else {
+        return Ok(None);
+    };
+    let circuits = solved.network.duplex_circuits();
+    let c = spec.circuit as usize;
+    if c >= circuits.len() {
+        return Err(format!(
+            "failure stage: circuit index {c} out of range ({} duplex circuits)",
+            circuits.len()
+        ));
+    }
+    let (degraded, kept) = solved
+        .network
+        .without_links(&circuits[c])
+        .map_err(|e| format!("failure stage: failing circuit {c}: {e}"))?;
+    let dests = solved.traffic.destinations();
+    let remap = |vals: &[f64]| -> Vec<f64> { kept.iter().map(|&old| vals[old.index()]).collect() };
+
+    // OSPF reconvergence: InvCap weights on the survivors, even ECMP.
+    let invcap: Vec<f64> = solved
+        .network
+        .capacities()
+        .iter()
+        .map(|c| 1.0 / c)
+        .collect();
+    let w_ospf = remap(&invcap);
+    let mlu_ospf = reconfig::even_ecmp_mlu(&degraded, &solved.traffic, &dests, &w_ospf, 0.0)
+        .map_err(|e| format!("failure stage: OSPF routing: {e}"))?;
+
+    // Stale SPEF: the intact-optimal first weights on the survivors. The
+    // continuous weights solve nothing on the degraded topology, so
+    // equal-cost ties use the shared coarse threshold (see
+    // [`STALE_WEIGHT_DAG_RTOL`]'s contract).
+    let w_stale = remap(&solved.routing.te_solution().weights);
+    let max_w = w_stale.iter().cloned().fold(0.0, f64::max);
+    let mlu_stale = reconfig::even_ecmp_mlu(
+        &degraded,
+        &solved.traffic,
+        &dests,
+        &w_stale,
+        STALE_WEIGHT_DAG_RTOL * max_w,
+    )
+    .map_err(|e| format!("failure stage: stale-weight routing: {e}"))?;
+
+    // Full SPEF re-optimisation on the degraded topology.
+    let obj = scenario.objective.build(degraded.link_count());
+    let config = scenario.solver.build();
+    ws.clear_solutions();
+    let reopt = config
+        .solve_in(TeInstance::new(&degraded, &solved.traffic, &obj), ws)
+        .map_err(|e| format!("failure stage: re-optimisation after circuit {c}: {e}"))?;
+    let mlu_reopt = reopt.max_link_utilization(&degraded);
+
+    // Robust weight search on the intact instance (chain-memoized).
+    let robust_key = format!(
+        "{}+e{}s{}",
+        scenario.solve_key(),
+        spec.robust_evals,
+        spec.robust_seed
+    );
+    let mlu_robust = match robust_memo.iter().find(|(k, _)| *k == robust_key) {
+        Some((_, worst)) => *worst,
+        None => {
+            let cfg = RobustConfig {
+                max_evaluations: spec.robust_evals as usize,
+                seed: spec.robust_seed,
+                ..RobustConfig::default()
+            };
+            let out = RobustOutcome::local_search(&solved.network, &solved.traffic, &cfg)
+                .map_err(|e| format!("failure stage: robust weight search: {e}"))?;
+            robust_memo.push((robust_key, out.worst_mlu));
+            out.worst_mlu
+        }
+    };
+
+    // Reconfiguration transient: ordered pushes from the stale weights to
+    // the re-optimised ones.
+    let transit = reconfig::migrate(
+        &degraded,
+        &solved.traffic,
+        &w_stale,
+        &reopt.te_solution().weights,
+    )
+    .map_err(|e| format!("failure stage: reconfiguration transient: {e}"))?;
+
+    Ok(Some(FailureScenarioResult {
+        mlu_ospf,
+        mlu_stale,
+        mlu_reopt,
+        reopt_iterations: reopt.te_solution().iterations as u64,
+        mlu_robust,
+        reconfig_steps: transit.steps as u64,
+        reconfig_peak_mlu: transit.naive_peak_mlu,
+        reconfig_greedy_peak_mlu: transit.greedy_peak_mlu,
+    }))
+}
+
 /// Assembles the per-scenario measurements from a solved pipeline.
 fn measure(
     scenario: &Scenario,
     solved: &SolvedPipeline,
     sim: Option<SimScenarioResult>,
+    failure: Option<FailureScenarioResult>,
     started: Instant,
 ) -> ScenarioResult {
     ScenarioResult {
@@ -471,6 +685,7 @@ fn measure(
         iterations: solved.routing.te_solution().iterations as u64,
         nem_converged: solved.routing.nem_converged(),
         sim,
+        failure,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -499,9 +714,11 @@ pub fn run_scenario_in(
     sim_ws: &mut SimWorkspace,
 ) -> Result<ScenarioResult, String> {
     let started = Instant::now();
-    let solved = solve_pipeline(scenario, &mut TeWorkspace::new())?;
+    let mut ws = TeWorkspace::new();
+    let solved = solve_pipeline(scenario, &mut ws)?;
+    let failure = failure_stage(scenario, &solved, &mut ws, &mut RobustMemo::new())?;
     let sim = sim_stage(scenario, &solved, sim_scheduler, sim_ws)?;
-    Ok(measure(scenario, &solved, sim, started))
+    Ok(measure(scenario, &solved, sim, failure, started))
 }
 
 /// A scenario's outcome tagged with its original batch index so the caller
@@ -515,9 +732,10 @@ type IndexedOutcome = (usize, Scenario, Result<ScenarioResult, String>);
 fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<IndexedOutcome> {
     let mut ws = TeWorkspace::new();
     let mut sim_ws = SimWorkspace::new();
-    // Chains are short (one entry per load × sim point), so a linear-scan
-    // memo keyed by solve key beats hashing.
+    // Chains are short (one entry per load × sim/failure point), so
+    // linear-scan memos keyed by solve key beat hashing.
     let mut memo: Vec<(String, Result<SolvedPipeline, String>)> = Vec::new();
+    let mut robust_memo = RobustMemo::new();
     let mut out = Vec::with_capacity(chain.len());
     for (index, scenario) in chain {
         let started = Instant::now();
@@ -526,14 +744,18 @@ fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<Index
             let solved = solve_pipeline(&scenario, &mut ws);
             memo.push((key.clone(), solved));
         }
-        let (_, solved) = memo
+        let pos = memo
             .iter()
-            .find(|(k, _)| *k == key)
+            .position(|(k, _)| *k == key)
             .expect("solve key was just memoized");
-        let outcome = match solved {
+        let outcome = match &memo[pos].1 {
             Err(e) => Err(e.clone()),
-            Ok(solved) => sim_stage(&scenario, solved, options.sim_scheduler, &mut sim_ws)
-                .map(|sim| measure(&scenario, solved, sim, started)),
+            Ok(solved) => {
+                failure_stage(&scenario, solved, &mut ws, &mut robust_memo).and_then(|failure| {
+                    sim_stage(&scenario, solved, options.sim_scheduler, &mut sim_ws)
+                        .map(|sim| measure(&scenario, solved, sim, failure, started))
+                })
+            }
         };
         out.push((index, scenario, outcome));
     }

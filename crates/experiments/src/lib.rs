@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod reconfig;
 pub mod report;
 pub mod scale;
 pub mod scenario;
@@ -37,13 +38,14 @@ pub mod table3;
 pub mod table5;
 
 pub use harness::{
-    run_batch, run_scenario, run_scenario_in, BatchOptions, BatchReport, ScenarioFailure,
-    ScenarioResult, SimScenarioResult,
+    run_batch, run_scenario, run_scenario_in, BatchOptions, BatchReport, FailureScenarioResult,
+    ScenarioFailure, ScenarioResult, SimScenarioResult,
 };
+pub use reconfig::ReconfigOutcome;
 pub use report::{CsvFile, ExperimentResult, TextTable};
 pub use scenario::{
-    ObjectiveSpec, Scenario, ScenarioGrid, SimSpec, SolverSpec, TopologySpec, TrafficModel,
-    TrafficSpec,
+    FailureSpec, ObjectiveSpec, Scenario, ScenarioGrid, SimSpec, SolverSpec, TopologySpec,
+    TrafficModel, TrafficSpec,
 };
 
 /// Fidelity of an experiment run.

@@ -375,6 +375,34 @@ impl SimSpec {
     }
 }
 
+/// Single-circuit failure stage riding on a scenario: after the SPEF
+/// pipeline solves the intact topology, the duplex circuit with index
+/// `circuit` (in [`Network::duplex_circuits`] order) is failed and the
+/// scenario reports the OSPF / stale-SPEF / re-optimised-SPEF MLU triple,
+/// the robust-weight worst case, and the weight-reconfiguration transient
+/// — the §VI failure study as a sweepable, regression-gated family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Index of the failed duplex circuit in
+    /// [`Network::duplex_circuits`] order.
+    pub circuit: u64,
+    /// Candidate budget of the robust weight search
+    /// ([`spef_baselines::RobustConfig::max_evaluations`]).
+    pub robust_evals: u64,
+    /// Scan-order seed of the robust weight search.
+    pub robust_seed: u64,
+}
+
+impl FailureSpec {
+    /// A short stable identifier used in scenario ids.
+    pub fn id(&self) -> String {
+        format!(
+            "fail-c{}e{}s{}",
+            self.circuit, self.robust_evals, self.robust_seed
+        )
+    }
+}
+
 /// One fully pinned-down run of the SPEF pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -391,6 +419,8 @@ pub struct Scenario {
     pub solver: SolverSpec,
     /// Optional packet-level simulation stage over the solved FIB.
     pub sim: Option<SimSpec>,
+    /// Optional single-circuit failure stage after the intact solve.
+    pub failure: Option<FailureSpec>,
 }
 
 impl Scenario {
@@ -416,6 +446,7 @@ impl Scenario {
             objective,
             solver,
             sim: None,
+            failure: None,
         }
     }
 
@@ -424,6 +455,14 @@ impl Scenario {
     pub fn with_sim(mut self, sim: SimSpec) -> Scenario {
         self.id = format!("{}+{}", self.id, sim.id());
         self.sim = Some(sim);
+        self
+    }
+
+    /// Attaches a single-circuit failure stage, extending the id (ids
+    /// stay the unique join key of batch reports).
+    pub fn with_failure(mut self, failure: FailureSpec) -> Scenario {
+        self.id = format!("{}+{}", self.id, failure.id());
+        self.failure = Some(failure);
         self
     }
 
@@ -447,17 +486,18 @@ impl Scenario {
 
     /// The solve key: the chain key plus the load — two scenarios with
     /// equal solve keys run the *identical* SPEF pipeline instance (they
-    /// can differ only in the attached sim stage), so one solve serves
-    /// both.
+    /// can differ only in the attached sim or failure stage), so one
+    /// intact solve serves both.
     pub fn solve_key(&self) -> String {
         format!("{}+l{}", self.chain_key(), self.traffic.load)
     }
 }
 
-// Hand-written (like `TopologySpec`) because the optional `sim` field must
-// be *omitted* when absent: pre-PR 4 baseline reports have no `sim` key and
-// must keep parsing, and sim-less scenarios must serialize byte-identically
-// to the committed PR 2/PR 3 baselines.
+// Hand-written (like `TopologySpec`) because the optional `sim` and
+// `failure` fields must be *omitted* when absent: pre-PR 4 baseline reports
+// have no `sim` key, pre-PR 7 reports have no `failure` key, and both must
+// keep parsing; stage-less scenarios must serialize byte-identically to the
+// committed earlier baselines.
 impl Serialize for Scenario {
     fn to_value(&self) -> Value {
         let mut fields = vec![
@@ -469,6 +509,9 @@ impl Serialize for Scenario {
         ];
         if let Some(sim) = &self.sim {
             fields.push(("sim".to_string(), sim.to_value()));
+        }
+        if let Some(failure) = &self.failure {
+            fields.push(("failure".to_string(), failure.to_value()));
         }
         Value::Object(fields)
     }
@@ -490,6 +533,10 @@ impl Deserialize for Scenario {
             sim: match value.get_field("sim") {
                 None => None,
                 Some(v) => Option::<SimSpec>::from_value(v)?,
+            },
+            failure: match value.get_field("failure") {
+                None => None,
+                Some(v) => Option::<FailureSpec>::from_value(v)?,
             },
         })
     }
@@ -531,6 +578,11 @@ pub struct ScenarioGrid {
     sim_warmup_frac: f64,
     sim_unit_bps: f64,
     sim_seed: u64,
+    /// Failed duplex-circuit indices of the failure stage; empty means no
+    /// failure stage.
+    failure_circuits: Vec<u64>,
+    robust_evals: u64,
+    robust_seed: u64,
 }
 
 impl Default for ScenarioGrid {
@@ -554,6 +606,9 @@ impl Default for ScenarioGrid {
             sim_warmup_frac: 0.1,
             sim_unit_bps: 1e6,
             sim_seed: 0x5117,
+            failure_circuits: Vec::new(),
+            robust_evals: 150,
+            robust_seed: 0x0b57,
         }
     }
 }
@@ -603,6 +658,24 @@ impl ScenarioGrid {
             .loads([0.15])
             .betas([1.0])
             .solvers([SolverSpec::FrankWolfeFast])
+    }
+
+    /// The `failure` scenario family: Abilene (the one built-in backbone
+    /// whose links are all duplex and bridge-free) × loads {0.04, 0.08} ×
+    /// four failed circuits spread across the ring, under fast
+    /// Frank–Wolfe. Each scenario reports the OSPF / SPEF-stale /
+    /// SPEF-reopt MLU triple after the failure, the robust-weight worst
+    /// case, and the weight-reconfiguration transient. Loads sit well
+    /// inside every single-circuit feasibility boundary, so the family is
+    /// failure-free and fully deterministic — the PR 7 regression grid.
+    pub fn failure_family() -> Self {
+        ScenarioGrid::new()
+            .topologies([TopologySpec::Abilene])
+            .seeds([1])
+            .loads([0.04, 0.08])
+            .betas([1.0])
+            .solvers([SolverSpec::FrankWolfeFast])
+            .failure_circuits([0, 3, 7, 11])
     }
 
     /// Sets the topologies to sweep.
@@ -679,6 +752,26 @@ impl ScenarioGrid {
         self
     }
 
+    /// Attaches a single-circuit failure stage to every scenario, one per
+    /// circuit index (an extra grid dimension). An empty list removes the
+    /// stage.
+    pub fn failure_circuits(mut self, circuits: impl IntoIterator<Item = u64>) -> Self {
+        self.failure_circuits = circuits.into_iter().collect();
+        self
+    }
+
+    /// Sets the robust weight search's candidate budget (default 150).
+    pub fn robust_evals(mut self, evals: u64) -> Self {
+        self.robust_evals = evals;
+        self
+    }
+
+    /// Sets the robust weight search's scan-order seed (default 0x0b57).
+    pub fn robust_seed(mut self, seed: u64) -> Self {
+        self.robust_seed = seed;
+        self
+    }
+
     /// Derives the per-scenario traffic seed from the base seed and the
     /// grid seed (SplitMix64 finalizer, so nearby seeds decorrelate).
     fn scenario_seed(&self, seed: u64) -> u64 {
@@ -694,9 +787,22 @@ impl ScenarioGrid {
     }
 
     /// Expands the grid into the full cartesian product, in deterministic
-    /// order (topology-major, sim-duration-minor).
+    /// order (topology-major, failure-circuit-minor).
     pub fn build(&self) -> Vec<Scenario> {
         let mut scenarios = Vec::new();
+        let mut push = |base: Scenario| {
+            if self.failure_circuits.is_empty() {
+                scenarios.push(base);
+            } else {
+                for &circuit in &self.failure_circuits {
+                    scenarios.push(base.clone().with_failure(FailureSpec {
+                        circuit,
+                        robust_evals: self.robust_evals,
+                        robust_seed: self.robust_seed,
+                    }));
+                }
+            }
+        };
         for topology in &self.topologies {
             for &seed in &self.seeds {
                 for &load in &self.loads {
@@ -713,10 +819,10 @@ impl ScenarioGrid {
                                 solver,
                             );
                             if self.sim_durations.is_empty() {
-                                scenarios.push(base);
+                                push(base);
                             } else {
                                 for &duration in &self.sim_durations {
-                                    scenarios.push(base.clone().with_sim(SimSpec {
+                                    push(base.clone().with_sim(SimSpec {
                                         duration,
                                         warmup: duration * self.sim_warmup_frac,
                                         unit_bps: self.sim_unit_bps,
@@ -857,6 +963,73 @@ mod tests {
         let back = Scenario::from_value(&simful.to_value()).unwrap();
         assert_eq!(back, simful);
         assert!(back.id.ends_with("+sim-d5w0.5u1000000s20759"));
+    }
+
+    #[test]
+    fn failure_circuits_add_a_grid_dimension_with_unique_ids() {
+        let grid = ScenarioGrid::new()
+            .topologies([TopologySpec::Abilene])
+            .seeds([1])
+            .loads([0.05])
+            .failure_circuits([0, 3]);
+        let scenarios = grid.build();
+        assert_eq!(scenarios.len(), 2);
+        assert!(scenarios.iter().all(|s| s.failure.is_some()));
+        assert_ne!(scenarios[0].id, scenarios[1].id);
+        assert!(scenarios[0].id.ends_with("+fail-c0e150s2903"));
+        // The failed circuit is not part of the solve key: every circuit
+        // at one load shares the intact pipeline solve.
+        assert_eq!(scenarios[0].solve_key(), scenarios[1].solve_key());
+
+        // Clearing the circuits removes the stage again.
+        let plain = grid.failure_circuits([]).build();
+        assert_eq!(plain.len(), 1);
+        assert!(plain[0].failure.is_none());
+    }
+
+    #[test]
+    fn failure_family_is_abilene_under_two_loads() {
+        let scenarios = ScenarioGrid::failure_family().build();
+        // 1 topology × 2 loads × 4 circuits.
+        assert_eq!(scenarios.len(), 8);
+        assert!(scenarios.iter().all(|s| s.failure.is_some()));
+        let mut ids: Vec<&str> = scenarios.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+        // All circuits must exist on Abilene (14 duplex circuits).
+        let circuits = TopologySpec::Abilene.build().duplex_circuits();
+        assert!(scenarios
+            .iter()
+            .all(|s| (s.failure.as_ref().unwrap().circuit as usize) < circuits.len()));
+    }
+
+    #[test]
+    fn scenario_with_failure_roundtrips_and_stageless_json_stays_identical() {
+        let base = Scenario::new(
+            TopologySpec::Abilene,
+            TrafficSpec {
+                model: TrafficModel::FortzThorup,
+                seed: 1,
+                load: 0.05,
+            },
+            ObjectiveSpec { q: 1.0, beta: 1.0 },
+            SolverSpec::FrankWolfeFast,
+        );
+        // Failure-less scenarios serialize without a `failure` key at all —
+        // the committed pre-PR 7 baselines' byte format.
+        let v = base.to_value();
+        assert!(v.get_field("failure").is_none());
+        assert_eq!(Scenario::from_value(&v).unwrap(), base);
+
+        let failing = base.with_failure(FailureSpec {
+            circuit: 7,
+            robust_evals: 150,
+            robust_seed: 0x0b57,
+        });
+        let back = Scenario::from_value(&failing.to_value()).unwrap();
+        assert_eq!(back, failing);
+        assert!(back.id.ends_with("+fail-c7e150s2903"));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 
 use spef_experiments::harness::{run_batch, BatchOptions, BatchReport};
 use spef_experiments::scenario::{
-    ObjectiveSpec, Scenario, ScenarioGrid, SimSpec, SolverSpec, TopologySpec, TrafficModel,
-    TrafficSpec,
+    FailureSpec, ObjectiveSpec, Scenario, ScenarioGrid, SimSpec, SolverSpec, TopologySpec,
+    TrafficModel, TrafficSpec,
 };
 use spef_netsim::SchedulerKind;
 
@@ -180,6 +180,127 @@ fn pre_sim_reports_still_parse_and_sim_less_results_omit_the_field() {
     let report = run_batch(three_scenarios(), &BatchOptions::default());
     let json = report.to_json();
     assert!(!json.contains("\"sim\""));
+}
+
+/// A small failure-staged sweep: Abilene at one load, two failed circuits
+/// (sharing the intact solve) with a tiny robust budget.
+fn failure_scenarios() -> Vec<Scenario> {
+    ScenarioGrid::new()
+        .topologies([TopologySpec::Abilene])
+        .seeds([1])
+        .loads([0.05])
+        .failure_circuits([0, 7])
+        .robust_evals(40)
+        .build()
+}
+
+#[test]
+fn failure_sweep_is_deterministic_and_mode_independent() {
+    // Warm chains (shared intact solve + chain-memoized robust search),
+    // serial warm, and isolated cold solves must produce bit-identical
+    // deterministic fields — the failure family's regression contract.
+    let warm = run_batch(failure_scenarios(), &BatchOptions::default());
+    assert_eq!(warm.results.len(), 2, "{:?}", warm.failures);
+    for r in &warm.results {
+        let f = r.failure.as_ref().expect("failure stage ran");
+        // Re-optimisation is the steady-state lower bound.
+        assert!(f.mlu_reopt <= f.mlu_stale + 1e-6);
+        assert!(f.mlu_reopt <= f.mlu_ospf + 1e-6);
+        assert!(f.reopt_iterations > 0);
+        // The robust worst case covers this circuit's failure, so it
+        // cannot beat the per-failure optimum.
+        assert!(f.mlu_robust >= f.mlu_reopt - 1e-9);
+        // The transient starts at the stale state, so both peaks
+        // dominate it; the migration pushes at least one weight.
+        assert!(f.reconfig_steps > 0);
+        assert!(f.reconfig_peak_mlu >= f.mlu_stale - 1e-12);
+        assert!(f.reconfig_greedy_peak_mlu >= f.mlu_stale - 1e-12);
+    }
+    let cold = run_batch(
+        failure_scenarios(),
+        &BatchOptions {
+            cold_solves: true,
+            ..BatchOptions::default()
+        },
+    );
+    let serial = run_batch(
+        failure_scenarios(),
+        &BatchOptions {
+            serial: true,
+            ..BatchOptions::default()
+        },
+    );
+    assert!(
+        warm.result_drift(&cold).is_empty(),
+        "cold drift: {:?}",
+        warm.result_drift(&cold)
+    );
+    assert!(
+        warm.result_drift(&serial).is_empty(),
+        "serial drift: {:?}",
+        warm.result_drift(&serial)
+    );
+}
+
+#[test]
+fn failure_results_roundtrip_and_drift_catches_failure_fields() {
+    let report = run_batch(failure_scenarios(), &BatchOptions::default());
+    let back = BatchReport::from_json(&report.to_json()).expect("parses back");
+    assert_eq!(back, report);
+
+    // Any failure field flip is drift.
+    let mut other = back.clone();
+    other.results[0].failure.as_mut().unwrap().mlu_stale += 1e-15;
+    assert_eq!(report.result_drift(&other).len(), 1);
+    other = back.clone();
+    other.results[1].failure.as_mut().unwrap().reopt_iterations += 1;
+    assert_eq!(report.result_drift(&other).len(), 1);
+    // Dropping the stage entirely is drift too.
+    other = back;
+    other.results[0].failure = None;
+    assert_eq!(report.result_drift(&other).len(), 1);
+}
+
+#[test]
+fn out_of_range_circuit_is_a_scenario_failure_not_a_panic() {
+    let scenario = Scenario::new(
+        TopologySpec::Abilene,
+        TrafficSpec {
+            model: TrafficModel::FortzThorup,
+            seed: 1,
+            load: 0.05,
+        },
+        ObjectiveSpec { q: 1.0, beta: 1.0 },
+        SolverSpec::FrankWolfeFast,
+    )
+    .with_failure(FailureSpec {
+        circuit: 999, // Abilene has 14 duplex circuits
+        robust_evals: 10,
+        robust_seed: 1,
+    });
+    let report = run_batch(vec![scenario], &BatchOptions::default());
+    assert!(report.results.is_empty());
+    assert_eq!(report.failures.len(), 1);
+    assert!(report.failures[0].error.contains("out of range"));
+}
+
+#[test]
+fn pre_failure_reports_still_parse_and_failure_less_results_omit_the_field() {
+    // The committed PR 6 baselines predate the failure stage; their
+    // `ScenarioResult` objects carry no `failure` key and must keep
+    // parsing (the CI regression gate reads them on every PR).
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../BENCH_post_pr6_warm_solvers.json"),
+    )
+    .expect("committed baseline readable");
+    let baseline = BatchReport::from_json(&text).expect("pre-failure baseline parses");
+    assert!(baseline.results.iter().all(|r| r.failure.is_none()));
+
+    // And a failure-less run serializes without the key, so regenerating
+    // the old grids still byte-matches the old schema shape.
+    let report = run_batch(three_scenarios(), &BatchOptions::default());
+    assert!(!report.to_json().contains("\"failure\""));
 }
 
 #[test]

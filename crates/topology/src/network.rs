@@ -202,6 +202,41 @@ impl Network {
         Ok((b.build()?, kept))
     }
 
+    /// Groups the directed links into duplex *circuits*: a forward link and
+    /// its antiparallel partner (same endpoints, opposite direction) form
+    /// one circuit; a link with no surviving partner forms a circuit by
+    /// itself. Failure studies take a whole circuit down at once — a fibre
+    /// cut kills both directions — so this is the canonical enumeration of
+    /// single-failure events.
+    ///
+    /// Deterministic: circuits are ordered by their lowest edge id, and
+    /// each forward link pairs with the first unpaired reverse link (the
+    /// builder's `add_duplex_link` always produces adjacent ids, so named
+    /// topologies get the obvious `(2i, 2i+1)` pairing).
+    pub fn duplex_circuits(&self) -> Vec<Vec<EdgeId>> {
+        let m = self.graph.edge_count();
+        let mut claimed = vec![false; m];
+        let mut circuits = Vec::new();
+        for (e, u, v) in self.graph.edges() {
+            if claimed[e.index()] {
+                continue;
+            }
+            claimed[e.index()] = true;
+            let mut circuit = vec![e];
+            if let Some(rev) = self
+                .graph
+                .edges()
+                .find(|&(r, ru, rv)| !claimed[r.index()] && ru == v && rv == u)
+                .map(|(r, _, _)| r)
+            {
+                claimed[rev.index()] = true;
+                circuit.push(rev);
+            }
+            circuits.push(circuit);
+        }
+        circuits
+    }
+
     /// Per-link utilizations `f_e / c_e` for a given aggregate flow vector.
     ///
     /// # Panics
@@ -392,6 +427,47 @@ mod tests {
             net.capacity(EdgeId::new(2))
         );
         assert_eq!(degraded.node_count(), 3);
+    }
+
+    #[test]
+    fn duplex_circuits_pair_antiparallel_links() {
+        let net = triangle();
+        let circuits = net.duplex_circuits();
+        assert_eq!(circuits.len(), 3);
+        for (i, c) in circuits.iter().enumerate() {
+            assert_eq!(c, &[EdgeId::new(2 * i), EdgeId::new(2 * i + 1)]);
+            let (u0, v0) = net.graph().endpoints(c[0]);
+            let (u1, v1) = net.graph().endpoints(c[1]);
+            assert_eq!((u0, v0), (v1, u1));
+        }
+    }
+
+    #[test]
+    fn duplex_circuits_leave_unpaired_links_as_singletons() {
+        // A directed 3-cycle plus one duplex pair: 3 singleton circuits and
+        // one paired circuit.
+        let mut b = Network::builder("mixed");
+        let a = b.add_node("a", (0.0, 0.0));
+        let c = b.add_node("b", (1.0, 0.0));
+        let d = b.add_node("c", (0.0, 1.0));
+        b.add_link(a, c, 1.0); // 0
+        b.add_link(c, d, 1.0); // 1
+        b.add_link(d, a, 1.0); // 2
+        b.add_duplex_link(a, d, 2.0); // 3, 4
+        let net = b.build().unwrap();
+        let circuits = net.duplex_circuits();
+        assert_eq!(
+            circuits,
+            vec![
+                vec![EdgeId::new(0)],
+                vec![EdgeId::new(1)],
+                // Edge 2 (d->a) pairs with edge 3 (a->d) of the duplex link.
+                vec![EdgeId::new(2), EdgeId::new(3)],
+                vec![EdgeId::new(4)],
+            ]
+        );
+        let total: usize = circuits.iter().map(Vec::len).sum();
+        assert_eq!(total, net.link_count());
     }
 
     #[test]
