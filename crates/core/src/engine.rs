@@ -62,11 +62,15 @@
 //! # }
 //! ```
 
-use spef_graph::batch::{build_dag_set, DagSet, Parallelism, RoutingWorkspace};
+use spef_graph::batch::{
+    build_dag_set, build_dag_set_tiled, DagSet, Parallelism, RoutingWorkspace,
+};
 use spef_graph::{Csr, Graph, GraphError, NodeId};
 use spef_topology::TrafficMatrix;
 
-use crate::traffic_dist::{distribute_batch, DistScratch, Flows, SplitRule, SplitTableSet};
+use crate::traffic_dist::{
+    distribute_batch, distribute_block, DistScratch, Flows, SplitRule, SplitTableSet,
+};
 use crate::SpefError;
 
 /// The detached, owned arenas of a [`RoutingEngine`]: everything the
@@ -84,6 +88,12 @@ pub struct EngineState {
     dags: DagSet,
     tables: SplitTableSet,
     scratch: DistScratch,
+    /// Tile-sized arenas for the tiled execution path. Kept separate from
+    /// `dags`/`tables` so tiled runs never clobber the untiled DAG set
+    /// behind the bit-identical-weights skip fingerprint.
+    tile_dags: DagSet,
+    tile_tables: SplitTableSet,
+    tile_cols: Vec<Vec<f64>>,
     last_weights: Vec<f64>,
     last_dests: Vec<NodeId>,
     last_tolerance: f64,
@@ -124,6 +134,23 @@ impl EngineState {
     /// Arenas are kept.
     pub fn invalidate(&mut self) {
         self.dags_valid = false;
+    }
+
+    /// Bytes currently reserved by the engine's routing arenas (DAG sets,
+    /// split tables, tile scratch, Dijkstra workspace), by capacity — a
+    /// high-water mark, since the arenas only ever grow across reuse.
+    pub fn arena_bytes(&self) -> usize {
+        self.ws.arena_bytes()
+            + self.dags.arena_bytes()
+            + self.tables.arena_bytes()
+            + self.tile_dags.arena_bytes()
+            + self.tile_tables.arena_bytes()
+            + self.tile_cols.capacity() * std::mem::size_of::<Vec<f64>>()
+            + self
+                .tile_cols
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<f64>())
+                .sum::<usize>()
     }
 }
 
@@ -316,6 +343,149 @@ impl<'g> RoutingEngine<'g> {
             s.tables.push_table(self.graph, &dag, rule);
         }
         Ok(&s.tables)
+    }
+
+    /// The fused tiled build-and-distribute cycle: processes `dests` in
+    /// tiles of at most `tile` destinations, building each tile's DAGs
+    /// and split tables into tile-sized arenas (peak O(tile·edges)
+    /// instead of O(dests·edges)) and accumulating the **global**
+    /// aggregate flows destination by destination in ascending order —
+    /// bit-identical to [`build_dags`](Self::build_dags) +
+    /// [`distribute_into`](Self::distribute_into) for every tile size.
+    ///
+    /// With `keep_per_dest` the per-destination flow columns of `out` are
+    /// retained (Frank–Wolfe needs the dense columns for its blend
+    /// updates; only the DAG/table arenas shrink); without it `out` holds
+    /// the aggregate only and [`Flows::for_destination`] returns `None`.
+    ///
+    /// `on_tile(offset, tile dests, tile dags, tile tables)` fires after
+    /// each tile while its arenas are live — callers fold per-destination
+    /// quantities (dual terms, FIB rows) there. The tiled path never
+    /// touches the untiled DAG set or its skip fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build_dags`](Self::build_dags) and
+    /// [`distribute_into`](Self::distribute_into), plus whatever
+    /// `on_tile` returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is zero or `traffic` covers fewer nodes than the
+    /// graph.
+    #[allow(clippy::too_many_arguments)]
+    pub fn distribute_tiled<F>(
+        &mut self,
+        weights: &[f64],
+        dests: &[NodeId],
+        tolerance: f64,
+        traffic: &TrafficMatrix,
+        rule: SplitRule<'_>,
+        tile: usize,
+        keep_per_dest: bool,
+        out: &mut Flows,
+        mut on_tile: F,
+    ) -> Result<(), SpefError>
+    where
+        F: FnMut(usize, &[NodeId], &DagSet, &SplitTableSet) -> Result<(), SpefError>,
+    {
+        assert!(tile > 0, "tile size must be at least 1");
+        crate::traffic_dist::validate_rule(self.graph, rule)?;
+        let m = self.graph.edge_count();
+        let n = self.graph.node_count();
+        let s = &mut self.state;
+        if keep_per_dest {
+            out.reset(dests, m);
+        } else {
+            out.reset_aggregate(dests, m);
+        }
+        let (columns, aggregate) = out.parts_mut();
+
+        let mut offset = 0;
+        for chunk in dests.chunks(tile) {
+            build_dag_set(
+                self.graph,
+                s.in_csr.as_ref().expect("attached engine has a CSR"),
+                weights,
+                chunk,
+                tolerance,
+                self.par,
+                &mut s.ws,
+                &mut s.tile_dags,
+            )?;
+            s.tile_tables.reset(n);
+            let cols: &mut [Vec<f64>] = if keep_per_dest {
+                &mut columns[offset..offset + chunk.len()]
+            } else {
+                if s.tile_cols.len() < chunk.len() {
+                    s.tile_cols.resize_with(chunk.len(), Vec::new);
+                }
+                for col in &mut s.tile_cols[..chunk.len()] {
+                    col.clear();
+                    col.resize(m, 0.0);
+                }
+                &mut s.tile_cols[..chunk.len()]
+            };
+            distribute_block(
+                self.graph,
+                chunk,
+                s.tile_dags.iter(),
+                traffic,
+                rule,
+                &mut s.tile_tables,
+                &mut s.scratch,
+                cols,
+                aggregate,
+            )?;
+            on_tile(offset, chunk, &s.tile_dags, &s.tile_tables)?;
+            offset += chunk.len();
+        }
+        s.spf_builds += 1;
+        Ok(())
+    }
+
+    /// Builds the DAGs of `dests` tile by tile under `weights`, invoking
+    /// `f(offset, tile dests, tile dags)` per tile — the build-only
+    /// companion of [`distribute_tiled`](Self::distribute_tiled) for
+    /// pipelines that materialise or stream per-destination routing state
+    /// (e.g. FIB rows) without a traffic pass. Peak DAG-arena memory is
+    /// O(tile·edges); the untiled DAG set and its fingerprint are
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build_dags`](Self::build_dags), plus whatever
+    /// `f` returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is zero.
+    pub fn for_each_dag_tile<F>(
+        &mut self,
+        weights: &[f64],
+        dests: &[NodeId],
+        tolerance: f64,
+        tile: usize,
+        f: F,
+    ) -> Result<(), SpefError>
+    where
+        F: FnMut(usize, &[NodeId], &DagSet) -> Result<(), SpefError>,
+    {
+        let s = &mut self.state;
+        build_dag_set_tiled(
+            self.graph,
+            s.in_csr.as_ref().expect("attached engine has a CSR"),
+            weights,
+            dests,
+            tolerance,
+            self.par,
+            tile,
+            &mut s.ws,
+            &mut s.tile_dags,
+            f,
+        )?;
+        s.spf_builds += 1;
+        Ok(())
     }
 
     /// Convenience wrapper around

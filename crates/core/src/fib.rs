@@ -189,6 +189,18 @@ impl FibSet {
         self.hops.len()
     }
 
+    /// Bytes reserved by the FIB arenas (capacities, not lengths) — the
+    /// high-water mark of the forwarding-plane state, since the arenas
+    /// never shrink across rebuilds.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dests.capacity() * size_of::<NodeId>()
+            + self.dest_index.capacity() * size_of::<u32>()
+            + self.row_offsets.capacity() * size_of::<u32>()
+            + self.hops.capacity() * size_of::<(EdgeId, f64)>()
+            + self.cum.capacity() * size_of::<f64>()
+    }
+
     /// The dense slot of `dest`, or `None` if it is not a covered
     /// destination — the `O(dests)` scan of the legacy table reduced to
     /// one array load. Callers on a per-packet path should resolve the
@@ -396,6 +408,11 @@ impl ForwardingTable {
     /// simulator) resolve destination slots against.
     pub fn fib(&self) -> &FibSet {
         &self.set
+    }
+
+    /// Bytes reserved by the backing FIB arenas (capacities, not lengths).
+    pub fn arena_bytes(&self) -> usize {
+        self.set.arena_bytes()
     }
 }
 

@@ -22,7 +22,7 @@ use spef_topology::TrafficMatrix;
 
 use crate::dual_decomp::StepRule;
 use crate::solver::{ConvergenceCriteria, TeWorkspace};
-use crate::traffic_dist::{distribute_batch, Flows, SplitRule};
+use crate::traffic_dist::{distribute_batch, distribute_batch_tiled, Flows, SplitRule};
 use crate::SpefError;
 
 /// Configuration of Algorithm 2.
@@ -139,8 +139,10 @@ pub(crate) fn solve_in(
     let default_scale = 1.0 / max_target;
 
     let dests = traffic.destinations();
+    // Effective tile: a tile covering every destination runs dense.
+    let tile = ws.tile.filter(|&t| t < dests.len());
     let nem = &mut ws.nem;
-    let warm = !pinned && nem.try_warm_start(graph, &dests);
+    let warm = !pinned && nem.try_warm_start(graph, &dests, tile);
     // Until the run completes, nothing claims the buffers solve anything
     // (early `?` returns must not leave a stale fingerprint behind).
     nem.forget();
@@ -155,29 +157,63 @@ pub(crate) fn solve_in(
 
     for k in 0..config.convergence.max_iterations {
         iterations = k + 1;
-        distribute_batch(
-            graph,
-            &dests,
-            dags.iter(),
-            traffic,
-            SplitRule::Exponential(&nem.v),
-            &mut nem.tables,
-            &mut nem.scratch,
-            &mut nem.flows,
-        )?;
-
-        if config.record_trace {
-            // d(v) = Σ_r d_r log Σ_k e^{-v^r_k} + Σ_e v_e f*_e.
-            let mut dual = 0.0;
-            for (i, &t) in dests.iter().enumerate() {
-                let table = nem.tables.table(i);
-                traffic.demands_to_into(t, &mut nem.demand_buf);
-                for (s, &d) in nem.demand_buf.iter().enumerate() {
-                    if d > 0.0 {
-                        dual += d * table.log_path_sum(s.into());
+        // d(v) = Σ_r d_r log Σ_k e^{-v^r_k} + Σ_e v_e f*_e; the demand
+        // terms accumulate in ascending destination order on both paths
+        // (the tiled closure folds them per tile while that tile's split
+        // tables are live), so the trace is bit-identical either way.
+        let mut dual = 0.0;
+        if let Some(tile) = tile {
+            let record = config.record_trace;
+            distribute_batch_tiled(
+                graph,
+                &dests,
+                dags.iter(),
+                traffic,
+                SplitRule::Exponential(&nem.v),
+                tile,
+                &mut nem.tables,
+                &mut nem.scratch,
+                &mut nem.tile_cols,
+                &mut nem.flows,
+                |_, chunk, tables| {
+                    if record {
+                        for (i, &t) in chunk.iter().enumerate() {
+                            let table = tables.table(i);
+                            traffic.demands_to_into(t, &mut nem.demand_buf);
+                            for (s, &d) in nem.demand_buf.iter().enumerate() {
+                                if d > 0.0 {
+                                    dual += d * table.log_path_sum(s.into());
+                                }
+                            }
+                        }
+                    }
+                    Ok(())
+                },
+            )?;
+        } else {
+            distribute_batch(
+                graph,
+                &dests,
+                dags.iter(),
+                traffic,
+                SplitRule::Exponential(&nem.v),
+                &mut nem.tables,
+                &mut nem.scratch,
+                &mut nem.flows,
+            )?;
+            if config.record_trace {
+                for (i, &t) in dests.iter().enumerate() {
+                    let table = nem.tables.table(i);
+                    traffic.demands_to_into(t, &mut nem.demand_buf);
+                    for (s, &d) in nem.demand_buf.iter().enumerate() {
+                        if d > 0.0 {
+                            dual += d * table.log_path_sum(s.into());
+                        }
                     }
                 }
             }
+        }
+        if config.record_trace {
             for (ve, fe) in nem.v.iter().zip(target_flows) {
                 dual += ve * fe;
             }
@@ -209,7 +245,7 @@ pub(crate) fn solve_in(
         }
     }
 
-    nem.record_solution(graph, &dests);
+    nem.record_solution(graph, &dests, tile);
     Ok(NemOutcome {
         second_weights: nem.v.clone(),
         flows: nem.flows.clone(),

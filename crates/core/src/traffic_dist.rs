@@ -236,6 +236,15 @@ impl SplitTableSet {
         self.log_z.clear();
     }
 
+    /// Bytes currently reserved by the split-table arenas (capacity, not
+    /// length) — a high-water mark, since `Vec` capacity never shrinks
+    /// across `reset` calls.
+    pub fn arena_bytes(&self) -> usize {
+        self.spans.capacity() * std::mem::size_of::<(usize, usize)>()
+            + self.entries.capacity() * std::mem::size_of::<(EdgeId, f64)>()
+            + self.log_z.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Appends the split table of one destination DAG. Mirrors
     /// [`SplitTable::build`] operation for operation so ratios and log
     /// path sums come out bit-identical; the rule's weight vector must be
@@ -343,12 +352,15 @@ impl Flows {
         &self.dests
     }
 
-    /// Edge flows of the commodity destined to `t`, if `t` is a commodity.
+    /// Edge flows of the commodity destined to `t`, if `t` is a commodity
+    /// and the per-destination columns were kept (tiled aggregate-only
+    /// distributions drop them to bound peak memory).
     pub fn for_destination(&self, t: NodeId) -> Option<&[f64]> {
         self.dests
             .iter()
             .position(|&d| d == t)
-            .map(|i| self.per_dest[i].as_slice())
+            .and_then(|i| self.per_dest.get(i))
+            .map(|f| f.as_slice())
     }
 
     /// Aggregate edge flows `f_e = Σ_t f^t_e`.
@@ -453,6 +465,48 @@ impl Flows {
         }
         self.aggregate.clear();
         self.aggregate.resize(m, 0.0);
+    }
+
+    /// Reshapes for an **aggregate-only** distribution over `dests`:
+    /// per-destination columns are dropped (freeing their arenas) and only
+    /// the aggregate vector is kept, zeroed over `m` edges. The tiled
+    /// solver loops use this so peak flow memory is O(edges) instead of
+    /// O(dests·edges).
+    pub(crate) fn reset_aggregate(&mut self, dests: &[NodeId], m: usize) {
+        if self.dests.as_slice() != dests {
+            self.dests.clear();
+            self.dests.extend_from_slice(dests);
+        }
+        self.per_dest.clear();
+        self.aggregate.clear();
+        self.aggregate.resize(m, 0.0);
+    }
+
+    /// Disjoint mutable access to the per-destination columns and the
+    /// aggregate vector — the tiled engine writes a tile's columns while
+    /// accumulating into the shared aggregate.
+    /// True when per-destination columns are materialised (an
+    /// aggregate-only buffer from a tiled solve has none).
+    pub(crate) fn has_columns(&self) -> bool {
+        self.per_dest.len() == self.dests.len()
+    }
+
+    pub(crate) fn parts_mut(&mut self) -> (&mut [Vec<f64>], &mut [f64]) {
+        (&mut self.per_dest, &mut self.aggregate)
+    }
+
+    /// Bytes currently reserved by the flow arenas (capacity, not length) —
+    /// a high-water mark, since `Vec` capacity never shrinks across the
+    /// reuse cycle.
+    pub fn arena_bytes(&self) -> usize {
+        self.dests.capacity() * std::mem::size_of::<NodeId>()
+            + self.per_dest.capacity() * std::mem::size_of::<Vec<f64>>()
+            + self
+                .per_dest
+                .iter()
+                .map(|f| f.capacity() * std::mem::size_of::<f64>())
+                .sum::<usize>()
+            + self.aggregate.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Scales every per-destination flow vector by its ratio and rebuilds
@@ -643,12 +697,46 @@ where
         )));
     }
     validate_rule(graph, rule)?;
-    let n = graph.node_count();
     out.reset(dests, graph.edge_count());
-    tables.reset(n);
-    scratch.incoming.resize(n, 0.0);
+    tables.reset(graph.node_count());
+    let (columns, aggregate) = out.parts_mut();
+    distribute_block(
+        graph, dests, dags, traffic, rule, tables, scratch, columns, aggregate,
+    )
+}
 
-    for (i, (dag, &t)) in dags.zip(dests).enumerate() {
+/// The per-destination body shared by the untiled and tiled distribution
+/// paths: for each `(dag, dest)` pair it appends a split table (indexed
+/// locally from 0 within `tables`), routes the destination's demand column
+/// into `columns[i]`, and adds it into the **global** `aggregate`. The
+/// untiled [`distribute_batch`] runs exactly one block over all
+/// destinations; the tiled drivers run it once per tile with the same
+/// global aggregate, so the aggregate's floating-point accumulation order
+/// (ascending destination) is identical in both paths — that is the
+/// bit-determinism contract of the tiled engine.
+///
+/// `tables` must already be reset for this block and `columns` must be
+/// zeroed, `m`-length and aligned with `dests`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn distribute_block<D, I>(
+    graph: &Graph,
+    dests: &[NodeId],
+    dags: I,
+    traffic: &TrafficMatrix,
+    rule: SplitRule<'_>,
+    tables: &mut SplitTableSet,
+    scratch: &mut DistScratch,
+    columns: &mut [Vec<f64>],
+    aggregate: &mut [f64],
+) -> Result<(), SpefError>
+where
+    D: DagAccess,
+    I: IntoIterator<Item = D>,
+{
+    debug_assert_eq!(columns.len(), dests.len());
+    scratch.incoming.resize(graph.node_count(), 0.0);
+
+    for (i, (dag, &t)) in dags.into_iter().zip(dests).enumerate() {
         if dag.dag_target() != t {
             return Err(SpefError::InvalidInput(format!(
                 "DAG target {} does not match destination {t}",
@@ -658,7 +746,7 @@ where
         tables.push_table(graph, &dag, rule);
         traffic.demands_to_into(t, &mut scratch.demands);
         let table = tables.table(i);
-        let flows = &mut out.per_dest[i];
+        let flows = &mut columns[i];
         distribute_one_into(
             graph,
             &dag,
@@ -667,9 +755,90 @@ where
             &mut scratch.incoming,
             flows,
         )?;
-        for (agg, f) in out.aggregate.iter_mut().zip(flows.iter()) {
+        for (agg, f) in aggregate.iter_mut().zip(flows.iter()) {
             *agg += f;
         }
+    }
+    Ok(())
+}
+
+/// Tile-by-tile variant of [`distribute_batch`] for callers that only need
+/// the aggregate link flows: split tables and per-destination columns are
+/// bounded by the tile size (peak O(tile·edges) instead of
+/// O(dests·edges)), and `out` holds the aggregate only
+/// ([`Flows::for_destination`] returns `None`). `on_tile(offset, tile
+/// dests, tables)` fires after each tile while its split tables are still
+/// live, letting callers fold per-destination quantities (NEM dual terms,
+/// FIB rows) without retaining the dense arenas.
+///
+/// Aggregate flows are bit-identical to the untiled path for every tile
+/// size: both run [`distribute_block`] over destinations in ascending
+/// order against the same global accumulator.
+///
+/// # Errors
+///
+/// Same conditions as [`distribute_batch`], plus whatever `on_tile`
+/// returns.
+///
+/// # Panics
+///
+/// Panics if `tile` is zero.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn distribute_batch_tiled<D, I, F>(
+    graph: &Graph,
+    dests: &[NodeId],
+    dags: I,
+    traffic: &TrafficMatrix,
+    rule: SplitRule<'_>,
+    tile: usize,
+    tables: &mut SplitTableSet,
+    scratch: &mut DistScratch,
+    columns: &mut Vec<Vec<f64>>,
+    out: &mut Flows,
+    mut on_tile: F,
+) -> Result<(), SpefError>
+where
+    D: DagAccess,
+    I: IntoIterator<Item = D>,
+    I::IntoIter: ExactSizeIterator,
+    F: FnMut(usize, &[NodeId], &SplitTableSet) -> Result<(), SpefError>,
+{
+    assert!(tile > 0, "tile size must be at least 1");
+    let mut dags = dags.into_iter();
+    if dests.len() != dags.len() {
+        return Err(SpefError::InvalidInput(format!(
+            "{} DAGs supplied for {} destinations",
+            dags.len(),
+            dests.len()
+        )));
+    }
+    validate_rule(graph, rule)?;
+    let m = graph.edge_count();
+    out.reset_aggregate(dests, m);
+
+    let mut offset = 0;
+    for chunk in dests.chunks(tile) {
+        if columns.len() < chunk.len() {
+            columns.resize_with(chunk.len(), Vec::new);
+        }
+        for col in &mut columns[..chunk.len()] {
+            col.clear();
+            col.resize(m, 0.0);
+        }
+        tables.reset(graph.node_count());
+        distribute_block(
+            graph,
+            chunk,
+            dags.by_ref().take(chunk.len()),
+            traffic,
+            rule,
+            tables,
+            scratch,
+            &mut columns[..chunk.len()],
+            &mut out.aggregate,
+        )?;
+        on_tile(offset, chunk, tables)?;
+        offset += chunk.len();
     }
     Ok(())
 }

@@ -15,6 +15,9 @@
 //!
 //! repro sweep --family sim     # packet-level sim grid (fig4/abilene/cernet2)
 //! repro sweep --family failure # single-circuit failure grid (abilene)
+//! repro sweep --family scale   # tiered 200/500/1000-node scaling ladder
+//! repro sweep --family scale --tile 64   # same ladder, tiled arenas:
+//!                                        # results must not move a bit
 //! repro sweep --family all     # te grid + sim grid, one report (PR 6 gate)
 //! repro sweep --family all --cold-solves   # same grid, isolated cold solves:
 //!                                          # results must not move a bit
@@ -113,6 +116,7 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
                     | "--serial"
                     | "--cold-solves"
                     | "--sim-scheduler"
+                    | "--tile"
                     | "--help"
                     | "-h"
             )
@@ -131,11 +135,12 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
                     "te" => grid = ScenarioGrid::te_family(),
                     "sim" => grid = ScenarioGrid::sim_family(),
                     "failure" => grid = ScenarioGrid::failure_family(),
+                    "scale" => grid = ScenarioGrid::scale_family(),
                     "all" => family_all = true,
                     other => {
                         return Err(format!(
-                            "--family: unknown family {other:?}; known: te, sim, failure, all"
-                        ))
+                        "--family: unknown family {other:?}; known: te, sim, failure, scale, all"
+                    ))
                     }
                 };
             }
@@ -231,14 +236,24 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
             "--json" => json_path = PathBuf::from(value("--json")?),
             "--serial" => options.serial = true,
             "--cold-solves" => options.cold_solves = true,
+            "--tile" => {
+                let val = value("--tile")?;
+                let tile = val
+                    .parse::<usize>()
+                    .map_err(|e| format!("--tile: invalid value {val:?}: {e}"))?;
+                if tile == 0 {
+                    return Err("--tile: tile size must be at least 1".into());
+                }
+                options.tile = Some(tile);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro sweep [--family te|sim|failure|all] [--topologies a,b,...] \
+                    "usage: repro sweep [--family te|sim|failure|scale|all] [--topologies a,b,...] \
                      [--seeds 1,2,...] [--loads 0.15,...] [--betas 1.0,...] [--q 1.0] \
-                     [--solvers fw|fw-fast|dd] [--traffic ft|gravity] \
+                     [--solvers fw|fw-fast|fw-pinned|dd] [--traffic ft|gravity] \
                      [--base-seed N] [--sim-durations 2,5] [--sim-warmup-frac 0.1] \
                      [--sim-unit 1e6] [--sim-seed N] [--sim-scheduler calendar|heap] \
-                     [--json FILE] [--serial] [--cold-solves]"
+                     [--json FILE] [--serial] [--cold-solves] [--tile N]"
                 );
                 return Ok(ExitCode::SUCCESS);
             }

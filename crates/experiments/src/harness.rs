@@ -113,6 +113,31 @@ pub struct FailureScenarioResult {
     pub reconfig_greedy_peak_mlu: f64,
 }
 
+/// Measurements of a scenario's scale-ablation stage. The size counts are
+/// deterministic (pure functions of the scenario) and bit-diffed by
+/// `repro diff`; the two `peak_*_bytes` witnesses are *excluded* from the
+/// diff — they legitimately vary with the tile-size execution knob (that
+/// variation is the whole point of measuring them) and, in chain mode,
+/// with what earlier chain scenarios grew the shared workspace to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleScenarioResult {
+    /// Nodes of the materialized network.
+    pub nodes: u64,
+    /// Directed links of the materialized network.
+    pub links: u64,
+    /// Destinations the routing covers.
+    pub dests: u64,
+    /// Total `(edge, ratio)` forwarding entries across all
+    /// `(destination, router)` rows.
+    pub fib_entries: u64,
+    /// High-water bytes of the solver workspace's routing arenas (DAG
+    /// sets, split tables, flow buffers) — capacity-based, so tiled runs
+    /// show the O(tile·edges) ceiling dense runs don't have.
+    pub peak_arena_bytes: u64,
+    /// High-water bytes of the forwarding-table arenas.
+    pub peak_fib_bytes: u64,
+}
+
 /// Measurements of one successfully solved scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
@@ -134,15 +159,18 @@ pub struct ScenarioResult {
     /// Failure-stage measurements (present iff the scenario has a
     /// [`FailureSpec`](crate::scenario::FailureSpec) stage).
     pub failure: Option<FailureScenarioResult>,
+    /// Scale-stage measurements (present iff the scenario carries the
+    /// scale-ablation stage).
+    pub scale: Option<ScaleScenarioResult>,
     /// Wall-clock milliseconds for the full pipeline (the only
     /// non-deterministic field).
     pub wall_ms: f64,
 }
 
-// Hand-written so the optional `sim` and `failure` fields are omitted when
-// absent: stage-less results serialize byte-identically to the committed
-// pre-PR 4 / pre-PR 7 baselines, and those baselines parse back without
-// the keys.
+// Hand-written so the optional `sim`, `failure` and `scale` fields are
+// omitted when absent: stage-less results serialize byte-identically to
+// the committed pre-PR 4 / pre-PR 7 / pre-PR 8 baselines, and those
+// baselines parse back without the keys.
 impl Serialize for ScenarioResult {
     fn to_value(&self) -> Value {
         let mut fields = vec![
@@ -157,6 +185,9 @@ impl Serialize for ScenarioResult {
         }
         if let Some(failure) = &self.failure {
             fields.push(("failure".to_string(), failure.to_value()));
+        }
+        if let Some(scale) = &self.scale {
+            fields.push(("scale".to_string(), scale.to_value()));
         }
         fields.push(("wall_ms".to_string(), self.wall_ms.to_value()));
         Value::Object(fields)
@@ -184,6 +215,10 @@ impl Deserialize for ScenarioResult {
                 None => None,
                 Some(v) => Option::<FailureScenarioResult>::from_value(v)?,
             },
+            scale: match value.get_field("scale") {
+                None => None,
+                Some(v) => Option::<ScaleScenarioResult>::from_value(v)?,
+            },
             wall_ms: f64::from_value(field("wall_ms")?)?,
         })
     }
@@ -200,7 +235,7 @@ pub struct ScenarioFailure {
 }
 
 /// Everything one sweep produces; serializes to the `BENCH_*.json` format.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
     /// JSON schema version ([`BATCH_SCHEMA_VERSION`]).
     pub schema_version: u64,
@@ -210,8 +245,55 @@ pub struct BatchReport {
     pub failures: Vec<ScenarioFailure>,
     /// Wall-clock milliseconds for the whole batch.
     pub total_wall_ms: f64,
-    /// Worker threads the batch ran on (1 = serial).
+    /// Worker threads the batch ran on (1 = serial; rayon's effective
+    /// pool size otherwise). Execution metadata — outside the bit-diffed
+    /// fields.
     pub threads: u64,
+    /// Destination tile size the batch ran with
+    /// ([`BatchOptions::tile`]); `None` = dense. Execution metadata —
+    /// outside the bit-diffed fields, which is exactly what lets a tiled
+    /// run diff clean against a dense baseline.
+    pub tile_size: Option<u64>,
+}
+
+// Hand-written so `tile_size` is omitted when absent: dense reports
+// serialize byte-identically to the committed pre-PR 8 baselines, and
+// those baselines parse back without the key.
+impl Serialize for BatchReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("results".to_string(), self.results.to_value()),
+            ("failures".to_string(), self.failures.to_value()),
+            ("total_wall_ms".to_string(), self.total_wall_ms.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+        ];
+        if let Some(tile) = self.tile_size {
+            fields.push(("tile_size".to_string(), tile.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for BatchReport {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let field = |key: &str| -> Result<&Value, SerdeError> {
+            value
+                .get_field(key)
+                .ok_or_else(|| SerdeError::custom(format!("missing field `{key}` in BatchReport")))
+        };
+        Ok(BatchReport {
+            schema_version: u64::from_value(field("schema_version")?)?,
+            results: Vec::<ScenarioResult>::from_value(field("results")?)?,
+            failures: Vec::<ScenarioFailure>::from_value(field("failures")?)?,
+            total_wall_ms: f64::from_value(field("total_wall_ms")?)?,
+            threads: u64::from_value(field("threads")?)?,
+            tile_size: match value.get_field("tile_size") {
+                None => None,
+                Some(v) => Option::<u64>::from_value(v)?,
+            },
+        })
+    }
 }
 
 impl BatchReport {
@@ -308,6 +390,15 @@ impl BatchReport {
                 (Some(fa), Some(fb)) => drift_failure(&mut drift, id, fa, fb),
                 (a, b) => drift.push(format!(
                     "{id}: failure stage present {} vs {}",
+                    a.is_some(),
+                    b.is_some()
+                )),
+            }
+            match (&a.scale, &b.scale) {
+                (None, None) => {}
+                (Some(sa), Some(sb)) => drift_scale(&mut drift, id, sa, sb),
+                (a, b) => drift.push(format!(
+                    "{id}: scale stage present {} vs {}",
                     a.is_some(),
                     b.is_some()
                 )),
@@ -464,6 +555,28 @@ fn drift_failure(
     }
 }
 
+/// Appends per-field drift lines for a scale-stage pair. The size counts
+/// are bit-compared; the `peak_*_bytes` memory witnesses are deliberately
+/// ignored — they vary with the tile-size execution knob and chain-shared
+/// workspace history (see [`ScaleScenarioResult`]).
+fn drift_scale(
+    drift: &mut Vec<String>,
+    id: &str,
+    a: &ScaleScenarioResult,
+    b: &ScaleScenarioResult,
+) {
+    for (name, x, y) in [
+        ("nodes", a.nodes, b.nodes),
+        ("links", a.links, b.links),
+        ("dests", a.dests, b.dests),
+        ("fib_entries", a.fib_entries, b.fib_entries),
+    ] {
+        if x != y {
+            drift.push(format!("{id}: scale {name} {x} vs {y}"));
+        }
+    }
+}
+
 /// Batch execution options.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
@@ -480,6 +593,12 @@ pub struct BatchOptions {
     /// exists to capture `pre` baselines and let `repro diff` prove exactly
     /// that.
     pub cold_solves: bool,
+    /// Destination tile size for the routing arenas
+    /// ([`TeWorkspace::set_tile_size`]); `None` = dense. A pure execution
+    /// knob: results are bit-identical for every tile size, only peak
+    /// memory (and the warm-start fingerprint) changes — the regression
+    /// gate cross-diffs tiled vs dense sweeps to prove exactly that.
+    pub tile: Option<usize>,
 }
 
 /// A solved SPEF pipeline kept alive so later scenarios in the same chain
@@ -670,12 +789,38 @@ fn failure_stage(
     }))
 }
 
+/// Runs a scenario's optional scale stage: record the instance's size
+/// counts plus the workspace and FIB arena high-water marks reached while
+/// solving it. Size counts are bit-diffed; the byte peaks are excluded
+/// from [`result_drift`] because they are exactly what the tile knob is
+/// supposed to change (and, in chain mode, reflect the chain-shared
+/// workspace's history rather than one scenario).
+fn scale_stage(
+    scenario: &Scenario,
+    solved: &SolvedPipeline,
+    ws: &TeWorkspace,
+) -> Option<ScaleScenarioResult> {
+    if !scenario.scale {
+        return None;
+    }
+    let table = solved.routing.forwarding_table();
+    Some(ScaleScenarioResult {
+        nodes: solved.network.node_count() as u64,
+        links: solved.network.link_count() as u64,
+        dests: solved.traffic.destinations().len() as u64,
+        fib_entries: table.entry_count() as u64,
+        peak_arena_bytes: ws.arena_bytes() as u64,
+        peak_fib_bytes: table.arena_bytes() as u64,
+    })
+}
+
 /// Assembles the per-scenario measurements from a solved pipeline.
 fn measure(
     scenario: &Scenario,
     solved: &SolvedPipeline,
     sim: Option<SimScenarioResult>,
     failure: Option<FailureScenarioResult>,
+    scale: Option<ScaleScenarioResult>,
     started: Instant,
 ) -> ScenarioResult {
     ScenarioResult {
@@ -686,6 +831,7 @@ fn measure(
         nem_converged: solved.routing.nem_converged(),
         sim,
         failure,
+        scale,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -713,12 +859,29 @@ pub fn run_scenario_in(
     sim_scheduler: SchedulerKind,
     sim_ws: &mut SimWorkspace,
 ) -> Result<ScenarioResult, String> {
+    let options = BatchOptions {
+        sim_scheduler,
+        ..BatchOptions::default()
+    };
+    run_scenario_opts(scenario, &options, sim_ws)
+}
+
+/// The cold-solve kernel shared by [`run_scenario_in`] and the
+/// [`BatchOptions::cold_solves`] lanes of [`run_batch`]: a fresh
+/// [`TeWorkspace`] per scenario, configured with the batch's tile knob.
+fn run_scenario_opts(
+    scenario: &Scenario,
+    options: &BatchOptions,
+    sim_ws: &mut SimWorkspace,
+) -> Result<ScenarioResult, String> {
     let started = Instant::now();
     let mut ws = TeWorkspace::new();
+    ws.set_tile_size(options.tile);
     let solved = solve_pipeline(scenario, &mut ws)?;
     let failure = failure_stage(scenario, &solved, &mut ws, &mut RobustMemo::new())?;
-    let sim = sim_stage(scenario, &solved, sim_scheduler, sim_ws)?;
-    Ok(measure(scenario, &solved, sim, failure, started))
+    let sim = sim_stage(scenario, &solved, options.sim_scheduler, sim_ws)?;
+    let scale = scale_stage(scenario, &solved, &ws);
+    Ok(measure(scenario, &solved, sim, failure, scale, started))
 }
 
 /// A scenario's outcome tagged with its original batch index so the caller
@@ -731,6 +894,7 @@ type IndexedOutcome = (usize, Scenario, Result<ScenarioResult, String>);
 /// its original batch index so the caller can restore submission order.
 fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<IndexedOutcome> {
     let mut ws = TeWorkspace::new();
+    ws.set_tile_size(options.tile);
     let mut sim_ws = SimWorkspace::new();
     // Chains are short (one entry per load × sim/failure point), so
     // linear-scan memos keyed by solve key beat hashing.
@@ -752,8 +916,10 @@ fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<Index
             Err(e) => Err(e.clone()),
             Ok(solved) => {
                 failure_stage(&scenario, solved, &mut ws, &mut robust_memo).and_then(|failure| {
-                    sim_stage(&scenario, solved, options.sim_scheduler, &mut sim_ws)
-                        .map(|sim| measure(&scenario, solved, sim, failure, started))
+                    sim_stage(&scenario, solved, options.sim_scheduler, &mut sim_ws).map(|sim| {
+                        let scale = scale_stage(&scenario, solved, &ws);
+                        measure(&scenario, solved, sim, failure, scale, started)
+                    })
                 })
             }
         };
@@ -792,7 +958,7 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
                 .into_iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    let outcome = run_scenario_in(&s, options.sim_scheduler, &mut sim_ws);
+                    let outcome = run_scenario_opts(&s, options, &mut sim_ws);
                     (i, s, outcome)
                 })
                 .collect()
@@ -801,8 +967,7 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
                 .into_par_iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    let outcome =
-                        run_scenario_in(&s, options.sim_scheduler, &mut SimWorkspace::new());
+                    let outcome = run_scenario_opts(&s, options, &mut SimWorkspace::new());
                     (i, s, outcome)
                 })
                 .collect()
@@ -851,6 +1016,7 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
         failures,
         total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
         threads,
+        tile_size: options.tile.map(|t| t as u64),
     }
 }
 

@@ -4,33 +4,58 @@
 //! The paper's conclusion names "analyz[ing] the computational complexity
 //! in network environment with OSPF as well as other existing approaches
 //! including PEFT" as future work. This ablation measures, over random
-//! networks of increasing size:
+//! networks of increasing size plus one tiered (core/aggregation/edge)
+//! network:
 //!
 //! * wall time of the TE solve (Frank–Wolfe, fixed budget),
 //! * per-iteration wall time of Algorithm 1 and Algorithm 2 (the
 //!   distributed protocols' message rounds),
 //! * the full `SpefRouting` build time,
 //! * the control-plane state: total forwarding-table entries for SPEF vs
-//!   plain-OSPF ECMP (the "one more weight" overhead made concrete).
+//!   plain-OSPF ECMP (the "one more weight" overhead made concrete),
+//! * the routing-arena high-water mark of the SPEF build, dense vs tiled
+//!   ([`TeWorkspace::set_tile_size`]) — the memory the destination tiles
+//!   buy back, with bit-identical results.
 
 use std::time::Instant;
 
 use spef_baselines::ospf::OspfRouting;
 use spef_core::{
     ConvergenceCriteria, DualDecompConfig, NemConfig, NemInstance, Objective, SpefError,
-    TeInstance, TeSolver,
+    TeInstance, TeSolver, TeWorkspace,
 };
-use spef_topology::{gen, TrafficMatrix};
+use spef_topology::{gen, Network, TrafficMatrix};
 
 use crate::report::{CsvFile, ExperimentResult, TextTable};
 use crate::Quality;
 
-/// Network sizes swept (nodes; links ≈ 4 × nodes).
+/// Network sizes swept on the random lane (nodes; links ≈ 4 × nodes).
 pub fn sizes(quality: Quality) -> Vec<usize> {
     match quality {
         Quality::Full => vec![20, 40, 60, 80, 100],
         Quality::Quick => vec![20, 40],
     }
+}
+
+/// Destination tile size for the tiled-arena column. Small enough that
+/// every lane (smallest quick lane: 19 destinations) actually tiles.
+const TILE: usize = 8;
+
+/// The networks swept: the random ladder plus one tiered
+/// (core/aggregation/edge) lane exercising the hierarchical generator.
+fn lanes(quality: Quality) -> Vec<(bool, Network)> {
+    let mut lanes: Vec<(bool, Network)> = sizes(quality)
+        .iter()
+        .map(|&n| (false, gen::random_network("scale", n, 4 * n, 7 + n as u64)))
+        .collect();
+    lanes.push((
+        true,
+        match quality {
+            Quality::Full => gen::tiered_network("TierScale", 8, 4, 5, 0xA11),
+            Quality::Quick => gen::tiered_network("TierScale", 4, 2, 2, 0xA11),
+        },
+    ));
+    lanes
 }
 
 /// Runs the scaling ablation.
@@ -40,28 +65,51 @@ pub fn sizes(quality: Quality) -> Vec<usize> {
 /// Propagates solver failures.
 pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     let mut table = TextTable::new(
-        "Scaling ablation — computational cost vs network size (random networks, load 60% of feasible)",
+        "Scaling ablation — computational cost vs network size (load 60% of feasible)",
         &[
-            "nodes", "links", "TE solve (ms)", "Alg1 (ms/iter)", "Alg2 (ms/iter)",
-            "SPEF build (ms)", "SPEF FIB entries", "OSPF FIB entries",
+            "topology",
+            "nodes",
+            "links",
+            "TE solve (ms)",
+            "Alg1 (ms/iter)",
+            "Alg2 (ms/iter)",
+            "SPEF build (ms)",
+            "SPEF FIB entries",
+            "OSPF FIB entries",
+            "peak arena (KiB)",
+            "tile-8 peak (KiB)",
         ],
     );
     let mut rows = Vec::new();
 
-    for &n in &sizes(quality) {
-        let links = 4 * n;
-        let net = gen::random_network("scale", n, links, 7 + n as u64);
+    for (tiered, net) in lanes(quality) {
+        let n = net.node_count();
+        let links = net.link_count();
+        // The instance is built once per size and reused by every measured
+        // stage below (the old code re-derived nothing, but each stage
+        // solved in its own throwaway workspace — now the FW-based stages
+        // share one, so later stages run on warm arenas).
         let shape = TrafficMatrix::fortz_thorup(&net, n as u64);
         let lmax = crate::scale::max_feasible_load(&net, &shape, 0.1)?;
         let tm = shape.scaled_to_network_load(&net, 0.6 * lmax);
         let obj = Objective::proportional(net.link_count());
 
-        // Every measured solve is cold (fresh workspace): the ablation
-        // prices the from-scratch cost of each stage.
+        // One workspace shared by the TE, Algorithm 2, and SPEF-build
+        // stages. `clear_solutions` before each measured stage keeps every
+        // solve a cold (bit-identical) iteration sequence on warm arenas.
+        let mut ws = TeWorkspace::new();
+
+        ws.clear_solutions();
         let t0 = Instant::now();
-        let te = quality.fw().solve(TeInstance::new(&net, &tm, &obj))?;
+        let te = quality
+            .fw()
+            .solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)?;
         let te_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+        // Algorithm 1 gets its own workspace so the dual-decomposition
+        // session arenas don't inflate the dense-vs-tiled peak comparison
+        // below (both peaks must cover the same FW + NEM + engine arenas).
+        let mut dd_ws = TeWorkspace::new();
         let alg1_iters = 50;
         let t0 = Instant::now();
         DualDecompConfig {
@@ -69,7 +117,7 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
             record_trace: false,
             ..DualDecompConfig::default()
         }
-        .solve(TeInstance::new(&net, &tm, &obj))?;
+        .solve_in(TeInstance::new(&net, &tm, &obj), &mut dd_ws)?;
         let alg1_ms = t0.elapsed().as_secs_f64() * 1e3 / alg1_iters as f64;
 
         let max_w = te.weights.iter().cloned().fold(0.0, f64::max);
@@ -81,19 +129,33 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
             convergence: ConvergenceCriteria::with_tolerance(alg2_iters, 0.0),
             ..NemConfig::default()
         }
-        .solve(NemInstance::new(
-            net.graph(),
-            &dags,
-            &tm,
-            te.flows.aggregate(),
-        ))?;
+        .solve_in(
+            NemInstance::new(net.graph(), &dags, &tm, te.flows.aggregate()),
+            &mut ws,
+        )?;
         let alg2_ms = t0.elapsed().as_secs_f64() * 1e3 / alg2_iters as f64;
 
+        ws.clear_solutions();
         let t0 = Instant::now();
         let routing = quality
             .spef_config()
-            .solve(TeInstance::new(&net, &tm, &obj))?;
+            .solve_in(TeInstance::new(&net, &tm, &obj), &mut ws)?;
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let peak_dense = ws.arena_bytes() + routing.forwarding_table().arena_bytes();
+
+        // Same build, destination-tiled arenas: results are bit-identical
+        // (asserted), only the high-water mark moves.
+        let mut tiled_ws = TeWorkspace::new();
+        tiled_ws.set_tile_size(Some(TILE));
+        let tiled = quality
+            .spef_config()
+            .solve_in(TeInstance::new(&net, &tm, &obj), &mut tiled_ws)?;
+        let peak_tiled = tiled_ws.arena_bytes() + tiled.forwarding_table().arena_bytes();
+        assert_eq!(
+            routing.max_link_utilization(&net).to_bits(),
+            tiled.max_link_utilization(&net).to_bits(),
+            "tiled SPEF build drifted from the dense build"
+        );
 
         // Control-plane state straight off the flat FIB arena — O(1), not
         // the old O(dests · nodes) re-lookup that rebuilt a NodeId and
@@ -104,6 +166,7 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
         let ospf_entries = ospf.forwarding_table().entry_count();
 
         table.push_row(vec![
+            if tiered { "tiered" } else { "random" }.to_string(),
             n.to_string(),
             links.to_string(),
             format!("{te_ms:.1}"),
@@ -112,6 +175,8 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
             format!("{build_ms:.1}"),
             spef_entries.to_string(),
             ospf_entries.to_string(),
+            format!("{:.0}", peak_dense as f64 / 1024.0),
+            format!("{:.0}", peak_tiled as f64 / 1024.0),
         ]);
         rows.push(vec![
             n as f64,
@@ -122,6 +187,9 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
             build_ms,
             spef_entries as f64,
             ospf_entries as f64,
+            peak_dense as f64,
+            peak_tiled as f64,
+            if tiered { 1.0 } else { 0.0 },
         ]);
     }
 
@@ -139,6 +207,9 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
                 "spef_build_ms",
                 "spef_fib_entries",
                 "ospf_fib_entries",
+                "peak_arena_bytes",
+                "peak_arena_tile8_bytes",
+                "tiered",
             ],
             &rows,
         )],
@@ -158,7 +229,11 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
             .collect();
-        assert_eq!(rows.len(), 2);
+        // Two random sizes plus the tiered lane.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][10], 0.0);
+        assert_eq!(rows[1][10], 0.0);
+        assert_eq!(rows[2][10], 1.0);
         for row in &rows {
             // Timings positive, FIB entries at least one per (node−1, dest).
             assert!(row[2] > 0.0);
@@ -170,6 +245,15 @@ mod tests {
             let floor = (nodes * (nodes - 1)) as f64;
             assert!(row[6] >= floor, "SPEF entries {} < {floor}", row[6]);
             assert!(row[7] >= floor, "OSPF entries {} < {floor}", row[7]);
+            // Every lane has more destinations than the tile, so the tiled
+            // build's arena high-water mark must come in under dense.
+            assert!(row[8] > 0.0 && row[9] > 0.0);
+            assert!(
+                row[9] < row[8],
+                "tile-{TILE} peak {} not below dense peak {}",
+                row[9],
+                row[8]
+            );
         }
     }
 }

@@ -41,6 +41,15 @@ pub enum TopologySpec {
     Rand50b,
     /// TABLE III's Rand100.
     Rand100,
+    /// A seeded 200-node 3-tier ISP-like network (8 cores × 4 aggregation
+    /// × 5 edge routers) — the smallest rung of the scaling family.
+    Hier200,
+    /// A seeded 500-node 3-tier network (10 cores × 7 aggregation × 6
+    /// edge routers).
+    Hier500,
+    /// A seeded 1000-node 3-tier network (10 cores × 9 aggregation × 10
+    /// edge routers) — the thousand-node rung the tiled engine exists for.
+    Hier1000,
     /// A connected random network with exactly `links` directed links.
     Random {
         /// Node count.
@@ -76,6 +85,9 @@ impl TopologySpec {
             TopologySpec::Rand50a => gen::random_network("Rand50a", 50, 242, 0xC0FFEE),
             TopologySpec::Rand50b => gen::random_network("Rand50b", 50, 230, 0xD1CE),
             TopologySpec::Rand100 => gen::random_network("Rand100", 100, 392, 0xFEED),
+            TopologySpec::Hier200 => gen::tiered_network("Tier200", 8, 4, 5, 0x7E2),
+            TopologySpec::Hier500 => gen::tiered_network("Tier500", 10, 7, 6, 0x7E5),
+            TopologySpec::Hier1000 => gen::tiered_network("Tier1000", 10, 9, 10, 0x7EA),
             TopologySpec::Random { nodes, links, seed } => {
                 gen::random_network(&format!("Rand{nodes}"), *nodes, *links, *seed)
             }
@@ -106,6 +118,9 @@ impl TopologySpec {
             TopologySpec::Rand50a => "rand50a".into(),
             TopologySpec::Rand50b => "rand50b".into(),
             TopologySpec::Rand100 => "rand100".into(),
+            TopologySpec::Hier200 => "hier200".into(),
+            TopologySpec::Hier500 => "hier500".into(),
+            TopologySpec::Hier1000 => "hier1000".into(),
             TopologySpec::Random { nodes, links, seed } => {
                 format!("random-n{nodes}-m{links}-s{seed}")
             }
@@ -134,9 +149,13 @@ impl TopologySpec {
             "rand50a" => Ok(TopologySpec::Rand50a),
             "rand50b" => Ok(TopologySpec::Rand50b),
             "rand100" => Ok(TopologySpec::Rand100),
+            "hier200" => Ok(TopologySpec::Hier200),
+            "hier500" => Ok(TopologySpec::Hier500),
+            "hier1000" => Ok(TopologySpec::Hier1000),
             other => Err(format!(
                 "unknown topology {other:?}; known: fig1, fig4, abilene, cernet2, \
-                 hier50a, hier50b, rand50a, rand50b, rand100"
+                 hier50a, hier50b, rand50a, rand50b, rand100, hier200, hier500, \
+                 hier1000"
             )),
         }
     }
@@ -284,6 +303,12 @@ pub enum SolverSpec {
     /// Frank–Wolfe at reduced budgets (`FrankWolfeConfig::fast`) — the CI
     /// and smoke-sweep setting.
     FrankWolfeFast,
+    /// Frank–Wolfe with *pinned* iteration counts (12 TE, 40 NEM): runs
+    /// exactly that many iterations, ignores saved workspace solutions,
+    /// and so produces results that are a pure function of the instance.
+    /// The scaling family's setting — thousand-node sweeps finish in
+    /// seconds and diff bit-identically regardless of sweep order.
+    FrankWolfePinned,
     /// The paper's Algorithm 1 (distributed dual decomposition).
     DualDecomposition,
 }
@@ -301,6 +326,17 @@ impl SolverSpec {
                 },
                 ..SpefConfig::default()
             },
+            SolverSpec::FrankWolfePinned => SpefConfig {
+                solver: TeSolverKind::FrankWolfe(FrankWolfeConfig {
+                    convergence: ConvergenceCriteria::pinned(12),
+                    ..FrankWolfeConfig::default()
+                }),
+                nem: NemConfig {
+                    convergence: ConvergenceCriteria::pinned(40),
+                    ..NemConfig::default()
+                },
+                ..SpefConfig::default()
+            },
             SolverSpec::DualDecomposition => SpefConfig {
                 solver: TeSolverKind::DualDecomposition(DualDecompConfig::default()),
                 ..SpefConfig::default()
@@ -313,6 +349,7 @@ impl SolverSpec {
         match self {
             SolverSpec::FrankWolfe => "fw",
             SolverSpec::FrankWolfeFast => "fw-fast",
+            SolverSpec::FrankWolfePinned => "fw-pinned",
             SolverSpec::DualDecomposition => "dd",
         }
     }
@@ -326,8 +363,11 @@ impl SolverSpec {
         match name {
             "fw" => Ok(SolverSpec::FrankWolfe),
             "fw-fast" => Ok(SolverSpec::FrankWolfeFast),
+            "fw-pinned" => Ok(SolverSpec::FrankWolfePinned),
             "dd" => Ok(SolverSpec::DualDecomposition),
-            other => Err(format!("unknown solver {other:?}; known: fw, fw-fast, dd")),
+            other => Err(format!(
+                "unknown solver {other:?}; known: fw, fw-fast, fw-pinned, dd"
+            )),
         }
     }
 }
@@ -421,6 +461,10 @@ pub struct Scenario {
     pub sim: Option<SimSpec>,
     /// Optional single-circuit failure stage after the intact solve.
     pub failure: Option<FailureSpec>,
+    /// Scale-ablation stage: when set, the harness records deterministic
+    /// size metrics (node/link/destination counts, FIB entries) and the
+    /// peak routing-arena bytes after the solve.
+    pub scale: bool,
 }
 
 impl Scenario {
@@ -447,6 +491,7 @@ impl Scenario {
             solver,
             sim: None,
             failure: None,
+            scale: false,
         }
     }
 
@@ -463,6 +508,14 @@ impl Scenario {
     pub fn with_failure(mut self, failure: FailureSpec) -> Scenario {
         self.id = format!("{}+{}", self.id, failure.id());
         self.failure = Some(failure);
+        self
+    }
+
+    /// Attaches the scale-ablation stage, extending the id (ids stay the
+    /// unique join key of batch reports).
+    pub fn with_scale(mut self) -> Scenario {
+        self.id = format!("{}+scale", self.id);
+        self.scale = true;
         self
     }
 
@@ -493,11 +546,12 @@ impl Scenario {
     }
 }
 
-// Hand-written (like `TopologySpec`) because the optional `sim` and
-// `failure` fields must be *omitted* when absent: pre-PR 4 baseline reports
-// have no `sim` key, pre-PR 7 reports have no `failure` key, and both must
-// keep parsing; stage-less scenarios must serialize byte-identically to the
-// committed earlier baselines.
+// Hand-written (like `TopologySpec`) because the optional `sim`, `failure`
+// and `scale` fields must be *omitted* when absent: pre-PR 4 baseline
+// reports have no `sim` key, pre-PR 7 reports have no `failure` key,
+// pre-PR 8 reports have no `scale` key, and all must keep parsing;
+// stage-less scenarios must serialize byte-identically to the committed
+// earlier baselines.
 impl Serialize for Scenario {
     fn to_value(&self) -> Value {
         let mut fields = vec![
@@ -512,6 +566,9 @@ impl Serialize for Scenario {
         }
         if let Some(failure) = &self.failure {
             fields.push(("failure".to_string(), failure.to_value()));
+        }
+        if self.scale {
+            fields.push(("scale".to_string(), true.to_value()));
         }
         Value::Object(fields)
     }
@@ -537,6 +594,10 @@ impl Deserialize for Scenario {
             failure: match value.get_field("failure") {
                 None => None,
                 Some(v) => Option::<FailureSpec>::from_value(v)?,
+            },
+            scale: match value.get_field("scale") {
+                None => false,
+                Some(v) => bool::from_value(v)?,
             },
         })
     }
@@ -583,6 +644,8 @@ pub struct ScenarioGrid {
     failure_circuits: Vec<u64>,
     robust_evals: u64,
     robust_seed: u64,
+    /// Whether every scenario carries the scale-ablation stage.
+    scale: bool,
 }
 
 impl Default for ScenarioGrid {
@@ -609,6 +672,7 @@ impl Default for ScenarioGrid {
             failure_circuits: Vec::new(),
             robust_evals: 150,
             robust_seed: 0x0b57,
+            scale: false,
         }
     }
 }
@@ -676,6 +740,33 @@ impl ScenarioGrid {
             .betas([1.0])
             .solvers([SolverSpec::FrankWolfeFast])
             .failure_circuits([0, 3, 7, 11])
+    }
+
+    /// The `scale` scenario family: the tiered 200/500/1000-node networks
+    /// plus a 200-node random control, at a low load every rung routes
+    /// with headroom, under pinned Frank–Wolfe (results are a pure
+    /// function of the instance — independent of sweep order, workspace
+    /// history, and the tile-size execution knob). Each scenario carries
+    /// the scale-ablation stage, so the report pins node/link/destination
+    /// counts and total FIB entries while peak arena bytes stay outside
+    /// the diff — the PR 8 regression grid.
+    pub fn scale_family() -> Self {
+        ScenarioGrid::new()
+            .topologies([
+                TopologySpec::Hier200,
+                TopologySpec::Hier500,
+                TopologySpec::Hier1000,
+                TopologySpec::Random {
+                    nodes: 200,
+                    links: 800,
+                    seed: 0x5CA1E,
+                },
+            ])
+            .seeds([1])
+            .loads([0.04])
+            .betas([1.0])
+            .solvers([SolverSpec::FrankWolfePinned])
+            .scale_stage(true)
     }
 
     /// Sets the topologies to sweep.
@@ -772,6 +863,12 @@ impl ScenarioGrid {
         self
     }
 
+    /// Attaches (or removes) the scale-ablation stage on every scenario.
+    pub fn scale_stage(mut self, scale: bool) -> Self {
+        self.scale = scale;
+        self
+    }
+
     /// Derives the per-scenario traffic seed from the base seed and the
     /// grid seed (SplitMix64 finalizer, so nearby seeds decorrelate).
     fn scenario_seed(&self, seed: u64) -> u64 {
@@ -791,6 +888,7 @@ impl ScenarioGrid {
     pub fn build(&self) -> Vec<Scenario> {
         let mut scenarios = Vec::new();
         let mut push = |base: Scenario| {
+            let base = if self.scale { base.with_scale() } else { base };
             if self.failure_circuits.is_empty() {
                 scenarios.push(base);
             } else {
@@ -1030,6 +1128,44 @@ mod tests {
         let back = Scenario::from_value(&failing.to_value()).unwrap();
         assert_eq!(back, failing);
         assert!(back.id.ends_with("+fail-c7e150s2903"));
+    }
+
+    #[test]
+    fn scale_family_is_the_tiered_ladder() {
+        let scenarios = ScenarioGrid::scale_family().build();
+        assert_eq!(scenarios.len(), 4);
+        assert!(scenarios.iter().all(|s| s.scale));
+        assert!(scenarios.iter().all(|s| s.id.ends_with("+scale")));
+        assert!(scenarios[0].id.starts_with("hier200+"));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.solver == SolverSpec::FrankWolfePinned));
+        // The thousand-node rung really is a thousand nodes.
+        assert_eq!(TopologySpec::Hier1000.build().node_count(), 1000);
+    }
+
+    #[test]
+    fn scenario_with_scale_roundtrips_and_stageless_json_stays_identical() {
+        let base = Scenario::new(
+            TopologySpec::Hier200,
+            TrafficSpec {
+                model: TrafficModel::FortzThorup,
+                seed: 1,
+                load: 0.04,
+            },
+            ObjectiveSpec { q: 1.0, beta: 1.0 },
+            SolverSpec::FrankWolfePinned,
+        );
+        // Scale-less scenarios serialize without a `scale` key at all —
+        // the committed pre-PR 8 baselines' byte format.
+        let v = base.to_value();
+        assert!(v.get_field("scale").is_none());
+        assert_eq!(Scenario::from_value(&v).unwrap(), base);
+
+        let scaled = base.with_scale();
+        let back = Scenario::from_value(&scaled.to_value()).unwrap();
+        assert_eq!(back, scaled);
+        assert!(back.id.ends_with("+fw-pinned+scale"));
     }
 
     #[test]

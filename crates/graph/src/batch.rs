@@ -116,6 +116,19 @@ impl RoutingWorkspace {
             slot.ensure(n);
         }
     }
+
+    /// Bytes of scratch capacity across all slots — one slot per
+    /// destination of the largest batch (or tile) this workspace served.
+    pub fn arena_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                s.settled.capacity()
+                    + s.heap.capacity() * std::mem::size_of::<HeapEntry>()
+                    + s.cursor.capacity() * std::mem::size_of::<usize>()
+            })
+            .sum()
+    }
 }
 
 /// Shortest-path DAGs for a whole destination set, stored as flat arenas.
@@ -235,6 +248,24 @@ impl DagSet {
             view.order.to_vec(),
             view.path_counts.to_vec(),
         )
+    }
+
+    /// Bytes of arena capacity this set holds. `Vec` capacity never
+    /// shrinks, so after a solve this is the high-water mark of the build —
+    /// the number the scaling ablation reports as DAG-arena footprint.
+    pub fn arena_bytes(&self) -> usize {
+        self.dists_arena_bytes()
+            + self.succ.capacity() * std::mem::size_of::<EdgeId>()
+            + self.on_dag.capacity()
+            + self.order.capacity() * std::mem::size_of::<NodeId>()
+            + self.path_counts.capacity() * std::mem::size_of::<u64>()
+    }
+
+    fn dists_arena_bytes(&self) -> usize {
+        self.dests.capacity() * std::mem::size_of::<NodeId>()
+            + self.dist.capacity() * std::mem::size_of::<f64>()
+            + self.succ_off.capacity() * std::mem::size_of::<usize>()
+            + self.order_len.capacity() * std::mem::size_of::<usize>()
     }
 
     fn prepare(&mut self, dests: &[NodeId], n: usize, m: usize, tol: f64) {
@@ -483,6 +514,56 @@ pub fn build_dag_set(
         for task in tasks {
             build_one_dag(graph, in_csr, weights, tol, task);
         }
+    }
+    Ok(())
+}
+
+/// Builds the DAGs of `dests` one bounded **tile** at a time instead of in
+/// one dense `O(dests · (nodes + edges))` arena: each tile of at most
+/// `tile` destinations is built into `out` (overwriting the previous
+/// tile's data, so `out`'s high-water footprint is `O(tile · edges)`), the
+/// tile fans out across worker threads exactly like [`build_dag_set`], and
+/// `visit(offset, tile_dests, out)` is called before the next tile
+/// overwrites it. Per-destination results are bit-identical to the dense
+/// build: each destination's Dijkstra and classification are independent,
+/// so slicing the batch changes nothing but peak memory.
+///
+/// # Errors
+///
+/// Same conditions as [`build_dag_set`], plus whatever `visit` returns;
+/// the error type only needs a `From<GraphError>` conversion so callers in
+/// higher layers can thread their own error through the visitor.
+///
+/// # Panics
+///
+/// Panics if `tile` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn build_dag_set_tiled<E, F>(
+    graph: &Graph,
+    in_csr: &Csr,
+    weights: &[f64],
+    dests: &[NodeId],
+    tol: f64,
+    par: Parallelism,
+    tile: usize,
+    ws: &mut RoutingWorkspace,
+    out: &mut DagSet,
+    mut visit: F,
+) -> Result<(), E>
+where
+    E: From<GraphError>,
+    F: FnMut(usize, &[NodeId], &DagSet) -> Result<(), E>,
+{
+    assert!(tile > 0, "tile size must be at least 1");
+    let mut offset = 0;
+    for chunk in dests.chunks(tile) {
+        build_dag_set(graph, in_csr, weights, chunk, tol, par, ws, out)?;
+        visit(offset, chunk, out)?;
+        offset += chunk.len();
+    }
+    // An empty destination set still leaves `out` in a consistent state.
+    if dests.is_empty() {
+        build_dag_set(graph, in_csr, weights, dests, tol, par, ws, out)?;
     }
     Ok(())
 }

@@ -25,6 +25,13 @@ pub const LOCAL_CAPACITY: f64 = 1.0;
 /// Capacity of long-distance links in 2-level networks (paper: 5 units).
 pub const LONG_DISTANCE_CAPACITY: f64 = 5.0;
 
+/// Capacity of core-ring and core-chord links in [`tiered_network`]s.
+pub const CORE_CAPACITY: f64 = 40.0;
+/// Capacity of aggregation-to-core uplinks in [`tiered_network`]s.
+pub const AGGREGATION_CAPACITY: f64 = 10.0;
+/// Capacity of edge-to-aggregation access links in [`tiered_network`]s.
+pub const EDGE_CAPACITY: f64 = 2.5;
+
 /// Generates a connected random network with `n` nodes, exactly
 /// `directed_links` directed links (all capacity 1), and coordinates in the
 /// unit square.
@@ -166,6 +173,140 @@ pub fn hierarchical_network(
     });
     b.build()
         .expect("hierarchical generator output is connected")
+}
+
+/// Generates a 3-tier ISP-like network: a ring of `core` routers with
+/// random chords ([`CORE_CAPACITY`]), `agg_per_core` aggregation routers
+/// per core pod, each dual-homed to its own core and one random other core
+/// ([`AGGREGATION_CAPACITY`]), and `edge_per_agg` edge routers per
+/// aggregation router, each homed to its aggregation router plus one
+/// redundant same-pod aggregation router ([`EDGE_CAPACITY`]).
+///
+/// The tier structure is what makes thousand-node scaling sweeps
+/// representative: routing DAGs are shallow and wide like real ISP
+/// topologies, capacities taper from core to edge, and every node pair is
+/// connected through at most two tier crossings. The generator is fully
+/// deterministic in the seed and guarantees strong connectivity by
+/// construction (every link is duplex; edges hang off aggregations, which
+/// hang off the connected core).
+///
+/// Node count is `core · (1 + agg_per_core · (1 + edge_per_agg))`; node
+/// ids are assigned core tier first, then aggregation, then edge.
+///
+/// # Panics
+///
+/// Panics if `core` is zero.
+///
+/// # Example
+///
+/// ```
+/// use spef_topology::gen::tiered_network;
+///
+/// let net = tiered_network("Tier200", 8, 4, 5, 1);
+/// assert_eq!(net.node_count(), 8 + 8 * 4 + 8 * 4 * 5);
+/// ```
+pub fn tiered_network(
+    name: &str,
+    core: usize,
+    agg_per_core: usize,
+    edge_per_agg: usize,
+    seed: u64,
+) -> Network {
+    assert!(core >= 1, "need at least one core router");
+    let aggs = core * agg_per_core;
+    let edges = aggs * edge_per_agg;
+    let n = core + aggs + edges;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Network::builder(name);
+    // Cores on an inner circle, aggregations fanned around their core's
+    // angle, edges jittered further out.
+    for c in 0..core {
+        let angle = std::f64::consts::TAU * c as f64 / core as f64;
+        b.add_node(format!("core{c}"), (angle.cos(), angle.sin()));
+    }
+    for q in 0..aggs {
+        let pod = q / agg_per_core.max(1);
+        let angle = std::f64::consts::TAU * pod as f64 / core as f64;
+        b.add_node(
+            format!("agg{q}"),
+            (
+                3.0 * angle.cos() + rng.random_range(-0.3..0.3),
+                3.0 * angle.sin() + rng.random_range(-0.3..0.3),
+            ),
+        );
+    }
+    for r in 0..edges {
+        let pod = r / (agg_per_core.max(1) * edge_per_agg.max(1));
+        let angle = std::f64::consts::TAU * pod as f64 / core as f64;
+        b.add_node(
+            format!("edge{r}"),
+            (
+                5.0 * angle.cos() + rng.random_range(-0.5..0.5),
+                5.0 * angle.sin() + rng.random_range(-0.5..0.5),
+            ),
+        );
+    }
+
+    let mut present = AdjacencySet::new(n);
+    let link = |present: &mut AdjacencySet, b: &mut NetworkBuilder, u: usize, v: usize, c| {
+        present.insert(u, v);
+        b.add_duplex_link(NodeId::new(u), NodeId::new(v), c);
+    };
+
+    // Core ring plus core/2 random chords.
+    for c in 0..core {
+        let next = (c + 1) % core;
+        if next != c && !present.contains(c, next) {
+            link(&mut present, &mut b, c, next, CORE_CAPACITY);
+        }
+    }
+    if core >= 4 {
+        let mut chords = core / 2;
+        while chords > 0 {
+            let u = rng.random_range(0..core);
+            let v = rng.random_range(0..core);
+            if u == v || present.contains(u, v) {
+                continue;
+            }
+            link(&mut present, &mut b, u, v, CORE_CAPACITY);
+            chords -= 1;
+        }
+    }
+
+    // Aggregation routers: primary home in their pod, secondary home on a
+    // random other core.
+    for q in 0..aggs {
+        let pod = q / agg_per_core;
+        let a = core + q;
+        link(&mut present, &mut b, a, pod, AGGREGATION_CAPACITY);
+        if core > 1 {
+            let other = (pod + 1 + rng.random_range(0..core - 1)) % core;
+            link(&mut present, &mut b, a, other, AGGREGATION_CAPACITY);
+        }
+    }
+
+    // Edge routers: primary aggregation home, plus one redundant link to a
+    // different aggregation router of the same pod.
+    for r in 0..edges {
+        let q = r / edge_per_agg;
+        let pod = q / agg_per_core;
+        let e = core + aggs + r;
+        link(&mut present, &mut b, e, core + q, EDGE_CAPACITY);
+        if agg_per_core > 1 {
+            let local = q % agg_per_core;
+            let backup = (local + 1 + rng.random_range(0..agg_per_core - 1)) % agg_per_core;
+            link(
+                &mut present,
+                &mut b,
+                e,
+                core + pod * agg_per_core + backup,
+                EDGE_CAPACITY,
+            );
+        }
+    }
+
+    b.build().expect("tiered generator output is connected")
 }
 
 /// Tracks which undirected pairs already have a link.
@@ -322,6 +463,39 @@ mod tests {
             assert_eq!(net.node_count(), nodes, "{name} node count");
             assert_eq!(net.link_count(), links, "{name} link count");
             assert!(traversal::is_strongly_connected(net.graph()));
+        }
+    }
+
+    #[test]
+    fn tiered_network_structure_and_determinism() {
+        let net = tiered_network("t", 8, 4, 5, 1);
+        assert_eq!(net.node_count(), 8 + 32 + 160);
+        // Ring 8 + chords 4 + agg dual-homes 64 + edge dual-homes 320,
+        // each duplex.
+        assert_eq!(net.link_count(), 2 * (8 + 4 + 64 + 320));
+        assert!(traversal::is_strongly_connected(net.graph()));
+        assert_eq!(net, tiered_network("t", 8, 4, 5, 1));
+        assert_ne!(net, tiered_network("t", 8, 4, 5, 2));
+        for cap in [CORE_CAPACITY, AGGREGATION_CAPACITY, EDGE_CAPACITY] {
+            assert!(net.capacities().contains(&cap));
+        }
+        assert!(net.capacities().iter().all(|&c| [
+            CORE_CAPACITY,
+            AGGREGATION_CAPACITY,
+            EDGE_CAPACITY
+        ]
+        .contains(&c)));
+    }
+
+    #[test]
+    fn tiered_network_degenerate_tiers_stay_connected() {
+        for (core, agg, edge) in [(1, 1, 1), (2, 1, 0), (3, 0, 0), (1, 3, 2)] {
+            let net = tiered_network("t", core, agg, edge, 7);
+            assert_eq!(net.node_count(), core + core * agg + core * agg * edge);
+            assert!(
+                traversal::is_strongly_connected(net.graph()),
+                "{core}/{agg}/{edge}"
+            );
         }
     }
 
