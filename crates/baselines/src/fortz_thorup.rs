@@ -12,10 +12,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spef_core::{RoutingEngine, SpefError};
+use spef_core::{RoutingEngine, SpefError, SpfStats};
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::ospf::{self, OspfRouting};
+use crate::util::shuffle;
 
 /// The Fortz–Thorup piecewise-linear link cost Φ.
 ///
@@ -106,6 +107,11 @@ pub struct FtConfig {
     pub restarts: usize,
     /// RNG seed for restart points and scan order.
     pub seed: u64,
+    /// Force dense SPF rebuilds for every probe (default `false`: the
+    /// engine's delta-aware incremental path rebuilds only destinations
+    /// the probed weight can affect — bit-identical results, so the
+    /// search trajectory is unchanged; only wall clock differs).
+    pub full_rebuild: bool,
 }
 
 impl Default for FtConfig {
@@ -115,6 +121,7 @@ impl Default for FtConfig {
             max_evaluations: 3000,
             restarts: 2,
             seed: 0x5eed,
+            full_rebuild: false,
         }
     }
 }
@@ -132,6 +139,9 @@ pub struct FtOutcome {
     pub cost_trace: Vec<f64>,
     /// Evaluations spent.
     pub evaluations: usize,
+    /// SPF build counters of the probe engine — how many probes took the
+    /// incremental path and how many destination slots they rebuilt.
+    pub spf_stats: SpfStats,
 }
 
 impl FtOutcome {
@@ -156,6 +166,7 @@ impl FtOutcome {
         // The winning routing is materialised once at the end.
         let dests = ospf::validate_ospf_inputs(network, traffic)?;
         let mut engine = RoutingEngine::new(network.graph());
+        engine.set_incremental(!config.full_rebuild);
         let mut flows = engine.distribute_fresh();
         let cost_of = |weights: &[f64],
                        engine: &mut RoutingEngine<'_>,
@@ -240,16 +251,8 @@ impl FtOutcome {
             routing,
             cost_trace: trace,
             evaluations,
+            spf_stats: engine.spf_stats(),
         })
-    }
-}
-
-/// Fisher–Yates shuffle (the offline `rand` has no `SliceRandom` for this
-/// version's API surface we rely on).
-fn shuffle(order: &mut [usize], rng: &mut StdRng) {
-    for i in (1..order.len()).rev() {
-        let j = rng.random_range(0..=i);
-        order.swap(i, j);
     }
 }
 
@@ -327,6 +330,7 @@ mod tests {
             max_evaluations: 2000,
             restarts: 1,
             seed: 7,
+            ..FtConfig::default()
         };
         let out = FtOutcome::local_search(&net, &tm, &cfg).unwrap();
         assert!(
@@ -347,11 +351,40 @@ mod tests {
             max_evaluations: 400,
             restarts: 1,
             seed: 3,
+            ..FtConfig::default()
         };
         let a = FtOutcome::local_search(&net, &tm, &cfg).unwrap();
         let b = FtOutcome::local_search(&net, &tm, &cfg).unwrap();
         assert_eq!(a.weights, b.weights);
         assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn incremental_probes_match_full_rebuild_search() {
+        // The delta-aware engine path must not change the search
+        // trajectory in any way: same accepted moves, same trace, same
+        // winner, bit for bit.
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let base = FtConfig {
+            max_weight: 8,
+            max_evaluations: 600,
+            restarts: 1,
+            seed: 5,
+            ..FtConfig::default()
+        };
+        let full = FtConfig {
+            full_rebuild: true,
+            ..base.clone()
+        };
+        let a = FtOutcome::local_search(&net, &tm, &base).unwrap();
+        let b = FtOutcome::local_search(&net, &tm, &full).unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.cost_trace, b.cost_trace);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert!(a.spf_stats.incremental_builds > 0, "{:?}", a.spf_stats);
+        assert_eq!(b.spf_stats.incremental_builds, 0);
     }
 
     #[test]
@@ -363,6 +396,7 @@ mod tests {
             max_evaluations: 800,
             restarts: 0,
             seed: 1,
+            ..FtConfig::default()
         };
         let out = FtOutcome::local_search(&net, &tm, &cfg).unwrap();
         for w in out.cost_trace.windows(2) {

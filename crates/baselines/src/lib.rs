@@ -23,6 +23,7 @@ pub mod mlu_lp;
 pub mod ospf;
 pub mod peft;
 pub mod robust;
+pub(crate) mod util;
 
 pub use fortz_thorup::{FtConfig, FtCost, FtOutcome};
 pub use mlu_lp::MluSolution;

@@ -26,11 +26,12 @@
 //! of probes, mirroring the FT search's engine-probed `cost_of`.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use spef_core::{metrics, RoutingEngine, SpefError};
+use rand::SeedableRng;
+use spef_core::{metrics, RoutingEngine, SpefError, SpfStats};
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::ospf;
+use crate::util::shuffle;
 
 /// Configuration of the robust weight search.
 ///
@@ -49,6 +50,11 @@ pub struct RobustConfig {
     pub max_evaluations: usize,
     /// RNG seed for the scan order.
     pub seed: u64,
+    /// Force dense SPF rebuilds for every probe on every scenario
+    /// (default `false`: each scenario engine's delta-aware incremental
+    /// path rebuilds only destinations the probed weight can affect —
+    /// bit-identical results, unchanged search trajectory).
+    pub full_rebuild: bool,
 }
 
 impl Default for RobustConfig {
@@ -57,6 +63,7 @@ impl Default for RobustConfig {
             max_weight: 20,
             max_evaluations: 150,
             seed: 0x0b57,
+            full_rebuild: false,
         }
     }
 }
@@ -77,6 +84,10 @@ pub struct RobustOutcome {
     /// Duplex circuits whose failure would disconnect the network,
     /// excluded from the scenario set (reported, never silent).
     pub skipped_circuits: usize,
+    /// SPF build counters summed over the intact and scenario engines —
+    /// how many probe routings took the incremental path and how many
+    /// destination slots they rebuilt.
+    pub spf_stats: SpfStats,
 }
 
 impl RobustOutcome {
@@ -108,18 +119,30 @@ impl RobustOutcome {
                 Err(_) => skipped_circuits += 1,
             }
         }
-        // One engine + one weight buffer per scenario (engines borrow
-        // their network); a single flows buffer reshapes across scenarios.
+        // One engine + one weight buffer + one flows buffer per scenario
+        // (engines borrow their network). Per-scenario flow buffers —
+        // rather than one shared reshaping buffer — let each engine's
+        // incremental redistribution path recognise its own previous
+        // output and refresh only the columns a probe actually touched.
         let mut intact_engine = RoutingEngine::new(network.graph());
+        intact_engine.set_incremental(!config.full_rebuild);
         let mut engines: Vec<RoutingEngine<'_>> = scenarios
             .iter()
-            .map(|(degraded, _)| RoutingEngine::new(degraded.graph()))
+            .map(|(degraded, _)| {
+                let mut e = RoutingEngine::new(degraded.graph());
+                e.set_incremental(!config.full_rebuild);
+                e
+            })
             .collect();
         let mut degraded_weights: Vec<Vec<f64>> = scenarios
             .iter()
             .map(|(_, kept)| vec![0.0; kept.len()])
             .collect();
         let mut flows = intact_engine.distribute_fresh();
+        let mut scenario_flows: Vec<spef_core::Flows> = scenarios
+            .iter()
+            .map(|_| intact_engine.distribute_fresh())
+            .collect();
 
         // Worst-case MLU of one candidate across all scenarios. The
         // intact MLU is returned alongside so the final report does not
@@ -136,8 +159,9 @@ impl RobustOutcome {
                 for (slot, &old) in dw.iter_mut().zip(kept) {
                     *slot = weights[old.index()];
                 }
-                ospf::route_flows_into(&mut engines[i], traffic, &dests, dw, &mut flows)?;
-                worst = worst.max(metrics::max_link_utilization(degraded, flows.aggregate()));
+                let sf = &mut scenario_flows[i];
+                ospf::route_flows_into(&mut engines[i], traffic, &dests, dw, sf)?;
+                worst = worst.max(metrics::max_link_utilization(degraded, sf.aggregate()));
             }
             Ok((worst, intact))
         };
@@ -185,22 +209,22 @@ impl RobustOutcome {
             }
         }
 
+        let mut spf_stats = intact_engine.spf_stats();
+        for e in &engines {
+            let s = e.spf_stats();
+            spf_stats.builds += s.builds;
+            spf_stats.incremental_builds += s.incremental_builds;
+            spf_stats.slots_rebuilt += s.slots_rebuilt;
+            spf_stats.last_dirty = spf_stats.last_dirty.max(s.last_dirty);
+        }
         Ok(RobustOutcome {
             weights,
             worst_mlu: cost,
             intact_mlu,
             evaluations,
             skipped_circuits,
+            spf_stats,
         })
-    }
-}
-
-/// Fisher–Yates shuffle (mirrors the FT search's helper; the offline
-/// `rand` has no `SliceRandom` for this API surface).
-fn shuffle(order: &mut [usize], rng: &mut StdRng) {
-    for i in (1..order.len()).rev() {
-        let j = rng.random_range(0..=i);
-        order.swap(i, j);
     }
 }
 
@@ -266,6 +290,27 @@ mod tests {
         assert_eq!(a.weights, b.weights);
         assert_eq!(a.worst_mlu.to_bits(), b.worst_mlu.to_bits());
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn incremental_probes_match_full_rebuild_search() {
+        let (net, tm) = abilene_instance(0.05);
+        let cfg = RobustConfig {
+            max_evaluations: 60,
+            ..RobustConfig::default()
+        };
+        let full = RobustConfig {
+            full_rebuild: true,
+            ..cfg.clone()
+        };
+        let a = RobustOutcome::local_search(&net, &tm, &cfg).unwrap();
+        let b = RobustOutcome::local_search(&net, &tm, &full).unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.worst_mlu.to_bits(), b.worst_mlu.to_bits());
+        assert_eq!(a.intact_mlu.to_bits(), b.intact_mlu.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert!(a.spf_stats.incremental_builds > 0, "{:?}", a.spf_stats);
+        assert_eq!(b.spf_stats.incremental_builds, 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! dominate the experiment pipelines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use spef_baselines::fortz_thorup::{FtConfig, FtOutcome};
 use spef_core::{
     build_dags, traffic_distribution, ConvergenceCriteria, FibSet, ForwardingTable,
     FrankWolfeConfig, NemConfig, NemInstance, Objective, RoutingEngine, SplitRule, TeInstance,
@@ -769,6 +770,129 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_incremental_spf(c: &mut Criterion) {
+    // The PR 9 full-vs-incremental pairs: single-weight probe loops whose
+    // SPF work the delta-aware engine trims to the dirty destinations.
+    // Both modes are run once during setup, asserted bit-identical, and
+    // the SPF counters (incl. mean dirty destinations per probe) are
+    // printed so the lanes double as the incremental-path witness.
+    let mut group = c.benchmark_group("incremental_spf");
+    group.sample_size(10);
+
+    // Fortz-Thorup local search on Abilene: every candidate is a
+    // single-weight mutation of the incumbent, the incremental path's
+    // best case. The bench budget is a slice of the sweep budget (same
+    // search, shorter trajectory) to keep lane wall time sane.
+    let net = standard::abilene();
+    let tm = TrafficMatrix::fortz_thorup(&net, 1).scaled_to_network_load(&net, 0.1);
+    let ft_full = FtConfig {
+        max_weight: 20,
+        max_evaluations: 300,
+        restarts: 1,
+        seed: 0xF7,
+        full_rebuild: true,
+    };
+    let ft_incr = FtConfig {
+        full_rebuild: false,
+        ..ft_full
+    };
+    let t0 = std::time::Instant::now();
+    let full = FtOutcome::local_search(&net, &tm, &ft_full).expect("ft full");
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
+    let incr = FtOutcome::local_search(&net, &tm, &ft_incr).expect("ft incremental");
+    let incr_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(full.cost.to_bits(), incr.cost.to_bits());
+    assert_eq!(full.weights, incr.weights);
+    assert_eq!(full.spf_stats.incremental_builds, 0);
+    assert!(
+        incr.spf_stats.incremental_builds > 0,
+        "FT probes never took the incremental path: {:?}",
+        incr.spf_stats
+    );
+    let dests = tm.destinations().len() as f64;
+    eprintln!(
+        "ft_local_search_abilene full vs incremental: {full_ms:.1}ms -> {incr_ms:.1}ms; \
+         {} of {} builds incremental, mean dirty destinations/probe {:.2} of {dests}",
+        incr.spf_stats.incremental_builds,
+        incr.spf_stats.builds,
+        incr.spf_stats.slots_rebuilt as f64 / incr.spf_stats.incremental_builds as f64,
+    );
+    group.bench_function("ft_local_search_abilene_full", |b| {
+        b.iter(|| FtOutcome::local_search(&net, &tm, &ft_full).expect("ft full"))
+    });
+    group.bench_function("ft_local_search_abilene_incremental", |b| {
+        b.iter(|| FtOutcome::local_search(&net, &tm, &ft_incr).expect("ft incremental"))
+    });
+
+    // Reconfiguration pushes on a 200-node tiered topology: every
+    // intermediate mixed state is a one-weight delta of its predecessor,
+    // and with 200 destination slots the dirty fraction per push is tiny.
+    // The pushed links point *into* edge-layer leaves (an access-link
+    // reweighting campaign), so each push can only dirty the handful of
+    // destinations behind that access link; and the `to` endpoint only
+    // lowers weights so the mixed vector's maximum (which scales the
+    // equal-cost tolerance) stays put across the whole migration.
+    let hier = gen::tiered_network("Tier200", 8, 4, 5, 0x7E2);
+    let htm = TrafficMatrix::fortz_thorup(&hier, 1).scaled_to_network_load(&hier, 0.04);
+    let from: Vec<f64> = hier.capacities().iter().map(|c| 1.0 / c).collect();
+    let first_edge_node = 8 + 8 * 4; // cores + aggregation routers
+    let into_leaves: Vec<usize> = hier
+        .graph()
+        .edges()
+        .filter(|&(_, _, v)| v.index() >= first_edge_node)
+        .map(|(e, _, _)| e.index())
+        .collect();
+    let mut to = from.clone();
+    for (k, e) in into_leaves
+        .iter()
+        .step_by(into_leaves.len() / 6)
+        .take(6)
+        .enumerate()
+    {
+        to[*e] *= 0.45 + 0.05 * k as f64;
+    }
+    let t0 = std::time::Instant::now();
+    let (full_out, full_stats) =
+        spef_experiments::reconfig::migrate_with(&hier, &htm, &from, &to, true).expect("reconfig");
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
+    let (incr_out, incr_stats) =
+        spef_experiments::reconfig::migrate_with(&hier, &htm, &from, &to, false).expect("reconfig");
+    let incr_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(full_out, incr_out);
+    assert_eq!(full_stats.incremental_builds, 0);
+    assert!(
+        incr_stats.incremental_builds > 0,
+        "reconfig probes never took the incremental path: {incr_stats:?}"
+    );
+    let hdests = htm.destinations().len() as u64;
+    assert!(
+        incr_stats.slots_rebuilt * 3 <= incr_stats.incremental_builds * hdests,
+        "mean dirty set per push probe is not <= 1/3 of the {hdests} destinations: {incr_stats:?}"
+    );
+    eprintln!(
+        "reconfig_push_hier200 full vs incremental: {full_ms:.1}ms -> {incr_ms:.1}ms; \
+         {} of {} builds incremental, mean dirty destinations/probe {:.2} of {hdests}",
+        incr_stats.incremental_builds,
+        incr_stats.builds,
+        incr_stats.slots_rebuilt as f64 / incr_stats.incremental_builds as f64,
+    );
+    group.bench_function("reconfig_push_hier200_full", |b| {
+        b.iter(|| {
+            spef_experiments::reconfig::migrate_with(&hier, &htm, &from, &to, true)
+                .expect("reconfig")
+        })
+    });
+    group.bench_function("reconfig_push_hier200_incremental", |b| {
+        b.iter(|| {
+            spef_experiments::reconfig::migrate_with(&hier, &htm, &from, &to, false)
+                .expect("reconfig")
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     micro,
     bench_dijkstra_dag,
@@ -779,6 +903,7 @@ criterion_group!(
     bench_nem,
     bench_simplex,
     bench_simplex_mlu,
+    bench_incremental_spf,
     bench_simulator
 );
 criterion_main!(micro);

@@ -63,15 +63,54 @@
 //! ```
 
 use spef_graph::batch::{
-    build_dag_set, build_dag_set_tiled, DagSet, Parallelism, RoutingWorkspace,
+    build_dag_set, build_dag_set_tiled, rebuild_dag_set_slots, validate_dag_inputs, DagSet,
+    Parallelism, RoutingWorkspace,
 };
 use spef_graph::{Csr, Graph, GraphError, NodeId};
 use spef_topology::TrafficMatrix;
 
 use crate::traffic_dist::{
-    distribute_batch, distribute_block, DistScratch, Flows, SplitRule, SplitTableSet,
+    distribute_batch, distribute_block, distribute_one_into, next_flow_stamp, validate_rule,
+    DistScratch, Flows, SplitRule, SplitTableSet,
 };
 use crate::SpefError;
+
+/// Incremental rebuilds give up (dense fallback) when more than this many
+/// quarters of the edge weights changed — at that point the dirty scan
+/// costs as much as it could save.
+const INCR_MAX_CHANGED_QUARTERS: usize = 1;
+
+/// Incremental rebuilds give up (dense fallback) when more than half the
+/// destinations are dirty: a dense batch amortises better than per-slot
+/// bookkeeping once most slots rebuild anyway.
+const INCR_MAX_DIRTY_HALVES: usize = 1;
+
+/// The split rule a distribution ran under, reduced to a cheap tag (the
+/// exponential rule's weight vector is cached separately, bit for bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum RuleKind {
+    #[default]
+    None,
+    Even,
+    Exponential,
+}
+
+/// SPF build counters of one engine state — the observability surface of
+/// the incremental rebuild path (benches report dirty-destination counts
+/// per probe from these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpfStats {
+    /// SPF batch builds executed (dense + incremental; calls skipped by
+    /// the bit-identical-weights fingerprint are not counted).
+    pub builds: u64,
+    /// Builds served by the incremental dirty-destination path.
+    pub incremental_builds: u64,
+    /// Total destination slots re-run across all incremental builds
+    /// (`slots_rebuilt / incremental_builds` = mean dirty set per probe).
+    pub slots_rebuilt: u64,
+    /// Dirty-slot count of the most recent incremental build.
+    pub last_dirty: u64,
+}
 
 /// The detached, owned arenas of a [`RoutingEngine`]: everything the
 /// engine holds except the graph borrow itself. A long-lived workspace
@@ -99,6 +138,36 @@ pub struct EngineState {
     last_tolerance: f64,
     dags_valid: bool,
     spf_builds: u64,
+    /// `true` forces dense rebuilds everywhere (the delta-aware
+    /// incremental paths off). Default `false`: incremental on.
+    full_rebuild_only: bool,
+    /// Changed-edge scratch of the weight diff: `(tail, head, old, new)`.
+    delta_scratch: Vec<(NodeId, NodeId, f64, f64)>,
+    /// Per-slot dirty flags of the incremental build in progress.
+    dirty: Vec<bool>,
+    /// Slots whose DAG changed since the last successful untiled
+    /// distribution (what the incremental distribution must refresh).
+    pending: Vec<bool>,
+    /// `true` when the pending set is meaningless (dense build, shape
+    /// change, or no distribution yet): the next distribution runs dense.
+    pending_all: bool,
+    /// Split tables aligned with the current DAG set under the
+    /// `last_rule_*` fingerprint below.
+    tables_valid: bool,
+    last_rule_kind: RuleKind,
+    /// Bitwise copy of the exponential rule's weight vector (empty for
+    /// even ECMP).
+    last_rule_v: Vec<f64>,
+    /// Cached demand columns (`dests × nodes`) backing the bitwise
+    /// demand-change check of the incremental distribution.
+    demand_cache: Vec<f64>,
+    demand_cache_valid: bool,
+    /// Stamp of the `Flows` buffer the last successful untiled
+    /// distribution wrote (its columns *are* the incremental flow cache).
+    out_stamp: u64,
+    incremental_builds: u64,
+    slots_rebuilt: u64,
+    last_dirty: u64,
 }
 
 impl EngineState {
@@ -129,11 +198,45 @@ impl EngineState {
         self.spf_builds
     }
 
+    /// The SPF build counters, including the incremental-path breakdown.
+    pub fn spf_stats(&self) -> SpfStats {
+        SpfStats {
+            builds: self.spf_builds,
+            incremental_builds: self.incremental_builds,
+            slots_rebuilt: self.slots_rebuilt,
+            last_dirty: self.last_dirty,
+        }
+    }
+
+    /// Enables/disables the delta-aware incremental rebuild and
+    /// redistribution paths (enabled by default). Disabling forces every
+    /// non-skipped build/distribution to run dense — results are
+    /// bit-identical either way; only wall clock changes.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.full_rebuild_only = !enabled;
+    }
+
+    /// Whether the incremental paths are enabled.
+    pub fn incremental(&self) -> bool {
+        !self.full_rebuild_only
+    }
+
     /// Drops the DAG fingerprint so the next
     /// [`RoutingEngine::build_dags`] call recomputes unconditionally.
     /// Arenas are kept.
     pub fn invalidate(&mut self) {
         self.dags_valid = false;
+        self.drop_distribution_caches();
+    }
+
+    /// Invalidates everything the incremental distribution path relies
+    /// on; the next distribution runs the dense kernel.
+    fn drop_distribution_caches(&mut self) {
+        self.tables_valid = false;
+        self.demand_cache_valid = false;
+        self.pending_all = true;
+        self.out_stamp = 0;
+        self.last_rule_kind = RuleKind::None;
     }
 
     /// Bytes currently reserved by the engine's routing arenas (DAG sets,
@@ -200,6 +303,7 @@ impl<'g> RoutingEngine<'g> {
                 .topo_edges
                 .extend(graph.edges().map(|(_, u, v)| (u, v)));
             state.dags_valid = false;
+            state.drop_distribution_caches();
         }
         RoutingEngine { graph, par, state }
     }
@@ -221,6 +325,16 @@ impl<'g> RoutingEngine<'g> {
         self.state.spf_builds
     }
 
+    /// The SPF build counters, including the incremental-path breakdown.
+    pub fn spf_stats(&self) -> SpfStats {
+        self.state.spf_stats()
+    }
+
+    /// See [`EngineState::set_incremental`].
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.state.set_incremental(enabled);
+    }
+
     /// Builds the shortest-path DAGs of every destination under `weights`
     /// with equal-cost tolerance `tolerance`, replacing the engine's
     /// current DAG set. Weights are validated once for the whole batch.
@@ -228,6 +342,16 @@ impl<'g> RoutingEngine<'g> {
     /// When `weights`, `dests` and `tolerance` are bit-identical to the
     /// previous (successful) call on this engine's state, the SPF batch
     /// is skipped outright — the retained DAG set is already the answer.
+    ///
+    /// When only a few weights changed (same destinations, same
+    /// tolerance), the **incremental path** rebuilds only the dirty
+    /// destination slots: a destination is dirty iff some changed edge
+    /// was on, or could join, its shortest-path DAG, decided from the
+    /// cached distance arrays of the previous build. Clean slots keep
+    /// their arenas untouched, so the resulting DAG set is bit-identical
+    /// to a dense rebuild (see `tests/incremental_equivalence.rs`). The
+    /// path falls back to a dense build when the change is too large or
+    /// the dirty set covers most destinations.
     ///
     /// # Errors
     ///
@@ -239,10 +363,11 @@ impl<'g> RoutingEngine<'g> {
         tolerance: f64,
     ) -> Result<(), GraphError> {
         let s = &mut self.state;
-        if s.dags_valid
+        let fingerprint_matches = s.dags_valid
             && s.last_tolerance.to_bits() == tolerance.to_bits()
             && s.last_dests.as_slice() == dests
-            && s.last_weights.len() == weights.len()
+            && s.last_weights.len() == weights.len();
+        if fingerprint_matches
             && s.last_weights
                 .iter()
                 .zip(weights)
@@ -250,7 +375,12 @@ impl<'g> RoutingEngine<'g> {
         {
             return Ok(());
         }
+        let try_incremental = fingerprint_matches && !s.full_rebuild_only;
         s.dags_valid = false;
+        if try_incremental && self.build_dags_incremental(weights, dests, tolerance)? {
+            return Ok(());
+        }
+        let s = &mut self.state;
         build_dag_set(
             self.graph,
             s.in_csr.as_ref().expect("attached engine has a CSR"),
@@ -268,7 +398,104 @@ impl<'g> RoutingEngine<'g> {
         s.last_dests.extend_from_slice(dests);
         s.last_tolerance = tolerance;
         s.dags_valid = true;
+        // A dense build may have changed any slot; the pending set no
+        // longer bounds what the next distribution must refresh.
+        s.pending_all = true;
         Ok(())
+    }
+
+    /// The delta path of [`build_dags`](Self::build_dags): diffs the
+    /// weights bit for bit, flags dirty destinations via the cached
+    /// distance arrays, and rebuilds only those slots in place. Returns
+    /// `Ok(false)` when the change is too large to be worth it — the
+    /// caller falls through to the dense build.
+    ///
+    /// Only called when the previous build used the same destinations,
+    /// tolerance and weight-vector length (so the cached distances and
+    /// arena shapes line up).
+    fn build_dags_incremental(
+        &mut self,
+        weights: &[f64],
+        dests: &[NodeId],
+        tolerance: f64,
+    ) -> Result<bool, GraphError> {
+        // Identical validation — and error order — to the dense path.
+        validate_dag_inputs(self.graph, weights, dests, tolerance)?;
+        let s = &mut self.state;
+        let m = self.graph.edge_count();
+        let d = dests.len();
+        s.delta_scratch.clear();
+        for (e, u, v) in self.graph.edges() {
+            let old = s.last_weights[e.index()];
+            let new = weights[e.index()];
+            if old.to_bits() != new.to_bits() {
+                s.delta_scratch.push((u, v, old, new));
+            }
+        }
+        if s.delta_scratch.len() * 4 > m * INCR_MAX_CHANGED_QUARTERS {
+            return Ok(false);
+        }
+        // A destination is dirty iff some changed edge was on — or, at
+        // the new weight, could join — its shortest-path DAG. Both are
+        // one slack test against the cached distances: edge (u,v) with
+        // weight w is on/joinable when `w + dist[v] - dist[u] <= tol`,
+        // the exact float association the DAG classifier uses, so a
+        // "clean" verdict provably reproduces the dense result bit for
+        // bit (slack > tol ≥ 0 means the edge loses every relaxation
+        // and classification it could enter, under old and new weight).
+        s.dirty.clear();
+        s.dirty.resize(d, false);
+        let mut dirty_count = 0usize;
+        for (i, flag) in s.dirty.iter_mut().enumerate() {
+            let dist = s.dags.dag(i).distances();
+            let is_dirty = s.delta_scratch.iter().any(|&(u, v, old, new)| {
+                let dv = dist[v.index()];
+                if !dv.is_finite() {
+                    // v cannot reach this destination; no weight value on
+                    // (u,v) changes reachability, distances or the DAG.
+                    return false;
+                }
+                let du = dist[u.index()];
+                // du = +inf makes both slacks -inf → dirty (defensive;
+                // cannot happen when dv is finite and the old weight was
+                // valid, since du ≤ old + dv).
+                !(old + dv - du > tolerance && new + dv - du > tolerance)
+            });
+            if is_dirty {
+                *flag = true;
+                dirty_count += 1;
+            }
+        }
+        if dirty_count * 2 > d * INCR_MAX_DIRTY_HALVES {
+            return Ok(false);
+        }
+        rebuild_dag_set_slots(
+            self.graph,
+            s.in_csr.as_ref().expect("attached engine has a CSR"),
+            weights,
+            &s.dirty,
+            self.par,
+            &mut s.ws,
+            &mut s.dags,
+        )?;
+        s.spf_builds += 1;
+        s.incremental_builds += 1;
+        s.slots_rebuilt += dirty_count as u64;
+        s.last_dirty = dirty_count as u64;
+        if s.pending.len() == d {
+            for (p, &flag) in s.pending.iter_mut().zip(&s.dirty) {
+                *p |= flag;
+            }
+        } else {
+            // No tracked pending set at this shape — pending_all is
+            // already forcing a dense distribution; just keep shape.
+            s.pending.clear();
+            s.pending.resize(d, false);
+            s.pending_all = true;
+        }
+        s.last_weights.copy_from_slice(weights);
+        s.dags_valid = true;
+        Ok(true)
     }
 
     /// The current DAG set (destinations of the last
@@ -308,13 +535,30 @@ impl<'g> RoutingEngine<'g> {
     /// # Panics
     ///
     /// Panics if `traffic` covers fewer nodes than the graph.
+    ///
+    /// # Incremental redistribution
+    ///
+    /// When `out` still holds exactly what this engine's previous
+    /// successful call wrote (tracked by a freshness stamp that any
+    /// mutation clears), the rule is bit-identical, and the DAG set only
+    /// changed in slots the engine tracked, the call refreshes **only**
+    /// the destinations whose DAG or demand column changed — rebuilding
+    /// their split tables in place — and re-folds the aggregate from all
+    /// columns in ascending destination order: the same additions, in
+    /// the same order, as the dense kernel. Results are bit-identical
+    /// either way; any precondition miss falls back to the dense path.
     pub fn distribute_into(
         &mut self,
         traffic: &TrafficMatrix,
         rule: SplitRule<'_>,
         out: &mut Flows,
     ) -> Result<(), SpefError> {
+        if self.try_distribute_incremental(traffic, rule, out)? {
+            return Ok(());
+        }
         let s = &mut self.state;
+        s.tables_valid = false;
+        s.out_stamp = 0;
         distribute_batch(
             self.graph,
             s.dags.destinations(),
@@ -324,7 +568,146 @@ impl<'g> RoutingEngine<'g> {
             &mut s.tables,
             &mut s.scratch,
             out,
-        )
+        )?;
+        self.record_distribution(traffic, rule, out);
+        Ok(())
+    }
+
+    /// Records the caches a successful dense distribution leaves behind
+    /// for the next incremental one: the demand columns (bitwise), the
+    /// rule fingerprint, and the output buffer's freshness stamp.
+    fn record_distribution(
+        &mut self,
+        traffic: &TrafficMatrix,
+        rule: SplitRule<'_>,
+        out: &mut Flows,
+    ) {
+        let s = &mut self.state;
+        let n = self.graph.node_count();
+        let dests = s.dags.destinations();
+        let d = dests.len();
+        s.demand_cache.clear();
+        s.demand_cache.resize(d * n, 0.0);
+        for (i, &t) in dests.iter().enumerate() {
+            traffic.demands_to_into(t, &mut s.scratch.demands);
+            s.demand_cache[i * n..(i + 1) * n].copy_from_slice(&s.scratch.demands[..n]);
+        }
+        s.demand_cache_valid = true;
+        match rule {
+            SplitRule::EvenEcmp => {
+                s.last_rule_kind = RuleKind::Even;
+                s.last_rule_v.clear();
+            }
+            SplitRule::Exponential(v) => {
+                s.last_rule_kind = RuleKind::Exponential;
+                s.last_rule_v.clear();
+                s.last_rule_v.extend_from_slice(v);
+            }
+        }
+        s.tables_valid = true;
+        s.pending.clear();
+        s.pending.resize(d, false);
+        s.pending_all = false;
+        s.out_stamp = next_flow_stamp();
+        out.set_stamp(s.out_stamp);
+    }
+
+    /// The delta path of [`distribute_into`](Self::distribute_into).
+    /// Returns `Ok(false)` when any precondition fails (caller runs the
+    /// dense kernel); on `Ok(true)` the refresh completed and `out` was
+    /// re-stamped. A distribution error invalidates every cache before
+    /// propagating, so the next call runs dense.
+    fn try_distribute_incremental(
+        &mut self,
+        traffic: &TrafficMatrix,
+        rule: SplitRule<'_>,
+        out: &mut Flows,
+    ) -> Result<bool, SpefError> {
+        let s = &mut self.state;
+        let rule_matches = match rule {
+            SplitRule::EvenEcmp => s.last_rule_kind == RuleKind::Even,
+            SplitRule::Exponential(v) => {
+                s.last_rule_kind == RuleKind::Exponential
+                    && v.len() == s.last_rule_v.len()
+                    && v.iter()
+                        .zip(&s.last_rule_v)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            }
+        };
+        if s.full_rebuild_only
+            || !s.dags_valid
+            || !s.tables_valid
+            || !s.demand_cache_valid
+            || s.pending_all
+            || !rule_matches
+            || out.stamp() == 0
+            || out.stamp() != s.out_stamp
+            || !out.has_columns()
+        {
+            return Ok(false);
+        }
+        // The rule already matched a previously validated one bit for
+        // bit, but run the dense path's validation anyway so the error
+        // surface is identical by construction.
+        validate_rule(self.graph, rule)?;
+        let n = self.graph.node_count();
+        let d = s.dags.destinations().len();
+        debug_assert_eq!(s.pending.len(), d);
+        debug_assert_eq!(s.tables.len(), d);
+        s.scratch.incoming.resize(n, 0.0);
+        let (columns, aggregate) = out.parts_mut();
+        debug_assert_eq!(columns.len(), d);
+        for (i, col) in columns.iter_mut().enumerate() {
+            let t = s.dags.destinations()[i];
+            traffic.demands_to_into(t, &mut s.scratch.demands);
+            let row = &s.demand_cache[i * n..(i + 1) * n];
+            let demand_dirty = s.scratch.demands[..n]
+                .iter()
+                .zip(row)
+                .any(|(a, b)| a.to_bits() != b.to_bits());
+            let dag_dirty = s.pending[i];
+            if !demand_dirty && !dag_dirty {
+                // Same DAG, same table, bit-identical demands: the cached
+                // column is exactly what the dense kernel would recompute
+                // (and its previous success proves no error either).
+                continue;
+            }
+            let dag = s.dags.dag(i);
+            if dag_dirty {
+                s.tables.rebuild_table(i, self.graph, &dag, rule);
+            }
+            col.fill(0.0);
+            let table = s.tables.table(i);
+            if let Err(e) = distribute_one_into(
+                self.graph,
+                &dag,
+                table,
+                &s.scratch.demands,
+                &mut s.scratch.incoming,
+                col,
+            ) {
+                s.drop_distribution_caches();
+                return Err(e);
+            }
+            if demand_dirty {
+                s.demand_cache[i * n..(i + 1) * n].copy_from_slice(&s.scratch.demands[..n]);
+            }
+        }
+        // Re-fold the aggregate from every column in ascending
+        // destination order — the same additions, in the same order, as
+        // `distribute_block` performs on the dense path.
+        aggregate.fill(0.0);
+        for col in columns.iter() {
+            for (agg, f) in aggregate.iter_mut().zip(col.iter()) {
+                *agg += f;
+            }
+        }
+        for p in s.pending.iter_mut() {
+            *p = false;
+        }
+        s.out_stamp = next_flow_stamp();
+        out.set_stamp(s.out_stamp);
+        Ok(true)
     }
 
     /// Builds only the split tables (TABLE II rows) for the current DAG
@@ -338,6 +721,9 @@ impl<'g> RoutingEngine<'g> {
     pub fn build_split_tables(&mut self, rule: SplitRule<'_>) -> Result<&SplitTableSet, SpefError> {
         crate::traffic_dist::validate_rule(self.graph, rule)?;
         let s = &mut self.state;
+        // The tables no longer correspond to a recorded distribution.
+        s.tables_valid = false;
+        s.out_stamp = 0;
         s.tables.reset(self.graph.node_count());
         for dag in s.dags.iter() {
             s.tables.push_table(self.graph, &dag, rule);
@@ -647,6 +1033,169 @@ mod tests {
             .distribute_into(&other_tm, SplitRule::EvenEcmp, &mut b)
             .unwrap();
         assert_eq!(a.aggregate(), b.aggregate());
+    }
+
+    /// One full build+distribute cycle on a fresh dense engine; the
+    /// reference every incremental test compares against.
+    fn dense_reference(
+        net: &spef_topology::Network,
+        tm: &TrafficMatrix,
+        dests: &[NodeId],
+        w: &[f64],
+        tol: f64,
+    ) -> Flows {
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.set_incremental(false);
+        engine.build_dags(w, dests, tol).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+        flows
+    }
+
+    #[test]
+    fn incremental_single_weight_probe_matches_dense() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let dests = tm.destinations();
+        let mut w: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
+
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+
+        // A Fortz–Thorup-style probe loop: one weight changes per step.
+        for e in 0..net.link_count() {
+            w[e] *= 3.0;
+            engine.build_dags(&w, &dests, 0.0).unwrap();
+            engine
+                .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+                .unwrap();
+            let fresh = dense_reference(&net, &tm, &dests, &w, 0.0);
+            assert_eq!(flows, fresh, "probe on edge {e} diverged from dense");
+            // Revert — again a single-weight delta.
+            w[e] /= 3.0;
+            engine.build_dags(&w, &dests, 0.0).unwrap();
+            engine
+                .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+                .unwrap();
+        }
+        let stats = engine.spf_stats();
+        assert!(
+            stats.incremental_builds > 0,
+            "probe loop never took the incremental path: {stats:?}"
+        );
+        assert!(stats.slots_rebuilt < stats.incremental_builds * dests.len() as u64);
+    }
+
+    #[test]
+    fn incremental_respects_equal_cost_tolerance() {
+        let net = standard::fig1();
+        let tm = standard::fig1_demands();
+        let dests = tm.destinations();
+        let tol = 0.5;
+        let mut w = vec![1.0; net.link_count()];
+
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.build_dags(&w, &dests, tol).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+
+        // Nudge a weight by less than the tolerance: the edge may enter or
+        // leave equal-cost DAGs without changing any shortest distance.
+        for e in 0..net.link_count() {
+            w[e] += 0.25;
+            engine.build_dags(&w, &dests, tol).unwrap();
+            engine
+                .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+                .unwrap();
+            assert_eq!(flows, dense_reference(&net, &tm, &dests, &w, tol));
+        }
+    }
+
+    #[test]
+    fn incremental_off_switch_forces_dense() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let dests = tm.destinations();
+        let mut w = vec![1.0; net.link_count()];
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.set_incremental(false);
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+        w[2] = 5.0;
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+        assert_eq!(engine.spf_stats().incremental_builds, 0);
+        assert_eq!(flows, dense_reference(&net, &tm, &dests, &w, 0.0));
+    }
+
+    #[test]
+    fn incremental_tracks_demand_changes() {
+        let net = standard::fig4();
+        let mut tm = standard::fig4_demands();
+        let dests = tm.destinations();
+        let w = vec![1.0; net.link_count()];
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+        // Change one demand entry and redistribute with unchanged DAGs:
+        // only that destination's column may be stale.
+        let (src, t, old) = tm.pairs().next().unwrap();
+        tm.set(src, t, old + 1.5);
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+        assert_eq!(flows, dense_reference(&net, &tm, &dests, &w, 0.0));
+    }
+
+    #[test]
+    fn incremental_survives_buffer_swap_and_mutation() {
+        let net = standard::fig4();
+        let tm = standard::fig4_demands();
+        let dests = tm.destinations();
+        let mut w = vec![1.0; net.link_count()];
+        let mut engine = RoutingEngine::new(net.graph());
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut flows = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+
+        // Mutating the buffer (external scaling) clears its stamp; the
+        // next call must fall back dense, not trust stale columns.
+        let ratios = vec![1.0; dests.len()];
+        flows.scale_per_destination(&ratios);
+        w[0] = 2.0;
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut flows)
+            .unwrap();
+        assert_eq!(flows, dense_reference(&net, &tm, &dests, &w, 0.0));
+
+        // A different (unstamped) buffer also falls back dense.
+        w[1] = 3.0;
+        engine.build_dags(&w, &dests, 0.0).unwrap();
+        let mut other = engine.distribute_fresh();
+        engine
+            .distribute_into(&tm, SplitRule::EvenEcmp, &mut other)
+            .unwrap();
+        assert_eq!(other, dense_reference(&net, &tm, &dests, &w, 0.0));
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use error::SpefError;
 pub use objective::Objective;
 
 pub use dual_decomp::{DualDecompConfig, DualDecompOutcome, StepRule};
-pub use engine::{EngineState, RoutingEngine};
+pub use engine::{EngineState, RoutingEngine, SpfStats};
 pub use fib::{FibRow, FibSet};
 pub use frank_wolfe::FrankWolfeConfig;
 pub use nem::{NemConfig, NemOutcome};

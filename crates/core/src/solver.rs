@@ -789,6 +789,9 @@ impl DdSession {
 #[derive(Debug, Default)]
 pub struct TeWorkspace {
     engine: Option<EngineState>,
+    /// `true` disables the engine's delta-aware incremental rebuild
+    /// paths (dense rebuilds only); default `false` = incremental on.
+    full_rebuild_only: bool,
     /// Destination tile size for the iterative solvers' build/distribute
     /// cycles; `None` = dense (one arena over all destinations).
     pub(crate) tile: Option<usize>,
@@ -853,9 +856,36 @@ impl TeWorkspace {
         self.dd.forget();
     }
 
+    /// Enables/disables the engine's delta-aware incremental rebuild
+    /// paths for subsequent solves (enabled by default). After a small
+    /// weight delta, an incremental re-solve rebuilds only the dirty
+    /// destinations' DAGs and split tables; results are bit-identical to
+    /// dense rebuilds either way — only wall clock changes.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.full_rebuild_only = !enabled;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.set_incremental(enabled);
+        }
+    }
+
+    /// Whether the incremental engine paths are enabled.
+    pub fn incremental(&self) -> bool {
+        !self.full_rebuild_only
+    }
+
+    /// The engine's SPF build counters, including the incremental-path
+    /// breakdown (zeroes before the first solve).
+    pub fn spf_stats(&self) -> crate::SpfStats {
+        self.engine
+            .as_ref()
+            .map_or_else(Default::default, EngineState::spf_stats)
+    }
+
     /// Detaches the engine state for attaching to a borrowed graph.
     pub(crate) fn take_engine(&mut self) -> EngineState {
-        self.engine.take().unwrap_or_default()
+        let mut state = self.engine.take().unwrap_or_default();
+        state.set_incremental(!self.full_rebuild_only);
+        state
     }
 
     /// Returns the engine state after a session.

@@ -196,6 +196,10 @@ pub struct SplitTableSet {
     entries: Vec<(EdgeId, f64)>,
     /// `log Z_t(u)` per `(dest, node)`.
     log_z: Vec<f64>,
+    /// Entry slots orphaned by in-place [`SplitTableSet::rebuild_table`]
+    /// calls (rebuilt rows append fresh entries and abandon the old ones).
+    /// Once garbage outweighs live entries the arena is compacted.
+    garbage: usize,
 }
 
 impl SplitTableSet {
@@ -234,6 +238,7 @@ impl SplitTableSet {
         self.spans.clear();
         self.entries.clear();
         self.log_z.clear();
+        self.garbage = 0;
     }
 
     /// Bytes currently reserved by the split-table arenas (capacity, not
@@ -252,9 +257,79 @@ impl SplitTableSet {
     pub(crate) fn push_table<D: DagAccess>(&mut self, graph: &Graph, dag: &D, rule: SplitRule<'_>) {
         let n = self.n;
         let span_base = self.spans.len();
-        let lz_base = self.log_z.len();
         self.spans.resize(span_base + n, (0, 0));
-        self.log_z.resize(lz_base + n, f64::NEG_INFINITY);
+        self.log_z.resize(span_base + n, f64::NEG_INFINITY);
+        self.build_block(self.count, graph, dag, rule);
+        self.count += 1;
+    }
+
+    /// Rebuilds destination `i`'s split table **in place** against its
+    /// (freshly rebuilt) DAG — the delta step of the incremental
+    /// distribution path. The old rows become arena garbage; new entries
+    /// are appended and the arena compacts once garbage outweighs live
+    /// rows. Row values are produced by the exact operation sequence of
+    /// [`SplitTableSet::push_table`], so a rebuilt table is bit-identical
+    /// to a dense rebuild of the whole set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub(crate) fn rebuild_table<D: DagAccess>(
+        &mut self,
+        i: usize,
+        graph: &Graph,
+        dag: &D,
+        rule: SplitRule<'_>,
+    ) {
+        assert!(i < self.count, "table index {i} out of range");
+        let n = self.n;
+        let base = i * n;
+        let mut freed = 0usize;
+        for span in &mut self.spans[base..base + n] {
+            freed += span.1;
+            *span = (0, 0);
+        }
+        self.garbage += freed;
+        for z in &mut self.log_z[base..base + n] {
+            *z = f64::NEG_INFINITY;
+        }
+        self.build_block(i, graph, dag, rule);
+        if self.garbage > self.entries.len() - self.garbage {
+            self.compact();
+        }
+    }
+
+    /// Left-compacts the live entry spans (in arena order, preserving
+    /// every row's contents and relative layout) and drops the garbage.
+    fn compact(&mut self) {
+        let mut live: Vec<usize> = (0..self.spans.len())
+            .filter(|&s| self.spans[s].1 > 0)
+            .collect();
+        live.sort_unstable_by_key(|&s| self.spans[s].0);
+        let mut write = 0usize;
+        for &s in &live {
+            let (start, len) = self.spans[s];
+            self.entries.copy_within(start..start + len, write);
+            self.spans[s] = (write, len);
+            write += len;
+        }
+        self.entries.truncate(write);
+        self.garbage = 0;
+    }
+
+    /// The shared row-construction body of [`SplitTableSet::push_table`]
+    /// and [`SplitTableSet::rebuild_table`]: fills block `block`'s spans
+    /// and log-Z slots (which must already be cleared) by appending entry
+    /// rows, mirroring [`SplitTable::build`] operation for operation.
+    fn build_block<D: DagAccess>(
+        &mut self,
+        block: usize,
+        graph: &Graph,
+        dag: &D,
+        rule: SplitRule<'_>,
+    ) {
+        let span_base = block * self.n;
+        let lz_base = span_base;
         let target = dag.dag_target();
         self.log_z[lz_base + target.index()] = 0.0;
 
@@ -295,7 +370,6 @@ impl SplitTableSet {
             }
             self.spans[span_base + u.index()] = (start, succ.len());
         }
-        self.count += 1;
     }
 }
 
@@ -333,17 +407,41 @@ impl<'a> SplitTableRef<'a> {
 /// demand column and in-transit flow accumulator.
 #[derive(Debug, Default)]
 pub(crate) struct DistScratch {
-    demands: Vec<f64>,
-    incoming: Vec<f64>,
+    pub(crate) demands: Vec<f64>,
+    pub(crate) incoming: Vec<f64>,
+}
+
+/// Monotone counter behind [`Flows`] freshness stamps: each successful
+/// engine distribution stamps its output buffer with a fresh value, and
+/// any mutation clears the stamp — so a stamp match proves the buffer
+/// still holds exactly the columns the engine last wrote (the
+/// precondition of the incremental re-distribution path, whose cache *is*
+/// the caller's buffer).
+static FLOW_STAMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+pub(crate) fn next_flow_stamp() -> u64 {
+    FLOW_STAMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// The flows produced by a traffic distribution: per-destination edge flows
 /// and their aggregate.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Flows {
     dests: Vec<NodeId>,
     per_dest: Vec<Vec<f64>>,
     aggregate: Vec<f64>,
+    /// Freshness stamp (see [`next_flow_stamp`]); `0` = unstamped. Every
+    /// mutating method clears it; only the engine sets it. Excluded from
+    /// equality — it is an identity token, not data.
+    stamp: u64,
+}
+
+impl PartialEq for Flows {
+    fn eq(&self, other: &Flows) -> bool {
+        self.dests == other.dests
+            && self.per_dest == other.per_dest
+            && self.aggregate == other.aggregate
+    }
 }
 
 impl Flows {
@@ -395,6 +493,7 @@ impl Flows {
             dests,
             per_dest,
             aggregate,
+            stamp: 0,
         }
     }
 
@@ -407,7 +506,20 @@ impl Flows {
             dests,
             per_dest,
             aggregate,
+            stamp: 0,
         }
+    }
+
+    /// The freshness stamp (`0` = no engine distribution owns this
+    /// buffer's contents).
+    pub(crate) fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Marks the buffer as holding exactly what an engine distribution
+    /// just wrote. Only [`crate::RoutingEngine`] calls this.
+    pub(crate) fn set_stamp(&mut self, stamp: u64) {
+        self.stamp = stamp;
     }
 
     /// The flow vector of destination *index* `i` (aligned with
@@ -426,6 +538,7 @@ impl Flows {
     /// extend per vector) — the snapshot copy behind the failure-chain
     /// warm start's base solution, kept allocation-free once shaped.
     pub(crate) fn copy_from(&mut self, src: &Flows) {
+        self.stamp = 0;
         self.dests.clear();
         self.dests.extend_from_slice(&src.dests);
         if self.per_dest.len() != src.per_dest.len() {
@@ -446,12 +559,14 @@ impl Flows {
             dests: Vec::new(),
             per_dest: Vec::new(),
             aggregate: Vec::new(),
+            stamp: 0,
         }
     }
 
     /// Reshapes for `dests` over `m` edges and zeroes every vector,
     /// reusing existing allocations where the shape already matches.
     pub(crate) fn reset(&mut self, dests: &[NodeId], m: usize) {
+        self.stamp = 0;
         if self.dests.as_slice() != dests {
             self.dests.clear();
             self.dests.extend_from_slice(dests);
@@ -473,6 +588,7 @@ impl Flows {
     /// solver loops use this so peak flow memory is O(edges) instead of
     /// O(dests·edges).
     pub(crate) fn reset_aggregate(&mut self, dests: &[NodeId], m: usize) {
+        self.stamp = 0;
         if self.dests.as_slice() != dests {
             self.dests.clear();
             self.dests.extend_from_slice(dests);
@@ -492,6 +608,7 @@ impl Flows {
     }
 
     pub(crate) fn parts_mut(&mut self) -> (&mut [Vec<f64>], &mut [f64]) {
+        self.stamp = 0;
         (&mut self.per_dest, &mut self.aggregate)
     }
 
@@ -513,6 +630,7 @@ impl Flows {
     /// the aggregate — the warm-start rescale for proportionally scaled
     /// demand matrices (load sweeps).
     pub(crate) fn scale_per_destination(&mut self, ratios: &[f64]) {
+        self.stamp = 0;
         debug_assert_eq!(ratios.len(), self.per_dest.len());
         for a in &mut self.aggregate {
             *a = 0.0;
@@ -528,6 +646,7 @@ impl Flows {
     /// In-place convex combination `self ← (1−α)·self + α·other`, the
     /// Frank–Wolfe update. Requires identical destination sets.
     pub(crate) fn blend_toward(&mut self, other: &Flows, alpha: f64) {
+        self.stamp = 0;
         debug_assert_eq!(self.dests, other.dests);
         for (mine, theirs) in self.per_dest.iter_mut().zip(&other.per_dest) {
             for (a, b) in mine.iter_mut().zip(theirs) {
@@ -845,7 +964,8 @@ where
 
 /// Distributes one destination's demand column into `flows`, processing
 /// sources in decreasing distance order (Algorithm 3's inner loop).
-fn distribute_one_into<D: DagAccess>(
+/// `flows` must be pre-zeroed; `incoming` is overwritten.
+pub(crate) fn distribute_one_into<D: DagAccess>(
     graph: &Graph,
     dag: &D,
     table: SplitTableRef<'_>,

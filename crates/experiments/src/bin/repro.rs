@@ -23,6 +23,8 @@
 //!                                          # results must not move a bit
 //! repro sweep --family sim --sim-scheduler heap   # same grid, heap scheduler:
 //!                                                 # results must not move a bit
+//! repro sweep --family te --full-rebuild   # dense SPF rebuilds everywhere:
+//!                                          # results must not move a bit
 //!
 //! repro diff BENCH_a.json BENCH_b.json   # fail on any scenario-result drift
 //! ```
@@ -117,6 +119,7 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
                     | "--cold-solves"
                     | "--sim-scheduler"
                     | "--tile"
+                    | "--full-rebuild"
                     | "--help"
                     | "-h"
             )
@@ -236,6 +239,7 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
             "--json" => json_path = PathBuf::from(value("--json")?),
             "--serial" => options.serial = true,
             "--cold-solves" => options.cold_solves = true,
+            "--full-rebuild" => options.full_rebuild = true,
             "--tile" => {
                 let val = value("--tile")?;
                 let tile = val
@@ -250,10 +254,10 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
                 println!(
                     "usage: repro sweep [--family te|sim|failure|scale|all] [--topologies a,b,...] \
                      [--seeds 1,2,...] [--loads 0.15,...] [--betas 1.0,...] [--q 1.0] \
-                     [--solvers fw|fw-fast|fw-pinned|dd] [--traffic ft|gravity] \
+                     [--solvers fw|fw-fast|fw-pinned|dd|ft] [--traffic ft|gravity] \
                      [--base-seed N] [--sim-durations 2,5] [--sim-warmup-frac 0.1] \
                      [--sim-unit 1e6] [--sim-seed N] [--sim-scheduler calendar|heap] \
-                     [--json FILE] [--serial] [--cold-solves] [--tile N]"
+                     [--json FILE] [--serial] [--cold-solves] [--tile N] [--full-rebuild]"
                 );
                 return Ok(ExitCode::SUCCESS);
             }
@@ -263,8 +267,13 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
 
     let scenarios = if family_all {
         // The full regression surface: the PR 2 `te` grid followed by the
-        // PR 4 `sim` family, as one report (the PR 6 baseline pair).
-        let mut scenarios = ScenarioGrid::te_family().build();
+        // PR 4 `sim` family, as one report (the PR 6 baseline pair). The
+        // solver row is pinned to the PR 6 surface — the Fortz–Thorup row
+        // the `te` family gained later is gated by its own PR 9 baseline
+        // pair, and the committed PR 6 reports must keep diffing clean.
+        let mut scenarios = ScenarioGrid::te_family()
+            .solvers([SolverSpec::FrankWolfeFast])
+            .build();
         scenarios.extend(ScenarioGrid::sim_family().build());
         scenarios
     } else {

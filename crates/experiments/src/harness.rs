@@ -46,13 +46,16 @@ use std::time::Instant;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use serde::{Error as SerdeError, Value};
+use spef_baselines::fortz_thorup::{FtConfig, FtOutcome};
 use spef_baselines::{RobustConfig, RobustOutcome};
-use spef_core::{SpefRouting, TeInstance, TeSolver, TeWorkspace, STALE_WEIGHT_DAG_RTOL};
+use spef_core::{
+    ForwardingTable, SpefRouting, TeInstance, TeSolver, TeWorkspace, STALE_WEIGHT_DAG_RTOL,
+};
 use spef_netsim::{simulate_with, SchedulerKind, SimWorkspace};
 use spef_topology::{Network, TrafficMatrix};
 
 use crate::reconfig;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, SolverSpec};
 
 /// Schema version stamped into every [`BatchReport`]; bump when the JSON
 /// layout changes incompatibly.
@@ -599,14 +602,82 @@ pub struct BatchOptions {
     /// memory (and the warm-start fingerprint) changes — the regression
     /// gate cross-diffs tiled vs dense sweeps to prove exactly that.
     pub tile: Option<usize>,
+    /// Force dense SPF rebuilds everywhere
+    /// ([`TeWorkspace::set_incremental`] off, and dense probes in the
+    /// Fortz–Thorup rows). A pure execution knob: the delta-aware
+    /// incremental engine is bit-identical to cold dense rebuilds, so
+    /// results must not move — the regression gate cross-diffs
+    /// full-rebuild vs incremental sweeps to prove exactly that.
+    pub full_rebuild: bool,
 }
 
-/// A solved SPEF pipeline kept alive so later scenarios in the same chain
-/// can reuse it: the materialized instance plus the routing it produced.
+/// The routing a scenario's solver row produced: a full SPEF pipeline, or
+/// the even-ECMP routing of the Fortz–Thorup weight search.
+enum PipelineRouting {
+    Spef(SpefRouting),
+    FortzThorup(FtOutcome),
+}
+
+impl PipelineRouting {
+    fn max_link_utilization(&self, network: &Network) -> f64 {
+        match self {
+            PipelineRouting::Spef(r) => r.max_link_utilization(network),
+            PipelineRouting::FortzThorup(ft) => ft.routing.max_link_utilization(network),
+        }
+    }
+
+    fn normalized_utility(&self, network: &Network) -> f64 {
+        match self {
+            PipelineRouting::Spef(r) => r.normalized_utility(network),
+            PipelineRouting::FortzThorup(ft) => ft.routing.normalized_utility(network),
+        }
+    }
+
+    /// TE iterations for SPEF rows; weight evaluations for FT rows (the
+    /// unit of solver work either way).
+    fn iterations(&self) -> u64 {
+        match self {
+            PipelineRouting::Spef(r) => r.te_solution().iterations as u64,
+            PipelineRouting::FortzThorup(ft) => ft.evaluations as u64,
+        }
+    }
+
+    /// FT rows have no NEM stage, so convergence holds vacuously.
+    fn nem_converged(&self) -> bool {
+        match self {
+            PipelineRouting::Spef(r) => r.nem_converged(),
+            PipelineRouting::FortzThorup(_) => true,
+        }
+    }
+
+    fn forwarding_table(&self) -> &ForwardingTable {
+        match self {
+            PipelineRouting::Spef(r) => r.forwarding_table(),
+            PipelineRouting::FortzThorup(ft) => ft.routing.forwarding_table(),
+        }
+    }
+}
+
+/// A solved pipeline kept alive so later scenarios in the same chain can
+/// reuse it: the materialized instance plus the routing it produced.
 struct SolvedPipeline {
     network: Network,
     traffic: TrafficMatrix,
-    routing: SpefRouting,
+    routing: PipelineRouting,
+}
+
+/// The fixed Fortz–Thorup search budget of [`SolverSpec::FortzThorup`]
+/// sweep rows (part of the rows' identity — see the variant docs). Only
+/// `full_rebuild` comes from execution options, and it cannot move a
+/// result.
+fn sweep_ft_config(full_rebuild: bool) -> FtConfig {
+    FtConfig {
+        max_weight: 20,
+        max_evaluations: 1000,
+        restarts: 1,
+        seed: 0xF7,
+        full_rebuild,
+    }
 }
 
 /// Materializes and solves a scenario's pipeline (everything up to, not
@@ -615,15 +686,36 @@ struct SolvedPipeline {
 /// Saved solver trajectories are dropped first, so the solve is a cold
 /// (bit-identical) iteration sequence on warm arenas — chain reuse must
 /// never move a result.
-fn solve_pipeline(scenario: &Scenario, ws: &mut TeWorkspace) -> Result<SolvedPipeline, String> {
+fn solve_pipeline(
+    scenario: &Scenario,
+    ws: &mut TeWorkspace,
+    options: &BatchOptions,
+) -> Result<SolvedPipeline, String> {
     let network = scenario.topology.build();
     let traffic = scenario.traffic.build(&network);
-    let objective = scenario.objective.build(network.link_count());
-    let config = scenario.solver.build();
-    ws.clear_solutions();
-    let routing = config
-        .solve_in(TeInstance::new(&network, &traffic, &objective), ws)
-        .map_err(|e| e.to_string())?;
+    let routing = if scenario.solver == SolverSpec::FortzThorup {
+        let cfg = sweep_ft_config(options.full_rebuild);
+        let ft = FtOutcome::local_search(&network, &traffic, &cfg).map_err(|e| e.to_string())?;
+        // An overloaded best routing has no finite utility, which the
+        // report's JSON round trip cannot carry — report it as a
+        // deterministic scenario failure (like the infeasible Frank–Wolfe
+        // rows this family already pins).
+        let mlu = ft.routing.max_link_utilization(&network);
+        if mlu >= 1.0 {
+            return Err(format!(
+                "Fortz-Thorup best weights overload the network (MLU {mlu})"
+            ));
+        }
+        PipelineRouting::FortzThorup(ft)
+    } else {
+        let objective = scenario.objective.build(network.link_count());
+        let config = scenario.solver.build();
+        ws.clear_solutions();
+        let routing = config
+            .solve_in(TeInstance::new(&network, &traffic, &objective), ws)
+            .map_err(|e| e.to_string())?;
+        PipelineRouting::Spef(routing)
+    };
     Ok(SolvedPipeline {
         network,
         traffic,
@@ -695,6 +787,13 @@ fn failure_stage(
     let Some(spec) = &scenario.failure else {
         return Ok(None);
     };
+    // The stage re-optimises with the scenario's SPEF solver and needs the
+    // intact solve's continuous weights — neither exists for an FT row.
+    let PipelineRouting::Spef(intact) = &solved.routing else {
+        return Err(
+            "failure stage: supported for SPEF solvers only (fw/fw-fast/fw-pinned/dd)".to_string(),
+        );
+    };
     let circuits = solved.network.duplex_circuits();
     let c = spec.circuit as usize;
     if c >= circuits.len() {
@@ -725,7 +824,7 @@ fn failure_stage(
     // continuous weights solve nothing on the degraded topology, so
     // equal-cost ties use the shared coarse threshold (see
     // [`STALE_WEIGHT_DAG_RTOL`]'s contract).
-    let w_stale = remap(&solved.routing.te_solution().weights);
+    let w_stale = remap(&intact.te_solution().weights);
     let max_w = w_stale.iter().cloned().fold(0.0, f64::max);
     let mlu_stale = reconfig::even_ecmp_mlu(
         &degraded,
@@ -827,7 +926,7 @@ fn measure(
         scenario: scenario.clone(),
         mlu: solved.routing.max_link_utilization(&solved.network),
         utility: solved.routing.normalized_utility(&solved.network),
-        iterations: solved.routing.te_solution().iterations as u64,
+        iterations: solved.routing.iterations(),
         nem_converged: solved.routing.nem_converged(),
         sim,
         failure,
@@ -877,7 +976,8 @@ fn run_scenario_opts(
     let started = Instant::now();
     let mut ws = TeWorkspace::new();
     ws.set_tile_size(options.tile);
-    let solved = solve_pipeline(scenario, &mut ws)?;
+    ws.set_incremental(!options.full_rebuild);
+    let solved = solve_pipeline(scenario, &mut ws, options)?;
     let failure = failure_stage(scenario, &solved, &mut ws, &mut RobustMemo::new())?;
     let sim = sim_stage(scenario, &solved, options.sim_scheduler, sim_ws)?;
     let scale = scale_stage(scenario, &solved, &ws);
@@ -895,6 +995,7 @@ type IndexedOutcome = (usize, Scenario, Result<ScenarioResult, String>);
 fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<IndexedOutcome> {
     let mut ws = TeWorkspace::new();
     ws.set_tile_size(options.tile);
+    ws.set_incremental(!options.full_rebuild);
     let mut sim_ws = SimWorkspace::new();
     // Chains are short (one entry per load × sim/failure point), so
     // linear-scan memos keyed by solve key beat hashing.
@@ -905,7 +1006,7 @@ fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<Index
         let started = Instant::now();
         let key = scenario.solve_key();
         if !memo.iter().any(|(k, _)| *k == key) {
-            let solved = solve_pipeline(&scenario, &mut ws);
+            let solved = solve_pipeline(&scenario, &mut ws, options);
             memo.push((key.clone(), solved));
         }
         let pos = memo
@@ -1116,6 +1217,47 @@ mod tests {
         assert_eq!(warm.results.len(), 8);
         let drift = cold.result_drift(&warm);
         assert!(drift.is_empty(), "warm vs cold drift: {drift:?}");
+    }
+
+    #[test]
+    fn ft_rows_solve_and_full_rebuild_matches_incremental_bit_for_bit() {
+        let scenarios = ScenarioGrid::new()
+            .topologies([TopologySpec::Fig4])
+            .seeds([1])
+            .loads([0.15])
+            .solvers([SolverSpec::FrankWolfeFast, SolverSpec::FortzThorup])
+            .build();
+        let incremental = run_batch(scenarios.clone(), &BatchOptions::default());
+        let full = run_batch(
+            scenarios,
+            &BatchOptions {
+                full_rebuild: true,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(incremental.results.len(), 2);
+        let ft = &incremental.results[1];
+        assert!(ft.scenario.id.ends_with("+ft"));
+        assert!(ft.mlu > 0.0 && ft.mlu < 1.0);
+        assert!(ft.utility.is_finite());
+        assert!(ft.nem_converged, "vacuous for FT rows");
+        let drift = incremental.result_drift(&full);
+        assert!(drift.is_empty(), "full-rebuild drift: {drift:?}");
+    }
+
+    #[test]
+    fn ft_rows_reject_the_failure_stage() {
+        let scenarios = ScenarioGrid::new()
+            .topologies([TopologySpec::Abilene])
+            .seeds([1])
+            .loads([0.05])
+            .solvers([SolverSpec::FortzThorup])
+            .failure_circuits([0])
+            .build();
+        let report = run_batch(scenarios, &BatchOptions::default());
+        assert!(report.results.is_empty());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].error.contains("SPEF solvers only"));
     }
 
     #[test]

@@ -31,7 +31,8 @@
 //! the largest weight of the *current mixed vector*.
 
 use spef_core::{
-    build_dags, metrics, traffic_distribution, SpefError, SplitRule, STALE_WEIGHT_DAG_RTOL,
+    build_dags, metrics, traffic_distribution, Flows, RoutingEngine, SpefError, SpfStats,
+    SplitRule, STALE_WEIGHT_DAG_RTOL,
 };
 use spef_graph::NodeId;
 use spef_topology::{Network, TrafficMatrix};
@@ -65,7 +66,11 @@ pub(crate) fn even_ecmp_mlu(
 }
 
 /// Even-ECMP MLU of one (possibly mixed) weight vector, with the stale
-/// equal-cost tolerance scaled to the vector's largest weight.
+/// equal-cost tolerance scaled to the vector's largest weight — the
+/// free-function reference the engine-backed evaluation in
+/// [`migrate_with`] is pinned against (production code routes through the
+/// persistent engine; this stays as the test oracle).
+#[cfg(test)]
 fn transient_mlu(
     network: &Network,
     traffic: &TrafficMatrix,
@@ -99,22 +104,62 @@ pub fn migrate(
     from: &[f64],
     to: &[f64],
 ) -> Result<ReconfigOutcome, SpefError> {
+    migrate_with(network, traffic, from, to, false).map(|(outcome, _)| outcome)
+}
+
+/// [`migrate`] with an explicit engine mode, returning the probe engine's
+/// SPF counters alongside the outcome — the bench surface of the
+/// incremental path. `full_rebuild` forces dense SPF rebuilds for every
+/// intermediate state; the default incremental mode rebuilds only
+/// destinations a push can affect (bit-identical outcome either way).
+///
+/// Every intermediate state is evaluated on **one persistent engine**, so
+/// consecutive single-push states are one-weight deltas the engine's
+/// delta path can exploit. The per-state equal-cost tolerance still
+/// tracks the mixed vector's largest weight; a push that changes the
+/// maximum changes the tolerance and falls back to a dense rebuild
+/// automatically.
+///
+/// # Errors
+///
+/// Same conditions as [`migrate`].
+pub fn migrate_with(
+    network: &Network,
+    traffic: &TrafficMatrix,
+    from: &[f64],
+    to: &[f64],
+    full_rebuild: bool,
+) -> Result<(ReconfigOutcome, SpfStats), SpefError> {
     let m = network.link_count();
     assert_eq!(from.len(), m, "`from` must cover every link");
     assert_eq!(to.len(), m, "`to` must cover every link");
     let dests = traffic.destinations();
 
+    let mut engine = RoutingEngine::new(network.graph());
+    engine.set_incremental(!full_rebuild);
+    let mut flows = engine.distribute_fresh();
+    // The engine-backed twin of [`transient_mlu`]: bit-identical MLUs
+    // (pinned by `engine_matches_free_functions_bit_for_bit` below), but
+    // DAGs, tables and flow columns persist across the push sequence.
+    let eval =
+        |w: &[f64], engine: &mut RoutingEngine<'_>, flows: &mut Flows| -> Result<f64, SpefError> {
+            let max_w = w.iter().cloned().fold(0.0, f64::max);
+            engine.build_dags(w, &dests, STALE_WEIGHT_DAG_RTOL * max_w)?;
+            engine.distribute_into(traffic, SplitRule::EvenEcmp, flows)?;
+            Ok(metrics::max_link_utilization(network, flows.aggregate()))
+        };
+
     let changed: Vec<usize> = (0..m)
         .filter(|&e| from[e].to_bits() != to[e].to_bits())
         .collect();
-    let start_mlu = transient_mlu(network, traffic, &dests, from)?;
+    let start_mlu = eval(from, &mut engine, &mut flows)?;
 
     // Naive order: ascending link index.
     let mut w = from.to_vec();
     let mut naive_peak = start_mlu;
     for &e in &changed {
         w[e] = to[e];
-        naive_peak = naive_peak.max(transient_mlu(network, traffic, &dests, &w)?);
+        naive_peak = naive_peak.max(eval(&w, &mut engine, &mut flows)?);
     }
 
     // Greedy order: at each step try every remaining push and commit the
@@ -127,7 +172,7 @@ pub fn migrate(
         for (pos, &e) in remaining.iter().enumerate() {
             let old = w[e];
             w[e] = to[e];
-            let mlu = transient_mlu(network, traffic, &dests, &w)?;
+            let mlu = eval(&w, &mut engine, &mut flows)?;
             w[e] = old;
             // Strict `<` keeps the first (lowest-index) minimiser.
             if best.map(|(_, b)| mlu < b).unwrap_or(true) {
@@ -140,11 +185,14 @@ pub fn migrate(
         greedy_peak = greedy_peak.max(mlu);
     }
 
-    Ok(ReconfigOutcome {
-        steps: changed.len(),
-        naive_peak_mlu: naive_peak,
-        greedy_peak_mlu: greedy_peak,
-    })
+    Ok((
+        ReconfigOutcome {
+            steps: changed.len(),
+            naive_peak_mlu: naive_peak,
+            greedy_peak_mlu: greedy_peak,
+        },
+        engine.spf_stats(),
+    ))
 }
 
 #[cfg(test)]
@@ -196,6 +244,37 @@ mod tests {
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.naive_peak_mlu.to_bits(), b.naive_peak_mlu.to_bits());
         assert_eq!(a.greedy_peak_mlu.to_bits(), b.greedy_peak_mlu.to_bits());
+    }
+
+    #[test]
+    fn engine_matches_free_functions_bit_for_bit() {
+        // The persistent-engine evaluation must reproduce the legacy
+        // free-function transient MLUs exactly: recompute the naive
+        // order's peak with `transient_mlu` and compare bitwise, for the
+        // incremental and the forced-dense engine alike.
+        let (net, tm) = abilene_instance(0.08);
+        let from: Vec<f64> = net.capacities().iter().map(|c| 1.0 / c).collect();
+        let to: Vec<f64> = vec![1.0; net.link_count()];
+        let dests = tm.destinations();
+        let changed: Vec<usize> = (0..net.link_count())
+            .filter(|&e| from[e].to_bits() != to[e].to_bits())
+            .collect();
+        let mut peak = transient_mlu(&net, &tm, &dests, &from).unwrap();
+        let mut w = from.clone();
+        for &e in &changed {
+            w[e] = to[e];
+            peak = peak.max(transient_mlu(&net, &tm, &dests, &w).unwrap());
+        }
+        let (inc, inc_stats) = migrate_with(&net, &tm, &from, &to, false).unwrap();
+        let (full, full_stats) = migrate_with(&net, &tm, &from, &to, true).unwrap();
+        assert_eq!(inc.naive_peak_mlu.to_bits(), peak.to_bits());
+        assert_eq!(full.naive_peak_mlu.to_bits(), peak.to_bits());
+        assert_eq!(inc, full);
+        assert!(
+            inc_stats.incremental_builds > 0,
+            "push probes never took the incremental path: {inc_stats:?}"
+        );
+        assert_eq!(full_stats.incremental_builds, 0);
     }
 
     #[test]

@@ -311,12 +311,27 @@ pub enum SolverSpec {
     FrankWolfePinned,
     /// The paper's Algorithm 1 (distributed dual decomposition).
     DualDecomposition,
+    /// The Fortz–Thorup OSPF weight local search
+    /// ([`spef_baselines::FtOutcome`]) at a fixed sweep budget (weights
+    /// 1..=20, 1000 evaluations, 1 restart, seed 0xF7). It produces an
+    /// even-ECMP routing, not a SPEF pipeline, so the harness dispatches
+    /// it directly — [`SolverSpec::build`] panics for this variant.
+    FortzThorup,
 }
 
 impl SolverSpec {
     /// Materializes the full SPEF pipeline configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`SolverSpec::FortzThorup`], which runs the
+    /// `spef-baselines` weight search instead of a SPEF pipeline; the
+    /// harness dispatches it before ever building a config.
     pub fn build(&self) -> SpefConfig {
         match self {
+            SolverSpec::FortzThorup => {
+                panic!("FortzThorup has no SpefConfig; the sweep harness dispatches it directly")
+            }
             SolverSpec::FrankWolfe => SpefConfig::default(),
             SolverSpec::FrankWolfeFast => SpefConfig {
                 solver: TeSolverKind::FrankWolfe(FrankWolfeConfig::fast()),
@@ -351,6 +366,7 @@ impl SolverSpec {
             SolverSpec::FrankWolfeFast => "fw-fast",
             SolverSpec::FrankWolfePinned => "fw-pinned",
             SolverSpec::DualDecomposition => "dd",
+            SolverSpec::FortzThorup => "ft",
         }
     }
 
@@ -365,8 +381,9 @@ impl SolverSpec {
             "fw-fast" => Ok(SolverSpec::FrankWolfeFast),
             "fw-pinned" => Ok(SolverSpec::FrankWolfePinned),
             "dd" => Ok(SolverSpec::DualDecomposition),
+            "ft" => Ok(SolverSpec::FortzThorup),
             other => Err(format!(
-                "unknown solver {other:?}; known: fw, fw-fast, fw-pinned, dd"
+                "unknown solver {other:?}; known: fw, fw-fast, fw-pinned, dd, ft"
             )),
         }
     }
@@ -706,10 +723,14 @@ impl ScenarioGrid {
 
     /// The `te` scenario family: the PR 2 regression grid — every built-in
     /// topology (Fig. 1, Fig. 4, Abilene, CERNET2) × seeds {1, 2, 3} ×
-    /// load 0.15 under fast Frank–Wolfe, no simulation stage. The three
-    /// CERNET2 scenarios are intentionally infeasible at this load; their
-    /// failures are part of the committed baseline and pin the
-    /// failure-reporting path.
+    /// load 0.15 — under fast Frank–Wolfe plus (since PR 9) the
+    /// Fortz–Thorup weight search, no simulation stage. The CERNET2
+    /// scenarios are intentionally infeasible at this load; their failures
+    /// (solver infeasibility for Frank–Wolfe, an overloaded best routing
+    /// for Fortz–Thorup) are part of the committed baseline and pin the
+    /// failure-reporting path. The `all` family keeps the PR 6
+    /// Frank–Wolfe-only surface, so the PR 9 rows are gated by their own
+    /// baseline pair.
     pub fn te_family() -> Self {
         ScenarioGrid::new()
             .topologies([
@@ -721,7 +742,7 @@ impl ScenarioGrid {
             .seeds([1, 2, 3])
             .loads([0.15])
             .betas([1.0])
-            .solvers([SolverSpec::FrankWolfeFast])
+            .solvers([SolverSpec::FrankWolfeFast, SolverSpec::FortzThorup])
     }
 
     /// The `failure` scenario family: Abilene (the one built-in backbone
@@ -1083,6 +1104,24 @@ mod tests {
         let plain = grid.failure_circuits([]).build();
         assert_eq!(plain.len(), 1);
         assert!(plain[0].failure.is_none());
+    }
+
+    #[test]
+    fn te_family_carries_frank_wolfe_and_ft_rows() {
+        let scenarios = ScenarioGrid::te_family().build();
+        // 4 topologies × 3 seeds × 1 load × 2 solvers.
+        assert_eq!(scenarios.len(), 24);
+        for pair in scenarios.chunks(2) {
+            assert_eq!(pair[0].solver, SolverSpec::FrankWolfeFast);
+            assert_eq!(pair[1].solver, SolverSpec::FortzThorup);
+            assert!(pair[1].id.ends_with("+ft"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "FortzThorup has no SpefConfig")]
+    fn ft_solver_spec_has_no_spef_config() {
+        let _ = SolverSpec::FortzThorup.build();
     }
 
     #[test]

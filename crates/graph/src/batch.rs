@@ -460,20 +460,8 @@ pub fn build_dag_set(
     ws: &mut RoutingWorkspace,
     out: &mut DagSet,
 ) -> Result<(), GraphError> {
-    if !tol.is_finite() || tol < 0.0 {
-        return Err(GraphError::InvalidWeight {
-            edge: EdgeId::new(usize::MAX),
-            weight: tol,
-        });
-    }
-    validate_weights(graph.edge_count(), weights)?;
+    validate_dag_inputs(graph, weights, dests, tol)?;
     let n = graph.node_count();
-    for &t in dests {
-        if t.index() >= n {
-            return Err(GraphError::NodeOutOfRange { node: t, nodes: n });
-        }
-    }
-
     let m = graph.edge_count();
     out.prepare(dests, n, m, tol);
     ws.ensure(dests.len(), n);
@@ -506,6 +494,126 @@ pub fn build_dag_set(
         );
 
     if par.decide(dests.len(), n + m) {
+        tasks
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|task| build_one_dag(graph, in_csr, weights, tol, task));
+    } else {
+        for task in tasks {
+            build_one_dag(graph, in_csr, weights, tol, task);
+        }
+    }
+    Ok(())
+}
+
+/// The input validation of [`build_dag_set`], exposed so the incremental
+/// rebuild path in higher layers can reject bad inputs with **identical**
+/// errors (and in the identical order) to a dense build before deciding
+/// which destinations to rebuild.
+///
+/// # Errors
+///
+/// Same conditions as [`ShortestPathDag::build`]: invalid weights or
+/// tolerance, or a destination out of range.
+pub fn validate_dag_inputs(
+    graph: &Graph,
+    weights: &[f64],
+    dests: &[NodeId],
+    tol: f64,
+) -> Result<(), GraphError> {
+    if !tol.is_finite() || tol < 0.0 {
+        return Err(GraphError::InvalidWeight {
+            edge: EdgeId::new(usize::MAX),
+            weight: tol,
+        });
+    }
+    validate_weights(graph.edge_count(), weights)?;
+    let n = graph.node_count();
+    for &t in dests {
+        if t.index() >= n {
+            return Err(GraphError::NodeOutOfRange { node: t, nodes: n });
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds **only the flagged destination slots** of `out` in place under
+/// `weights`, leaving every other slot's arenas untouched — the delta step
+/// of the incremental SPF path.
+///
+/// `out` must hold a DAG set previously built by [`build_dag_set`] over
+/// the same graph with the same destination list and tolerance; `dirty`
+/// is one flag per destination slot. Each rebuilt slot runs the exact
+/// same Dijkstra + classification as a dense build ([`build_one_dag`]
+/// over the slot's own arena slices), so a rebuilt slot is bit-identical
+/// to what a dense [`build_dag_set`] call would produce for it. The
+/// *caller* is responsible for flagging every destination whose DAG could
+/// change under the new weights — clean slots are trusted as-is.
+///
+/// Inputs are assumed pre-validated via [`validate_dag_inputs`] (the
+/// weights are revalidated defensively, since stale weights here would
+/// silently corrupt the arena).
+///
+/// # Errors
+///
+/// Propagates weight validation failures.
+///
+/// # Panics
+///
+/// Panics if `dirty` is misaligned with `out`'s destinations or `out`'s
+/// geometry does not match `graph`.
+#[allow(clippy::too_many_arguments)]
+pub fn rebuild_dag_set_slots(
+    graph: &Graph,
+    in_csr: &Csr,
+    weights: &[f64],
+    dirty: &[bool],
+    par: Parallelism,
+    ws: &mut RoutingWorkspace,
+    out: &mut DagSet,
+) -> Result<(), GraphError> {
+    validate_weights(graph.edge_count(), weights)?;
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let d = out.dests.len();
+    assert_eq!(dirty.len(), d, "one dirty flag per destination slot");
+    assert_eq!(out.n, n, "DAG set node geometry matches the graph");
+    assert_eq!(out.m_block, m.max(1), "DAG set edge geometry matches");
+    let tol = out.tol;
+    ws.ensure(d, n);
+    let m_block = out.m_block;
+
+    let tasks = ws.slots[..d]
+        .iter_mut()
+        .zip(out.dist.chunks_mut(n))
+        .zip(out.succ_off.chunks_mut(n + 1))
+        .zip(out.succ.chunks_mut(m_block))
+        .zip(out.on_dag.chunks_mut(m_block))
+        .zip(out.order.chunks_mut(n))
+        .zip(out.order_len.iter_mut())
+        .zip(out.path_counts.chunks_mut(n))
+        .zip(out.dests.iter())
+        .zip(dirty.iter())
+        .filter(|task_and_flag| *task_and_flag.1)
+        .map(
+            |(
+                ((((((((scratch, dist), succ_off), succ), on_dag), order), order_len), pc), &t),
+                _,
+            )| DagTask {
+                target: t,
+                scratch,
+                dist,
+                succ_off,
+                succ,
+                on_dag,
+                order,
+                order_len,
+                path_counts: pc,
+            },
+        );
+
+    let dirty_count = dirty.iter().filter(|&&b| b).count();
+    if par.decide(dirty_count, n + m) {
         tasks
             .collect::<Vec<_>>()
             .into_par_iter()
@@ -929,6 +1037,50 @@ mod tests {
             for (i, &t) in targets.iter().enumerate() {
                 assert_eq!(set.row(i), distances_to(&g, &w, t).unwrap(), "target {t}");
             }
+        }
+    }
+
+    #[test]
+    fn slot_rebuild_matches_dense_build() {
+        let (g, w) = near_tie(0.1);
+        let csr = Csr::in_of(&g);
+        let dests: Vec<NodeId> = g.nodes().collect();
+        let mut ws = RoutingWorkspace::new();
+        let mut set = DagSet::new();
+        build_dag_set(
+            &g,
+            &csr,
+            &w,
+            &dests,
+            0.0,
+            Parallelism::Never,
+            &mut ws,
+            &mut set,
+        )
+        .unwrap();
+
+        // Perturb one weight and rebuild only slots 1 and 3 in place.
+        let mut w2 = w.clone();
+        w2[1] = 0.25;
+        let dirty = [false, true, false, true];
+        rebuild_dag_set_slots(&g, &csr, &w2, &dirty, Parallelism::Never, &mut ws, &mut set)
+            .unwrap();
+
+        // Dense references under both weight vectors.
+        let old = build_all(&g, &w, &dests, 0.0, Parallelism::Never);
+        let new = build_all(&g, &w2, &dests, 0.0, Parallelism::Never);
+        for (i, _) in dests.iter().enumerate() {
+            let reference = if dirty[i] { new.dag(i) } else { old.dag(i) };
+            let view = set.dag(i);
+            assert_eq!(view.distances(), reference.distances(), "slot {i}");
+            for u in g.nodes() {
+                assert_eq!(view.successors(u), reference.successors(u));
+                assert_eq!(view.path_count(u), reference.path_count(u));
+            }
+            assert_eq!(
+                view.nodes_by_decreasing_distance(),
+                reference.nodes_by_decreasing_distance()
+            );
         }
     }
 
