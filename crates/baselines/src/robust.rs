@@ -21,9 +21,17 @@
 //! where the scenarios are the intact topology plus every single duplex
 //! *circuit* failure that leaves the network connected (bridge circuits
 //! are skipped and counted — see [`RobustOutcome::skipped_circuits`]).
-//! Every degraded topology is pre-built once; candidate evaluations route
-//! into per-scenario engines whose arenas are reused across the thousands
-//! of probes, mirroring the FT search's engine-probed `cost_of`.
+//!
+//! Candidate evaluations probe the failure scenarios on **one** shared
+//! engine: each circuit is masked out with
+//! [`RoutingEngine::fail_links`], routed (an incremental refresh of the
+//! destinations the circuit dirtied — the weights are unchanged, so the
+//! SPF fingerprint holds), and restored — no per-scenario engines, no
+//! per-scenario DAG arenas, O(dests·edges) peak memory instead of
+//! O(circuits·dests·edges). `full_rebuild` keeps the legacy path —
+//! degraded topologies pre-built once, one engine per scenario — as the
+//! regression baseline; both paths produce bit-identical costs, so the
+//! search trajectory is the same.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -84,10 +92,14 @@ pub struct RobustOutcome {
     /// Duplex circuits whose failure would disconnect the network,
     /// excluded from the scenario set (reported, never silent).
     pub skipped_circuits: usize,
-    /// SPF build counters summed over the intact and scenario engines —
-    /// how many probe routings took the incremental path and how many
-    /// destination slots they rebuilt.
+    /// SPF build counters summed over every engine the search used — how
+    /// many probe routings took the incremental/topology-delta paths and
+    /// how many destination slots they rebuilt.
     pub spf_stats: SpfStats,
+    /// Peak bytes reserved by the search's routing arenas: one engine's
+    /// worth on the masked path, the sum over the intact and per-scenario
+    /// engines on the `full_rebuild` path.
+    pub arena_bytes: usize,
 }
 
 impl RobustOutcome {
@@ -109,123 +121,188 @@ impl RobustOutcome {
         let dests = ospf::validate_ospf_inputs(network, traffic)?;
         let mut rng = StdRng::seed_from_u64(config.seed);
 
-        // Pre-build the scenario set once: every connected single-circuit
-        // failure, with the kept-edge map for weight remapping.
-        let mut scenarios = Vec::new();
-        let mut skipped_circuits = 0usize;
-        for circuit in network.duplex_circuits() {
-            match network.without_links(&circuit) {
-                Ok((degraded, kept)) => scenarios.push((degraded, kept)),
-                Err(_) => skipped_circuits += 1,
-            }
-        }
-        // One engine + one weight buffer + one flows buffer per scenario
-        // (engines borrow their network). Per-scenario flow buffers —
-        // rather than one shared reshaping buffer — let each engine's
-        // incremental redistribution path recognise its own previous
-        // output and refresh only the columns a probe actually touched.
-        let mut intact_engine = RoutingEngine::new(network.graph());
-        intact_engine.set_incremental(!config.full_rebuild);
-        let mut engines: Vec<RoutingEngine<'_>> = scenarios
-            .iter()
-            .map(|(degraded, _)| {
-                let mut e = RoutingEngine::new(degraded.graph());
-                e.set_incremental(!config.full_rebuild);
-                e
-            })
-            .collect();
-        let mut degraded_weights: Vec<Vec<f64>> = scenarios
-            .iter()
-            .map(|(_, kept)| vec![0.0; kept.len()])
-            .collect();
-        let mut flows = intact_engine.distribute_fresh();
-        let mut scenario_flows: Vec<spef_core::Flows> = scenarios
-            .iter()
-            .map(|_| intact_engine.distribute_fresh())
-            .collect();
-
-        // Worst-case MLU of one candidate across all scenarios. The
-        // intact MLU is returned alongside so the final report does not
-        // need an extra pass.
-        let mut cost_of = |weights: &[f64],
-                           intact_engine: &mut RoutingEngine<'_>,
-                           engines: &mut [RoutingEngine<'_>]|
-         -> Result<(f64, f64), SpefError> {
-            ospf::route_flows_into(intact_engine, traffic, &dests, weights, &mut flows)?;
-            let intact = metrics::max_link_utilization(network, flows.aggregate());
-            let mut worst = intact;
-            for (i, (degraded, kept)) in scenarios.iter().enumerate() {
-                let dw = &mut degraded_weights[i];
-                for (slot, &old) in dw.iter_mut().zip(kept) {
-                    *slot = weights[old.index()];
-                }
-                let sf = &mut scenario_flows[i];
-                ospf::route_flows_into(&mut engines[i], traffic, &dests, dw, sf)?;
-                worst = worst.max(metrics::max_link_utilization(degraded, sf.aggregate()));
-            }
-            Ok((worst, intact))
-        };
-
         // Start point: rounded InvCap (the FT convention).
         let max_cap = network
             .capacities()
             .iter()
             .cloned()
             .fold(f64::MIN_POSITIVE, f64::max);
-        let mut weights: Vec<f64> = network
+        let start: Vec<f64> = network
             .capacities()
             .iter()
             .map(|c| (max_cap / c).round().clamp(1.0, config.max_weight as f64))
             .collect();
 
-        let (mut cost, mut intact_mlu) = cost_of(&weights, &mut intact_engine, &mut engines)?;
-        let mut evaluations = 1usize;
-        let mut improved = true;
-        while improved && evaluations < config.max_evaluations {
-            improved = false;
-            let mut order: Vec<usize> = (0..m).collect();
-            shuffle(&mut order, &mut rng);
-            'links: for e in order {
-                let original = weights[e];
-                for cand in 1..=config.max_weight {
-                    let cand = cand as f64;
-                    if cand == original {
-                        continue;
-                    }
-                    weights[e] = cand;
-                    let (c_new, i_new) = cost_of(&weights, &mut intact_engine, &mut engines)?;
-                    evaluations += 1;
-                    if c_new < cost - 1e-9 {
-                        cost = c_new;
-                        intact_mlu = i_new;
-                        improved = true;
-                        continue 'links; // keep the improvement, next link
-                    }
-                    weights[e] = original;
-                    if evaluations >= config.max_evaluations {
-                        break 'links;
-                    }
+        if config.full_rebuild {
+            // Legacy path: every degraded topology pre-built once, one
+            // engine + weight buffer + flow buffer per scenario. Kept as
+            // the regression baseline the masked path is diffed against.
+            let mut scenarios = Vec::new();
+            let mut skipped_circuits = 0usize;
+            for circuit in network.duplex_circuits() {
+                match network.without_links(&circuit) {
+                    Ok((degraded, kept)) => scenarios.push((degraded, kept)),
+                    Err(_) => skipped_circuits += 1,
                 }
             }
+            let mut intact_engine = RoutingEngine::new(network.graph());
+            intact_engine.set_incremental(false);
+            let mut engines: Vec<RoutingEngine<'_>> = scenarios
+                .iter()
+                .map(|(degraded, _)| {
+                    let mut e = RoutingEngine::new(degraded.graph());
+                    e.set_incremental(false);
+                    e
+                })
+                .collect();
+            let mut degraded_weights: Vec<Vec<f64>> = scenarios
+                .iter()
+                .map(|(_, kept)| vec![0.0; kept.len()])
+                .collect();
+            let mut flows = intact_engine.distribute_fresh();
+            let mut scenario_flows: Vec<spef_core::Flows> = scenarios
+                .iter()
+                .map(|_| intact_engine.distribute_fresh())
+                .collect();
+
+            // Worst-case MLU of one candidate across all scenarios. The
+            // intact MLU is returned alongside so the final report does
+            // not need an extra pass.
+            let mut cost_of = |weights: &[f64]| -> Result<(f64, f64), SpefError> {
+                ospf::route_flows_into(&mut intact_engine, traffic, &dests, weights, &mut flows)?;
+                let intact = metrics::max_link_utilization(network, flows.aggregate());
+                let mut worst = intact;
+                for (i, (degraded, kept)) in scenarios.iter().enumerate() {
+                    let dw = &mut degraded_weights[i];
+                    for (slot, &old) in dw.iter_mut().zip(kept) {
+                        *slot = weights[old.index()];
+                    }
+                    let sf = &mut scenario_flows[i];
+                    ospf::route_flows_into(&mut engines[i], traffic, &dests, dw, sf)?;
+                    worst = worst.max(metrics::max_link_utilization(degraded, sf.aggregate()));
+                }
+                Ok((worst, intact))
+            };
+            let (weights, cost, intact_mlu, evaluations) =
+                first_improvement_search(m, config, &mut rng, start, &mut cost_of)?;
+
+            let mut spf_stats = intact_engine.spf_stats();
+            let mut arena_bytes = intact_engine.arena_bytes();
+            for e in &engines {
+                let s = e.spf_stats();
+                spf_stats.builds += s.builds;
+                spf_stats.incremental_builds += s.incremental_builds;
+                spf_stats.slots_rebuilt += s.slots_rebuilt;
+                spf_stats.last_dirty = spf_stats.last_dirty.max(s.last_dirty);
+                spf_stats.topology_builds += s.topology_builds;
+                spf_stats.masked_links += s.masked_links;
+                arena_bytes += e.arena_bytes();
+            }
+            return Ok(RobustOutcome {
+                weights,
+                worst_mlu: cost,
+                intact_mlu,
+                evaluations,
+                skipped_circuits,
+                spf_stats,
+                arena_bytes,
+            });
         }
 
-        let mut spf_stats = intact_engine.spf_stats();
-        for e in &engines {
-            let s = e.spf_stats();
-            spf_stats.builds += s.builds;
-            spf_stats.incremental_builds += s.incremental_builds;
-            spf_stats.slots_rebuilt += s.slots_rebuilt;
-            spf_stats.last_dirty = spf_stats.last_dirty.max(s.last_dirty);
+        // Masked path: circuits are classified once (test-and-drop — no
+        // degraded Network is retained) and every candidate probes them
+        // on the one shared engine via fail/restore round-trips. The
+        // weights are identical across the intact and failed routings of
+        // a candidate, so the SPF fingerprint holds through every mask
+        // toggle and each probe costs one dirty-destination refresh. The
+        // MLU is folded over the intact link set — masked links carry
+        // zero flow, and utilisations are non-negative, so the maximum is
+        // bit-identical to folding over the degraded link set.
+        let mut circuits = Vec::new();
+        let mut skipped_circuits = 0usize;
+        for circuit in network.duplex_circuits() {
+            match network.without_links(&circuit) {
+                Ok(_) => circuits.push(circuit),
+                Err(_) => skipped_circuits += 1,
+            }
         }
+        let mut engine = RoutingEngine::new(network.graph());
+        let mut flows = engine.distribute_fresh();
+        let mut cost_of = |weights: &[f64]| -> Result<(f64, f64), SpefError> {
+            ospf::route_flows_into(&mut engine, traffic, &dests, weights, &mut flows)?;
+            let intact = metrics::max_link_utilization(network, flows.aggregate());
+            let mut worst = intact;
+            for circuit in &circuits {
+                engine.fail_links(circuit)?;
+                ospf::route_flows_into(&mut engine, traffic, &dests, weights, &mut flows)?;
+                worst = worst.max(metrics::max_link_utilization(network, flows.aggregate()));
+                engine.restore_links(circuit)?;
+            }
+            Ok((worst, intact))
+        };
+        let (weights, cost, intact_mlu, evaluations) =
+            first_improvement_search(m, config, &mut rng, start, &mut cost_of)?;
         Ok(RobustOutcome {
             weights,
             worst_mlu: cost,
             intact_mlu,
             evaluations,
             skipped_circuits,
-            spf_stats,
+            spf_stats: engine.spf_stats(),
+            arena_bytes: engine.arena_bytes(),
         })
     }
+}
+
+/// The shared first-improvement scan over integer weights: seeded-random
+/// link order, candidates `1..=max_weight` per link, keep the first
+/// candidate improving the cost, stop when a full rescan improves nothing
+/// or the evaluation budget runs out. The trajectory is a pure function
+/// of `(start, config, cost values)` — two cost functions that agree bit
+/// for bit walk the same path.
+///
+/// `(worst-case MLU, intact MLU)` of one candidate weight vector.
+type CandidateCost = Result<(f64, f64), SpefError>;
+
+/// Returns `(weights, cost, intact_mlu, evaluations)`.
+fn first_improvement_search(
+    m: usize,
+    config: &RobustConfig,
+    rng: &mut StdRng,
+    mut weights: Vec<f64>,
+    cost_of: &mut dyn FnMut(&[f64]) -> CandidateCost,
+) -> Result<(Vec<f64>, f64, f64, usize), SpefError> {
+    let (mut cost, mut intact_mlu) = cost_of(&weights)?;
+    let mut evaluations = 1usize;
+    let mut improved = true;
+    while improved && evaluations < config.max_evaluations {
+        improved = false;
+        let mut order: Vec<usize> = (0..m).collect();
+        shuffle(&mut order, rng);
+        'links: for e in order {
+            let original = weights[e];
+            for cand in 1..=config.max_weight {
+                let cand = cand as f64;
+                if cand == original {
+                    continue;
+                }
+                weights[e] = cand;
+                let (c_new, i_new) = cost_of(&weights)?;
+                evaluations += 1;
+                if c_new < cost - 1e-9 {
+                    cost = c_new;
+                    intact_mlu = i_new;
+                    improved = true;
+                    continue 'links; // keep the improvement, next link
+                }
+                weights[e] = original;
+                if evaluations >= config.max_evaluations {
+                    break 'links;
+                }
+            }
+        }
+    }
+    Ok((weights, cost, intact_mlu, evaluations))
 }
 
 #[cfg(test)]
@@ -311,6 +388,18 @@ mod tests {
         assert_eq!(a.evaluations, b.evaluations);
         assert!(a.spf_stats.incremental_builds > 0, "{:?}", a.spf_stats);
         assert_eq!(b.spf_stats.incremental_builds, 0);
+        // Every probe toggles the mask in place on the shared engine.
+        assert!(a.spf_stats.topology_builds > 0, "{:?}", a.spf_stats);
+        assert!(a.spf_stats.masked_links > 0, "{:?}", a.spf_stats);
+        assert_eq!(b.spf_stats.topology_builds, 0);
+        // The masked path holds one engine's worth of arenas; the rebuild
+        // path holds one per scenario on top of the intact engine.
+        assert!(
+            a.arena_bytes * 2 < b.arena_bytes,
+            "masked {} vs rebuild {}",
+            a.arena_bytes,
+            b.arena_bytes
+        );
     }
 
     #[test]

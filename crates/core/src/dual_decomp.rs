@@ -167,7 +167,7 @@ pub(crate) fn solve_in(
 
     // Effective tile: a tile covering every destination runs dense.
     let tile = ws.tile.filter(|&t| t < dests.len());
-    let mut engine = RoutingEngine::with_state(g, ws.take_engine());
+    let mut engine = RoutingEngine::with_state(g, ws.take_engine(g));
     let dd = &mut ws.dd;
     let warm = !config.convergence.pinned && dd.try_warm_start(g, &dests, tile);
     // Until the run completes, nothing claims the buffers solve anything.

@@ -193,7 +193,7 @@ pub(crate) fn solve_in(
     };
     let warm = start != FwStart::Cold;
 
-    let mut engine = RoutingEngine::with_state(network.graph(), ws.take_engine());
+    let mut engine = RoutingEngine::with_state(network.graph(), ws.take_engine(network.graph()));
     let outcome = run(
         network,
         traffic,

@@ -209,7 +209,7 @@ pub(crate) fn build_in(
                 && matches!(config.weight_mode, WeightMode::Exact)
             {
                 let last_floored = ws.dd.floored.clone();
-                let mut engine = RoutingEngine::with_state(g, ws.take_engine());
+                let mut engine = RoutingEngine::with_state(g, ws.take_engine(g));
                 let rebuilt = engine
                     .build_dags(&last_floored, &traffic.destinations(), 0.0)
                     .map_err(SpefError::from)
@@ -280,7 +280,7 @@ pub(crate) fn build_in(
         .iter()
         .map(|w| w.max(dual_decomp::WEIGHT_FLOOR))
         .collect();
-    let mut engine = RoutingEngine::with_state(g, ws.take_engine());
+    let mut engine = RoutingEngine::with_state(g, ws.take_engine(g));
     let result = route_stages(
         traffic,
         config,

@@ -21,8 +21,11 @@
 //! destination set — and, for Frank–Wolfe, the new demand columns must be
 //! per-destination *proportional* to the saved ones (the case produced by
 //! load sweeps, which scale a whole matrix uniformly), so the saved flows
-//! rescale into a conservation-feasible starting point. Frank–Wolfe
-//! additionally accepts a **link-removal** instance — the new edge list
+//! rescale into a conservation-feasible starting point, **or** an
+//! arbitrary demand perturbation whose relative L1 norm is small enough
+//! that routing each per-source difference along a shortest path repairs
+//! conservation without leaving the saved optimum's neighbourhood.
+//! Frank–Wolfe additionally accepts a **link-removal** instance — the new edge list
 //! an order-preserving strict subsequence of the saved one with
 //! bit-identical endpoints, capacities and `q_e` (what
 //! [`Network::without_links`] produces) — by projecting the saved flows
@@ -55,6 +58,13 @@ use crate::{Objective, SpefError};
 /// Relative tolerance of the per-destination demand proportionality check
 /// that gates the Frank–Wolfe warm start.
 const PROPORTIONALITY_RTOL: f64 = 1e-9;
+
+/// Upper bound on the relative L1 norm of a demand change —
+/// `Σ|d'−d| / Σ|d|` over all columns — below which the Frank–Wolfe
+/// delta-repair warm start accepts an arbitrary (non-proportional) demand
+/// perturbation. Beyond it the saved flows are too far from feasible for
+/// the repaired point to beat the cold init's trajectory.
+const WARM_START_MAX_REL_L1: f64 = 0.05;
 
 /// Relative Dijkstra tie threshold for reconverging *stale* continuous
 /// weights on a degraded topology: two paths count as equal-cost when
@@ -274,6 +284,12 @@ pub(crate) enum FwStart {
     /// Same topology, per-destination proportional demands: the saved
     /// flows rescaled in place (load sweeps).
     Rescaled,
+    /// Same topology, arbitrary small demand delta (relative L1 under
+    /// [`WARM_START_MAX_REL_L1`]): the saved flows patched by routing
+    /// each per-source demand difference along a surviving shortest path
+    /// to its destination — the same conservation repair the removal
+    /// projection uses, driven by demand deltas instead of removed edges.
+    DeltaRepaired,
     /// Edge-subset topology (link removal): the saved flows projected
     /// onto the surviving edges with conservation repair (failure
     /// chains).
@@ -395,6 +411,44 @@ fn proportional_ratios(
     true
 }
 
+/// Greedy InvCap shortest-path descent from `u` toward `v`: repeatedly
+/// steps along the out-edge minimising `w_e + dist(target)` (id-tiebroken)
+/// and pushes the edge indices onto `path`. Positive weights make `dist`
+/// strictly decrease per hop, so this terminates in under `n` hops (bound
+/// checked anyway). Returns `false` when `u` cannot reach `v` under
+/// `dist`; `path` is cleared first either way.
+fn descent_path(
+    g: &Graph,
+    invcap: &[f64],
+    dist: &[f64],
+    u: NodeId,
+    v: NodeId,
+    path: &mut Vec<usize>,
+) -> bool {
+    path.clear();
+    if !dist[u.index()].is_finite() {
+        return false;
+    }
+    let mut x = u;
+    let mut hops = 0usize;
+    while x != v {
+        hops += 1;
+        if hops > g.node_count() {
+            return false;
+        }
+        let Some(e) = g.out_edges(x).iter().copied().min_by(|&a, &b| {
+            (invcap[a.index()] + dist[g.target(a).index()])
+                .total_cmp(&(invcap[b.index()] + dist[g.target(b).index()]))
+                .then_with(|| a.index().cmp(&b.index()))
+        }) else {
+            return false;
+        };
+        path.push(e.index());
+        x = g.target(e);
+    }
+    true
+}
+
 impl FwSession {
     /// Checks whether the saved solution can warm-start `(network,
     /// traffic, objective)` and, if so, rescales `self.flows` in place
@@ -442,14 +496,131 @@ impl FwSession {
         true
     }
 
+    /// The arbitrary-small-delta warm start: same instance fingerprint as
+    /// [`try_warm_start`](Self::try_warm_start) except the demands, which
+    /// may differ in any pattern as long as the relative L1 norm of the
+    /// change (`Σ|d'−d| / Σ|d|` over all columns) stays under
+    /// [`WARM_START_MAX_REL_L1`]. Each per-source difference is routed
+    /// (signed) along a surviving InvCap shortest path to its
+    /// destination — the removal projection's conservation repair, driven
+    /// by demand deltas — so the patched flows satisfy the new
+    /// conservation constraints exactly. Transiently negative edge flows
+    /// are possible and harmless: Frank–Wolfe's target blend pulls the
+    /// iterate into the feasible hull and the smoothed barrier keeps the
+    /// objective well-defined off it.
+    ///
+    /// Returns `false` on any mismatch. The fingerprint is parked as
+    /// stale *before* patching, so a mid-repair bail (an unreachable
+    /// source) leaves a dirty buffer no fingerprint claims — the caller
+    /// then cold-inits over it.
+    fn try_delta_repair(
+        &mut self,
+        network: &Network,
+        traffic: &TrafficMatrix,
+        objective: &Objective,
+        smoothing_fraction: f64,
+        dests: &[NodeId],
+        tile: Option<usize>,
+    ) -> bool {
+        let g = network.graph();
+        let m = g.edge_count();
+        {
+            let Some(saved) = &self.saved else {
+                return false;
+            };
+            if !saved.topo.matches(g, dests, tile)
+                || !bits_eq(&saved.capacities, network.capacities())
+                || saved.beta.to_bits() != objective.beta().to_bits()
+                || saved.smoothing.to_bits() != smoothing_fraction.to_bits()
+                || saved.q.len() != objective.link_count()
+                || !(0..objective.link_count())
+                    .all(|e| saved.q[e].to_bits() == objective.q(e.into()).to_bits())
+                || saved.demands.len() != dests.len()
+                || self.flows.destinations() != dests
+                || (0..dests.len()).any(|i| self.flows.column(i).len() != m)
+            {
+                return false;
+            }
+            let mut total = 0.0f64;
+            let mut base = 0.0f64;
+            for (i, &t) in dests.iter().enumerate() {
+                traffic.demands_to_into(t, &mut self.demand_buf);
+                let old = &saved.demands[i];
+                if old.len() != self.demand_buf.len() {
+                    return false;
+                }
+                for (new, old) in self.demand_buf.iter().zip(old) {
+                    total += (new - old).abs();
+                    base += old.abs();
+                }
+            }
+            if !total.is_finite() || base <= 0.0 || total > WARM_START_MAX_REL_L1 * base {
+                return false;
+            }
+        }
+        let saved = self.saved.take().expect("checked above");
+        let invcap: Vec<f64> = network.capacities().iter().map(|c| 1.0 / c).collect();
+        let mut path: Vec<usize> = Vec::new();
+        let mut ok = true;
+        let (columns, aggregate) = self.flows.parts_mut();
+        'columns: for (i, &t) in dests.iter().enumerate() {
+            traffic.demands_to_into(t, &mut self.demand_buf);
+            let old = &saved.demands[i];
+            // Distances are only computed when the column has a changed
+            // source (one Dijkstra per dirty column, none per clean one).
+            let mut dist: Option<Vec<f64>> = None;
+            for s in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                let delta = self.demand_buf[s.index()] - old[s.index()];
+                if delta == 0.0 {
+                    continue;
+                }
+                if dist.is_none() {
+                    match dijkstra::distances_to(g, &invcap, t) {
+                        Ok(d) => dist = Some(d),
+                        Err(_) => {
+                            ok = false;
+                            break 'columns;
+                        }
+                    }
+                }
+                let d = dist.as_ref().expect("set above");
+                if !descent_path(g, &invcap, d, s, t, &mut path) {
+                    ok = false;
+                    break 'columns;
+                }
+                let col = &mut columns[i];
+                for &pe in &path {
+                    col[pe] += delta;
+                }
+            }
+        }
+        self.stale = Some(saved);
+        if !ok {
+            return false;
+        }
+        // Re-fold the aggregate in ascending destination order.
+        aggregate.fill(0.0);
+        for col in columns.iter() {
+            for (a, x) in aggregate.iter_mut().zip(col.iter()) {
+                *a += *x;
+            }
+        }
+        true
+    }
+
     /// The combined warm-start entry: tries, in order, (a) the in-place
-    /// proportional rescale on an identical topology, (b) a link-removal
-    /// projection from the most recent solution (covers cascading
-    /// failures: degraded → further degraded), (c) a link-removal
-    /// projection from the session's base (intact) solution — the failure
-    /// chain case, where every single-circuit solve restarts from the one
-    /// intact optimum. Falls back to [`FwStart::Cold`] when nothing
-    /// matches; never a correctness hazard, only a trajectory change.
+    /// proportional rescale on an identical topology, (b) the
+    /// delta-repair of an arbitrary small demand change (relative L1
+    /// under [`WARM_START_MAX_REL_L1`]), (c) a link-removal projection
+    /// from the most recent solution (covers cascading failures:
+    /// degraded → further degraded), (d) a link-removal projection from
+    /// the session's base (intact) solution — the failure chain case,
+    /// where every single-circuit solve restarts from the one intact
+    /// optimum. Falls back to [`FwStart::Cold`] when nothing matches;
+    /// never a correctness hazard, only a trajectory change.
     pub(crate) fn warm_start(
         &mut self,
         network: &Network,
@@ -461,6 +632,9 @@ impl FwSession {
     ) -> FwStart {
         if self.try_warm_start(network, traffic, objective, smoothing_fraction, dests, tile) {
             return FwStart::Rescaled;
+        }
+        if self.try_delta_repair(network, traffic, objective, smoothing_fraction, dests, tile) {
+            return FwStart::DeltaRepaired;
         }
         if let Some(saved) = &self.saved {
             if let Some(projected) = removal_projection(
@@ -652,27 +826,8 @@ fn removal_projection(
         }
         let (u, v) = source.topo.edges[o];
         let dist = dijkstra::distances_to(g, &invcap, v).ok()?;
-        if !dist[u.index()].is_finite() {
+        if !descent_path(g, &invcap, &dist, u, v, &mut path) {
             return None;
-        }
-        // Greedy descent from u: always step along the out-edge minimising
-        // w_e + dist(target, v). Positive weights make dist strictly
-        // decrease, so this terminates in < n hops (bound checked anyway).
-        path.clear();
-        let mut x = u;
-        let mut hops = 0usize;
-        while x != v {
-            hops += 1;
-            if hops > g.node_count() {
-                return None;
-            }
-            let e = g.out_edges(x).iter().copied().min_by(|&a, &b| {
-                (invcap[a.index()] + dist[g.target(a).index()])
-                    .total_cmp(&(invcap[b.index()] + dist[g.target(b).index()]))
-                    .then_with(|| a.index().cmp(&b.index()))
-            })?;
-            path.push(e.index());
-            x = g.target(e);
         }
         for (i, f) in per_dest.iter_mut().enumerate() {
             let flow = ratio[i] * source_flows.column(i)[o];
@@ -789,6 +944,15 @@ impl DdSession {
 #[derive(Debug, Default)]
 pub struct TeWorkspace {
     engine: Option<EngineState>,
+    /// Second engine slot. A failure chain alternates between the intact
+    /// topology (the warm-start base solve) and a degraded one (the
+    /// re-optimisation); with a single slot each alternation re-attached
+    /// the state to a different graph, rebuilding the CSR and losing the
+    /// SPF skip fingerprint both ways. Two slots keep one engine per
+    /// topology: [`TeWorkspace::take_engine`] hands out whichever slot
+    /// matches the requested graph, so both sides of the alternation stay
+    /// warm.
+    engine_alt: Option<EngineState>,
     /// `true` disables the engine's delta-aware incremental rebuild
     /// paths (dense rebuilds only); default `false` = incremental on.
     full_rebuild_only: bool,
@@ -833,6 +997,7 @@ impl TeWorkspace {
     /// peak-memory column.
     pub fn arena_bytes(&self) -> usize {
         self.engine.as_ref().map_or(0, EngineState::arena_bytes)
+            + self.engine_alt.as_ref().map_or(0, EngineState::arena_bytes)
             + self.nem.tables.arena_bytes()
             + self.nem.flows.arena_bytes()
             + self
@@ -863,7 +1028,10 @@ impl TeWorkspace {
     /// dense rebuilds either way — only wall clock changes.
     pub fn set_incremental(&mut self, enabled: bool) {
         self.full_rebuild_only = !enabled;
-        if let Some(engine) = self.engine.as_mut() {
+        for engine in [self.engine.as_mut(), self.engine_alt.as_mut()]
+            .into_iter()
+            .flatten()
+        {
             engine.set_incremental(enabled);
         }
     }
@@ -873,31 +1041,72 @@ impl TeWorkspace {
         !self.full_rebuild_only
     }
 
-    /// The engine's SPF build counters, including the incremental-path
-    /// breakdown (zeroes before the first solve).
+    /// The SPF build counters summed over both engine slots (zeroes
+    /// before the first solve); `last_dirty` is the maximum over the
+    /// slots, as "most recent" is meaningless across two engines.
     pub fn spf_stats(&self) -> crate::SpfStats {
-        self.engine
-            .as_ref()
-            .map_or_else(Default::default, EngineState::spf_stats)
+        let mut total = crate::SpfStats::default();
+        for engine in [self.engine.as_ref(), self.engine_alt.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            let s = engine.spf_stats();
+            total.builds += s.builds;
+            total.incremental_builds += s.incremental_builds;
+            total.slots_rebuilt += s.slots_rebuilt;
+            total.last_dirty = total.last_dirty.max(s.last_dirty);
+            total.topology_builds += s.topology_builds;
+            total.masked_links += s.masked_links;
+        }
+        total
     }
 
-    /// Detaches the engine state for attaching to a borrowed graph.
-    pub(crate) fn take_engine(&mut self) -> EngineState {
-        let mut state = self.engine.take().unwrap_or_default();
+    /// Detaches an engine state for attaching to `graph`: the slot that
+    /// last routed over this topology if one exists (its CSR, arenas and
+    /// SPF fingerprint survive), otherwise an empty state, otherwise the
+    /// secondary slot's arenas. The primary slot is never recycled for a
+    /// new topology while occupied, so a chain's intact-topology engine
+    /// outlives any number of degraded-topology solves in between.
+    pub(crate) fn take_engine(&mut self, graph: &Graph) -> EngineState {
+        let primary_matches = self
+            .engine
+            .as_ref()
+            .is_some_and(|s| s.matches_topology(graph));
+        let mut state = if primary_matches {
+            self.engine.take().expect("checked above")
+        } else if self
+            .engine_alt
+            .as_ref()
+            .is_some_and(|s| s.matches_topology(graph))
+        {
+            self.engine_alt.take().expect("checked above")
+        } else if self.engine.is_none() || self.engine_alt.is_none() {
+            EngineState::new()
+        } else {
+            // Both slots warm on other topologies: recycle the secondary
+            // slot's arenas for the new one.
+            self.engine_alt.take().expect("checked above")
+        };
         state.set_incremental(!self.full_rebuild_only);
         state
     }
 
-    /// Returns the engine state after a session.
+    /// Returns the engine state after a session, into the first free slot
+    /// (the secondary slot is overwritten when both are somehow full).
     pub(crate) fn put_engine(&mut self, state: EngineState) {
-        self.engine = Some(state);
+        if self.engine.is_none() {
+            self.engine = Some(state);
+        } else {
+            self.engine_alt = Some(state);
+        }
     }
 
-    /// Number of SPF batch builds the workspace's engine has executed —
+    /// Number of SPF batch builds the workspace's engines have executed —
     /// skipped (fingerprint-identical) builds are not counted. Exposed
     /// for tests and benches.
     pub fn spf_builds(&self) -> u64 {
         self.engine.as_ref().map_or(0, EngineState::spf_builds)
+            + self.engine_alt.as_ref().map_or(0, EngineState::spf_builds)
     }
 }
 

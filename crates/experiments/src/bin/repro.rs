@@ -300,6 +300,17 @@ fn run_sweep(argv: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         report.total_wall_ms / 1e3,
         json_path.display()
     );
+    if let Some(spf) = &report.spf {
+        println!(
+            "  spf: {} builds ({} incremental, {} slots rebuilt), \
+             {} topology patches over {} masked links",
+            spf.builds,
+            spf.incremental_builds,
+            spf.slots_rebuilt,
+            spf.topology_builds,
+            spf.masked_links
+        );
+    }
     if report.failures.is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {

@@ -30,7 +30,7 @@ use spef_core::{
 };
 use spef_topology::{standard, TrafficMatrix};
 
-use crate::reconfig::even_ecmp_mlu;
+use crate::reconfig::MluProbe;
 use crate::report::{fmt_val, CsvFile, ExperimentResult, TextTable};
 use crate::{scale, Quality};
 
@@ -76,10 +76,18 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
     );
     let mut rows = Vec::new();
     let mut skipped_bridges = 0usize;
+    // Two persistent probes over the *intact* network, one per weight
+    // setting: each circuit is failed in place with a mask round-trip, so
+    // neither probe ever rebuilds its engine, and the constant weight
+    // vectors let the SPF fingerprint survive between circuits. Results
+    // are bit-identical to cold routing on the `without_links` topology
+    // (pinned in `reconfig::tests::mlu_probe_matches_degraded_free_function`).
+    let mut ospf_probe = MluProbe::new(false);
+    let mut stale_probe = MluProbe::new(false);
 
     for (i, circuit) in circuits.iter().take(budget).enumerate() {
-        let (degraded, kept) = match net.without_links(circuit) {
-            Ok(pair) => pair,
+        let degraded = match net.without_links(circuit) {
+            Ok((degraded, _kept)) => degraded,
             Err(_) => {
                 // Failing a bridge circuit disconnects the network: no
                 // post-failure routing exists. Counted and reported below,
@@ -88,24 +96,29 @@ pub fn run(quality: Quality) -> Result<ExperimentResult, SpefError> {
                 continue;
             }
         };
-        // Remap per-link vectors onto the surviving edge ids.
-        let remap =
-            |vals: &[f64]| -> Vec<f64> { kept.iter().map(|&old| vals[old.index()]).collect() };
 
         // OSPF reconvergence.
-        let mlu_ospf = even_ecmp_mlu(&degraded, &tm, &dests, &remap(&invcap), 0.0)?;
+        let mlu_ospf = ospf_probe.mlu(&net, &tm, &dests, &invcap, 0.0, circuit)?;
 
         // SPEF with stale (intact-optimal) weights. The continuous weights
         // solve nothing on the degraded topology, so equal-cost ties use
-        // the shared coarse threshold (see `STALE_WEIGHT_DAG_RTOL`).
-        let w_stale = remap(&intact.weights);
-        let max_w = w_stale.iter().cloned().fold(0.0, f64::max);
-        let mlu_stale = even_ecmp_mlu(
-            &degraded,
+        // the shared coarse threshold (see `STALE_WEIGHT_DAG_RTOL`),
+        // scaled by the largest *surviving* weight — the same maximum the
+        // kept-remapped vector folds to.
+        let max_w = intact
+            .weights
+            .iter()
+            .zip(0usize..)
+            .filter(|&(_, e)| !circuit.iter().any(|&c| c.index() == e))
+            .map(|(&w, _)| w)
+            .fold(0.0, f64::max);
+        let mlu_stale = stale_probe.mlu(
+            &net,
             &tm,
             &dests,
-            &w_stale,
+            &intact.weights,
             STALE_WEIGHT_DAG_RTOL * max_w,
+            circuit,
         )?;
 
         // SPEF re-optimised on the degraded topology (removal warm start).

@@ -49,7 +49,8 @@ use serde::{Error as SerdeError, Value};
 use spef_baselines::fortz_thorup::{FtConfig, FtOutcome};
 use spef_baselines::{RobustConfig, RobustOutcome};
 use spef_core::{
-    ForwardingTable, SpefRouting, TeInstance, TeSolver, TeWorkspace, STALE_WEIGHT_DAG_RTOL,
+    ForwardingTable, SpefRouting, SpfStats, TeInstance, TeSolver, TeWorkspace,
+    STALE_WEIGHT_DAG_RTOL,
 };
 use spef_netsim::{simulate_with, SchedulerKind, SimWorkspace};
 use spef_topology::{Network, TrafficMatrix};
@@ -139,6 +140,51 @@ pub struct ScaleScenarioResult {
     pub peak_arena_bytes: u64,
     /// High-water bytes of the forwarding-table arenas.
     pub peak_fib_bytes: u64,
+}
+
+/// Aggregate SPF-engine counters of one sweep: summed over every chain
+/// workspace, failure-stage probe, robust weight search and
+/// reconfiguration transient the batch executed. Execution metadata —
+/// like `threads` and `tile_size` it sits outside the bit-diffed fields
+/// (the incremental and masked engine paths are bit-identical to dense
+/// rebuilds; only these counters move), so sweeps diff clean across
+/// engine modes while the dirty-set effectiveness stays visible per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpfStatsResult {
+    /// SPF batch builds actually executed (fingerprint skips excluded).
+    pub builds: u64,
+    /// Builds served by the weight-delta incremental path.
+    pub incremental_builds: u64,
+    /// Destination slots rebuilt in place across all delta builds.
+    pub slots_rebuilt: u64,
+    /// In-place topology patches after `fail_links`/`restore_links`
+    /// (dense fallbacks excluded).
+    pub topology_builds: u64,
+    /// Cumulative links masked by `fail_links` calls.
+    pub masked_links: u64,
+}
+
+impl SpfStatsResult {
+    fn from_stats(s: SpfStats) -> SpfStatsResult {
+        SpfStatsResult {
+            builds: s.builds,
+            incremental_builds: s.incremental_builds,
+            slots_rebuilt: s.slots_rebuilt,
+            topology_builds: s.topology_builds,
+            masked_links: s.masked_links,
+        }
+    }
+}
+
+/// Adds one engine's counters into a running total (`last_dirty`, a
+/// gauge, takes the maximum).
+fn add_spf(total: &mut SpfStats, s: SpfStats) {
+    total.builds += s.builds;
+    total.incremental_builds += s.incremental_builds;
+    total.slots_rebuilt += s.slots_rebuilt;
+    total.last_dirty = total.last_dirty.max(s.last_dirty);
+    total.topology_builds += s.topology_builds;
+    total.masked_links += s.masked_links;
 }
 
 /// Measurements of one successfully solved scenario.
@@ -257,11 +303,17 @@ pub struct BatchReport {
     /// outside the bit-diffed fields, which is exactly what lets a tiled
     /// run diff clean against a dense baseline.
     pub tile_size: Option<u64>,
+    /// Aggregate SPF-engine counters of the batch ([`SpfStatsResult`]);
+    /// `None` when the batch executed no SPF builds (or the report
+    /// predates the field). Execution metadata — outside the bit-diffed
+    /// fields, so masked/incremental sweeps diff clean against dense
+    /// baselines.
+    pub spf: Option<SpfStatsResult>,
 }
 
-// Hand-written so `tile_size` is omitted when absent: dense reports
-// serialize byte-identically to the committed pre-PR 8 baselines, and
-// those baselines parse back without the key.
+// Hand-written so `tile_size` and `spf` are omitted when absent: dense
+// reports serialize byte-identically to the committed pre-PR 8 / pre-PR 10
+// baselines, and those baselines parse back without the keys.
 impl Serialize for BatchReport {
     fn to_value(&self) -> Value {
         let mut fields = vec![
@@ -273,6 +325,9 @@ impl Serialize for BatchReport {
         ];
         if let Some(tile) = self.tile_size {
             fields.push(("tile_size".to_string(), tile.to_value()));
+        }
+        if let Some(spf) = &self.spf {
+            fields.push(("spf".to_string(), spf.to_value()));
         }
         Value::Object(fields)
     }
@@ -294,6 +349,10 @@ impl Deserialize for BatchReport {
             tile_size: match value.get_field("tile_size") {
                 None => None,
                 Some(v) => Option::<u64>::from_value(v)?,
+            },
+            spf: match value.get_field("spf") {
+                None => None,
+                Some(v) => Option::<SpfStatsResult>::from_value(v)?,
             },
         })
     }
@@ -690,12 +749,14 @@ fn solve_pipeline(
     scenario: &Scenario,
     ws: &mut TeWorkspace,
     options: &BatchOptions,
+    spf: &mut SpfStats,
 ) -> Result<SolvedPipeline, String> {
     let network = scenario.topology.build();
     let traffic = scenario.traffic.build(&network);
     let routing = if scenario.solver == SolverSpec::FortzThorup {
         let cfg = sweep_ft_config(options.full_rebuild);
         let ft = FtOutcome::local_search(&network, &traffic, &cfg).map_err(|e| e.to_string())?;
+        add_spf(spf, ft.spf_stats);
         // An overloaded best routing has no finite utility, which the
         // report's JSON round trip cannot carry — report it as a
         // deterministic scenario failure (like the infeasible Frank–Wolfe
@@ -768,6 +829,33 @@ fn sim_stage(
 /// cold-solves path recomputing it per scenario gets bit-identical values.
 type RobustMemo = Vec<(String, f64)>;
 
+/// Persistent failure-stage MLU probes, one per weight setting (OSPF /
+/// stale-SPEF). Shared across every scenario of a chain so circuit probes
+/// ride in-place mask round-trips on retained engine state instead of
+/// building a fresh engine (and a fresh degraded `Network` routing) per
+/// scenario — results are bit-identical either way (see
+/// [`reconfig::MluProbe`]).
+struct FailureProbes {
+    ospf: reconfig::MluProbe,
+    stale: reconfig::MluProbe,
+}
+
+impl FailureProbes {
+    fn new(full_rebuild: bool) -> FailureProbes {
+        FailureProbes {
+            ospf: reconfig::MluProbe::new(full_rebuild),
+            stale: reconfig::MluProbe::new(full_rebuild),
+        }
+    }
+
+    /// Both probes' SPF counters, summed.
+    fn spf_stats(&self) -> SpfStats {
+        let mut total = self.ospf.spf_stats();
+        add_spf(&mut total, self.stale.spf_stats());
+        total
+    }
+}
+
 /// Runs a scenario's optional single-circuit failure stage against an
 /// already solved (intact) pipeline: fail the circuit, measure the OSPF /
 /// stale-SPEF / re-optimised-SPEF MLU triple, the robust-weight worst
@@ -783,6 +871,9 @@ fn failure_stage(
     solved: &SolvedPipeline,
     ws: &mut TeWorkspace,
     robust_memo: &mut RobustMemo,
+    probes: &mut FailureProbes,
+    options: &BatchOptions,
+    spf: &mut SpfStats,
 ) -> Result<Option<FailureScenarioResult>, String> {
     let Some(spec) = &scenario.failure else {
         return Ok(None);
@@ -809,31 +900,46 @@ fn failure_stage(
     let dests = solved.traffic.destinations();
     let remap = |vals: &[f64]| -> Vec<f64> { kept.iter().map(|&old| vals[old.index()]).collect() };
 
-    // OSPF reconvergence: InvCap weights on the survivors, even ECMP.
+    // OSPF reconvergence: InvCap weights on the survivors, even ECMP —
+    // probed by masking the circuit on the persistent intact-network
+    // engine (bit-identical to cold routing on `degraded`).
     let invcap: Vec<f64> = solved
         .network
         .capacities()
         .iter()
         .map(|c| 1.0 / c)
         .collect();
-    let w_ospf = remap(&invcap);
-    let mlu_ospf = reconfig::even_ecmp_mlu(&degraded, &solved.traffic, &dests, &w_ospf, 0.0)
+    let mlu_ospf = probes
+        .ospf
+        .mlu(
+            &solved.network,
+            &solved.traffic,
+            &dests,
+            &invcap,
+            0.0,
+            &circuits[c],
+        )
         .map_err(|e| format!("failure stage: OSPF routing: {e}"))?;
 
     // Stale SPEF: the intact-optimal first weights on the survivors. The
     // continuous weights solve nothing on the degraded topology, so
     // equal-cost ties use the shared coarse threshold (see
-    // [`STALE_WEIGHT_DAG_RTOL`]'s contract).
+    // [`STALE_WEIGHT_DAG_RTOL`]'s contract), scaled by the largest
+    // *surviving* weight — the same maximum the kept-remapped vector
+    // folds to.
     let w_stale = remap(&intact.te_solution().weights);
     let max_w = w_stale.iter().cloned().fold(0.0, f64::max);
-    let mlu_stale = reconfig::even_ecmp_mlu(
-        &degraded,
-        &solved.traffic,
-        &dests,
-        &w_stale,
-        STALE_WEIGHT_DAG_RTOL * max_w,
-    )
-    .map_err(|e| format!("failure stage: stale-weight routing: {e}"))?;
+    let mlu_stale = probes
+        .stale
+        .mlu(
+            &solved.network,
+            &solved.traffic,
+            &dests,
+            &intact.te_solution().weights,
+            STALE_WEIGHT_DAG_RTOL * max_w,
+            &circuits[c],
+        )
+        .map_err(|e| format!("failure stage: stale-weight routing: {e}"))?;
 
     // Full SPEF re-optimisation on the degraded topology.
     let obj = scenario.objective.build(degraded.link_count());
@@ -857,10 +963,12 @@ fn failure_stage(
             let cfg = RobustConfig {
                 max_evaluations: spec.robust_evals as usize,
                 seed: spec.robust_seed,
+                full_rebuild: options.full_rebuild,
                 ..RobustConfig::default()
             };
             let out = RobustOutcome::local_search(&solved.network, &solved.traffic, &cfg)
                 .map_err(|e| format!("failure stage: robust weight search: {e}"))?;
+            add_spf(spf, out.spf_stats);
             robust_memo.push((robust_key, out.worst_mlu));
             out.worst_mlu
         }
@@ -868,13 +976,15 @@ fn failure_stage(
 
     // Reconfiguration transient: ordered pushes from the stale weights to
     // the re-optimised ones.
-    let transit = reconfig::migrate(
+    let (transit, transit_spf) = reconfig::migrate_with(
         &degraded,
         &solved.traffic,
         &w_stale,
         &reopt.te_solution().weights,
+        options.full_rebuild,
     )
     .map_err(|e| format!("failure stage: reconfiguration transient: {e}"))?;
+    add_spf(spf, transit_spf);
 
     Ok(Some(FailureScenarioResult {
         mlu_ospf,
@@ -962,7 +1072,7 @@ pub fn run_scenario_in(
         sim_scheduler,
         ..BatchOptions::default()
     };
-    run_scenario_opts(scenario, &options, sim_ws)
+    run_scenario_opts(scenario, &options, sim_ws, &mut SpfStats::default())
 }
 
 /// The cold-solve kernel shared by [`run_scenario_in`] and the
@@ -972,15 +1082,27 @@ fn run_scenario_opts(
     scenario: &Scenario,
     options: &BatchOptions,
     sim_ws: &mut SimWorkspace,
+    spf: &mut SpfStats,
 ) -> Result<ScenarioResult, String> {
     let started = Instant::now();
     let mut ws = TeWorkspace::new();
     ws.set_tile_size(options.tile);
     ws.set_incremental(!options.full_rebuild);
-    let solved = solve_pipeline(scenario, &mut ws, options)?;
-    let failure = failure_stage(scenario, &solved, &mut ws, &mut RobustMemo::new())?;
+    let mut probes = FailureProbes::new(options.full_rebuild);
+    let solved = solve_pipeline(scenario, &mut ws, options, spf)?;
+    let failure = failure_stage(
+        scenario,
+        &solved,
+        &mut ws,
+        &mut RobustMemo::new(),
+        &mut probes,
+        options,
+        spf,
+    )?;
     let sim = sim_stage(scenario, &solved, options.sim_scheduler, sim_ws)?;
     let scale = scale_stage(scenario, &solved, &ws);
+    add_spf(spf, ws.spf_stats());
+    add_spf(spf, probes.spf_stats());
     Ok(measure(scenario, &solved, sim, failure, scale, started))
 }
 
@@ -992,11 +1114,18 @@ type IndexedOutcome = (usize, Scenario, Result<ScenarioResult, String>);
 /// workspace pair, and scenarios with equal solve keys (identical up to the
 /// sim stage) share one pipeline solve. Returns each scenario tagged with
 /// its original batch index so the caller can restore submission order.
-fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<IndexedOutcome> {
+fn run_chain(
+    chain: Vec<(usize, Scenario)>,
+    options: &BatchOptions,
+) -> (Vec<IndexedOutcome>, SpfStats) {
     let mut ws = TeWorkspace::new();
     ws.set_tile_size(options.tile);
     ws.set_incremental(!options.full_rebuild);
     let mut sim_ws = SimWorkspace::new();
+    // One probe pair per chain: every failure-stage circuit of the chain
+    // rides mask round-trips on the same retained engine state.
+    let mut probes = FailureProbes::new(options.full_rebuild);
+    let mut spf = SpfStats::default();
     // Chains are short (one entry per load × sim/failure point), so
     // linear-scan memos keyed by solve key beat hashing.
     let mut memo: Vec<(String, Result<SolvedPipeline, String>)> = Vec::new();
@@ -1006,7 +1135,7 @@ fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<Index
         let started = Instant::now();
         let key = scenario.solve_key();
         if !memo.iter().any(|(k, _)| *k == key) {
-            let solved = solve_pipeline(&scenario, &mut ws, options);
+            let solved = solve_pipeline(&scenario, &mut ws, options, &mut spf);
             memo.push((key.clone(), solved));
         }
         let pos = memo
@@ -1015,18 +1144,27 @@ fn run_chain(chain: Vec<(usize, Scenario)>, options: &BatchOptions) -> Vec<Index
             .expect("solve key was just memoized");
         let outcome = match &memo[pos].1 {
             Err(e) => Err(e.clone()),
-            Ok(solved) => {
-                failure_stage(&scenario, solved, &mut ws, &mut robust_memo).and_then(|failure| {
-                    sim_stage(&scenario, solved, options.sim_scheduler, &mut sim_ws).map(|sim| {
-                        let scale = scale_stage(&scenario, solved, &ws);
-                        measure(&scenario, solved, sim, failure, scale, started)
-                    })
+            Ok(solved) => failure_stage(
+                &scenario,
+                solved,
+                &mut ws,
+                &mut robust_memo,
+                &mut probes,
+                options,
+                &mut spf,
+            )
+            .and_then(|failure| {
+                sim_stage(&scenario, solved, options.sim_scheduler, &mut sim_ws).map(|sim| {
+                    let scale = scale_stage(&scenario, solved, &ws);
+                    measure(&scenario, solved, sim, failure, scale, started)
                 })
-            }
+            }),
         };
         out.push((index, scenario, outcome));
     }
-    out
+    add_spf(&mut spf, ws.spf_stats());
+    add_spf(&mut spf, probes.spf_stats());
+    (out, spf)
 }
 
 /// Runs a batch of scenarios, in parallel unless
@@ -1050,6 +1188,7 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
     } else {
         rayon::current_num_threads() as u64
     };
+    let mut spf_total = SpfStats::default();
     let mut outcomes: Vec<IndexedOutcome> = if options.cold_solves {
         if options.serial {
             // Serial lane: one simulator workspace amortised over the whole
@@ -1059,17 +1198,26 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
                 .into_iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    let outcome = run_scenario_opts(&s, options, &mut sim_ws);
+                    let outcome = run_scenario_opts(&s, options, &mut sim_ws, &mut spf_total);
                     (i, s, outcome)
                 })
                 .collect()
         } else {
-            scenarios
+            let with_stats: Vec<(IndexedOutcome, SpfStats)> = scenarios
                 .into_par_iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    let outcome = run_scenario_opts(&s, options, &mut SimWorkspace::new());
-                    (i, s, outcome)
+                    let mut spf = SpfStats::default();
+                    let outcome =
+                        run_scenario_opts(&s, options, &mut SimWorkspace::new(), &mut spf);
+                    ((i, s, outcome), spf)
+                })
+                .collect();
+            with_stats
+                .into_iter()
+                .map(|(outcome, spf)| {
+                    add_spf(&mut spf_total, spf);
+                    outcome
                 })
                 .collect()
         }
@@ -1088,18 +1236,21 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
                 }
             }
         }
-        if options.serial {
-            chains
-                .into_iter()
-                .flat_map(|c| run_chain(c, options))
-                .collect()
+        let per_chain: Vec<(Vec<IndexedOutcome>, SpfStats)> = if options.serial {
+            chains.into_iter().map(|c| run_chain(c, options)).collect()
         } else {
-            let per_chain: Vec<Vec<IndexedOutcome>> = chains
+            chains
                 .into_par_iter()
                 .map(|c| run_chain(c, options))
-                .collect();
-            per_chain.into_iter().flatten().collect()
-        }
+                .collect()
+        };
+        per_chain
+            .into_iter()
+            .flat_map(|(outcomes, spf)| {
+                add_spf(&mut spf_total, spf);
+                outcomes
+            })
+            .collect()
     };
     outcomes.sort_by_key(|(i, _, _)| *i);
 
@@ -1118,6 +1269,7 @@ pub fn run_batch(scenarios: Vec<Scenario>, options: &BatchOptions) -> BatchRepor
         total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
         threads,
         tile_size: options.tile.map(|t| t as u64),
+        spf: (spf_total.builds > 0).then(|| SpfStatsResult::from_stats(spf_total)),
     }
 }
 

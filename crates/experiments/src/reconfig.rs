@@ -31,10 +31,10 @@
 //! the largest weight of the *current mixed vector*.
 
 use spef_core::{
-    build_dags, metrics, traffic_distribution, Flows, RoutingEngine, SpefError, SpfStats,
-    SplitRule, STALE_WEIGHT_DAG_RTOL,
+    metrics, EngineState, Flows, RoutingEngine, SpefError, SpfStats, SplitRule,
+    STALE_WEIGHT_DAG_RTOL,
 };
-use spef_graph::NodeId;
+use spef_graph::{EdgeId, NodeId};
 use spef_topology::{Network, TrafficMatrix};
 
 /// Transient measurements of one ordered weight migration.
@@ -51,18 +51,104 @@ pub struct ReconfigOutcome {
 }
 
 /// Even-ECMP MLU of one weight vector on a (possibly degraded) network
-/// under the given equal-cost tolerance. Shared by the reconfiguration
-/// transient, the harness's failure stage and the failure experiment.
-pub(crate) fn even_ecmp_mlu(
+/// under the given equal-cost tolerance — the cold free-function oracle
+/// the persistent probes ([`MluProbe`], [`migrate_with`]) are pinned
+/// against. Production code routes through the engines; this stays as
+/// the reference.
+#[cfg(test)]
+fn even_ecmp_mlu(
     network: &Network,
     traffic: &TrafficMatrix,
     dests: &[NodeId],
     weights: &[f64],
     dijkstra_tolerance: f64,
 ) -> Result<f64, SpefError> {
-    let dags = build_dags(network.graph(), weights, dests, dijkstra_tolerance)?;
-    let flows = traffic_distribution(network.graph(), &dags, traffic, SplitRule::EvenEcmp)?;
+    let dags = spef_core::build_dags(network.graph(), weights, dests, dijkstra_tolerance)?;
+    let flows =
+        spef_core::traffic_distribution(network.graph(), &dags, traffic, SplitRule::EvenEcmp)?;
     Ok(metrics::max_link_utilization(network, flows.aggregate()))
+}
+
+/// A persistent even-ECMP MLU probe over failure circuits: one detached
+/// engine state plus one flow buffer, reused across calls.
+///
+/// Each [`MluProbe::mlu`] call attaches the saved state to the *intact*
+/// network, masks the probed circuit in place with
+/// [`RoutingEngine::fail_links`], routes, folds the MLU, and restores the
+/// mask before detaching again. Because the weights passed across calls
+/// are typically identical (a fixed routing probed under many circuits),
+/// the SPF fingerprint survives every round-trip and each probe rebuilds
+/// only the destinations whose DAGs used the failed links. The MLU is
+/// bit-identical to [`even_ecmp_mlu`] on the matching `without_links`
+/// degraded network with kept-remapped weights: the masked adjacency
+/// compacts to the degraded one entry for entry, masked links carry zero
+/// flow, and link utilisations are non-negative, so the intact-link fold
+/// reaches the same maximum.
+///
+/// An empty `circuit` degenerates to a persistent intact-network MLU
+/// evaluation.
+pub struct MluProbe {
+    state: Option<EngineState>,
+    flows: Option<Flows>,
+    full_rebuild: bool,
+}
+
+impl MluProbe {
+    /// Creates an empty probe. `full_rebuild` forces dense SPF rebuilds
+    /// on every call (the regression baseline); the default incremental
+    /// mode patches masks and weights in place.
+    pub fn new(full_rebuild: bool) -> MluProbe {
+        MluProbe {
+            state: None,
+            flows: None,
+            full_rebuild,
+        }
+    }
+
+    /// Even-ECMP MLU of `weights` (full length — one per intact link) on
+    /// `network` with the links of `circuit` failed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors and out-of-range circuit ids. On error
+    /// the saved state is discarded — a half-masked engine is never
+    /// reattached, so the next call starts cold.
+    pub fn mlu(
+        &mut self,
+        network: &Network,
+        traffic: &TrafficMatrix,
+        dests: &[NodeId],
+        weights: &[f64],
+        dijkstra_tolerance: f64,
+        circuit: &[EdgeId],
+    ) -> Result<f64, SpefError> {
+        let mut engine = match self.state.take() {
+            Some(state) => RoutingEngine::with_state(network.graph(), state),
+            None => RoutingEngine::new(network.graph()),
+        };
+        engine.set_incremental(!self.full_rebuild);
+        let mut flows = self
+            .flows
+            .take()
+            .unwrap_or_else(|| engine.distribute_fresh());
+        engine.fail_links(circuit)?;
+        engine.build_dags(weights, dests, dijkstra_tolerance)?;
+        engine.distribute_into(traffic, SplitRule::EvenEcmp, &mut flows)?;
+        let mlu = metrics::max_link_utilization(network, flows.aggregate());
+        engine.restore_links(circuit)?;
+        self.state = Some(engine.into_state());
+        self.flows = Some(flows);
+        Ok(mlu)
+    }
+
+    /// SPF counters accumulated by the saved engine state (zeroed until
+    /// the first successful probe).
+    pub fn spf_stats(&self) -> SpfStats {
+        self.state
+            .as_ref()
+            .map(EngineState::spf_stats)
+            .unwrap_or_default()
+    }
 }
 
 /// Even-ECMP MLU of one (possibly mixed) weight vector, with the stale
@@ -275,6 +361,44 @@ mod tests {
             "push probes never took the incremental path: {inc_stats:?}"
         );
         assert_eq!(full_stats.incremental_builds, 0);
+    }
+
+    #[test]
+    fn mlu_probe_matches_degraded_free_function() {
+        // One persistent probe across every connected circuit must
+        // reproduce the cold free-function MLU on the corresponding
+        // `without_links` network bit for bit, under both engine modes.
+        // Varied integer weights keep the DAGs thin enough that some
+        // circuits sit on few of them, so the in-place patch path (not
+        // just its dense fallback) is exercised; invcap with tolerance 0
+        // ties so many equal-cost paths on Abilene that every circuit
+        // dirties more than half the destinations.
+        let (net, tm) = abilene_instance(0.05);
+        let dests = tm.destinations();
+        let weights: Vec<f64> = (0..net.link_count())
+            .map(|e| 1.0 + (e % 7) as f64)
+            .collect();
+        let mut masked = MluProbe::new(false);
+        let mut dense = MluProbe::new(true);
+        let mut probed = 0usize;
+        for circuit in net.duplex_circuits() {
+            let Ok((degraded, kept)) = net.without_links(&circuit) else {
+                continue;
+            };
+            let dw: Vec<f64> = kept.iter().map(|e| weights[e.index()]).collect();
+            let expect = even_ecmp_mlu(&degraded, &tm, &dests, &dw, 0.0).unwrap();
+            for probe in [&mut masked, &mut dense] {
+                let got = probe
+                    .mlu(&net, &tm, &dests, &weights, 0.0, &circuit)
+                    .unwrap();
+                assert_eq!(got.to_bits(), expect.to_bits());
+            }
+            probed += 1;
+        }
+        assert!(probed > 0);
+        let stats = masked.spf_stats();
+        assert!(stats.topology_builds > 0, "{stats:?}");
+        assert_eq!(dense.spf_stats().topology_builds, 0);
     }
 
     #[test]

@@ -262,6 +262,51 @@ fn failure_results_roundtrip_and_drift_catches_failure_fields() {
 }
 
 #[test]
+fn spf_metadata_is_surfaced_but_never_diffed() {
+    // The batch-level SPF counters are execution metadata: present on any
+    // run that routed traffic, round-tripping through JSON, but outside
+    // the bit-diffed result fields — an engine-mode flip (masked topology
+    // deltas vs full rebuilds) moves the counters while `result_drift`
+    // stays empty.
+    let masked = run_batch(failure_scenarios(), &BatchOptions::default());
+    let spf = masked.spf.expect("failure sweep carries spf metadata");
+    assert!(spf.builds > 0);
+    assert!(
+        spf.masked_links > 0,
+        "failure probes never masked a link: {spf:?}"
+    );
+    let back = BatchReport::from_json(&masked.to_json()).expect("parses back");
+    assert_eq!(back, masked);
+
+    let rebuild = run_batch(
+        failure_scenarios(),
+        &BatchOptions {
+            full_rebuild: true,
+            ..BatchOptions::default()
+        },
+    );
+    let rebuild_spf = rebuild.spf.expect("rebuild sweep carries spf metadata");
+    assert_eq!(rebuild_spf.topology_builds, 0);
+    assert_ne!(spf, rebuild_spf, "engine modes should differ in SPF work");
+    assert!(
+        masked.result_drift(&rebuild).is_empty(),
+        "spf metadata leaked into the diffed fields: {:?}",
+        masked.result_drift(&rebuild)
+    );
+
+    // The committed pre-PR 10 baselines predate the field; they must keep
+    // parsing with the metadata absent (the CI regression gate reads them
+    // on every PR).
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../BENCH_post_pr7_warm_failures.json"),
+    )
+    .expect("committed baseline readable");
+    let baseline = BatchReport::from_json(&text).expect("pre-spf baseline parses");
+    assert!(baseline.spf.is_none());
+}
+
+#[test]
 fn out_of_range_circuit_is_a_scenario_failure_not_a_panic() {
     let scenario = Scenario::new(
         TopologySpec::Abilene,
